@@ -1,0 +1,86 @@
+//! End-to-end attack-generation benchmarks: KKT model assembly, single
+//! subproblems, and the full Algorithm 1 loop (the paper's "scalability of
+//! attack" concern, Section IV-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ed_bench::{congested_dlr_lines, dlr_bounds_for};
+use ed_core::attack::{kkt::KktModel, optimal_attack_with, AttackConfig};
+use ed_core::dispatch::DcOpf;
+use std::hint::black_box;
+
+fn three_bus_config() -> AttackConfig {
+    AttackConfig::new(ed_cases::three_bus::dlr_lines())
+        .bounds(100.0, 200.0)
+        .true_ratings(vec![130.0, 120.0])
+}
+
+fn bench_kkt_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kkt_model_build");
+    g.sample_size(20);
+    let net3 = ed_cases::three_bus();
+    let cfg3 = three_bus_config();
+    g.bench_function("three_bus", |b| {
+        b.iter(|| black_box(KktModel::build(&net3, &cfg3).unwrap()))
+    });
+    let net118 = ed_cases::ieee118_like();
+    let lines = congested_dlr_lines(&net118, 4);
+    let (lo, hi) = dlr_bounds_for(&net118, &lines);
+    let ud = lo.iter().zip(&hi).map(|(a, b)| (a + b) / 2.0).collect();
+    let cfg118 = AttackConfig::new(lines).bounds_per_line(lo, hi).true_ratings(ud);
+    g.bench_function("ieee118_like", |b| {
+        b.iter(|| black_box(KktModel::build(&net118, &cfg118).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_algorithm1_exact_small(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1");
+    g.sample_size(10);
+    let net = ed_cases::three_bus();
+    let cfg = three_bus_config();
+    g.bench_function("three_bus_exact", |b| {
+        b.iter(|| black_box(optimal_attack_with(&net, &cfg, true).unwrap()))
+    });
+    g.bench_function("three_bus_heuristic", |b| {
+        b.iter(|| black_box(optimal_attack_with(&net, &cfg, false).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_algorithm1_heuristic_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1_heuristic_118");
+    g.sample_size(10);
+    let net = ed_cases::ieee118_like();
+    for k in [2usize, 4, 6] {
+        let lines = congested_dlr_lines(&net, k);
+        let (lo, hi) = dlr_bounds_for(&net, &lines);
+        let ud: Vec<f64> = lo.iter().zip(&hi).map(|(a, b)| (a + b) / 2.0).collect();
+        let cfg = AttackConfig::new(lines).bounds_per_line(lo, hi).true_ratings(ud);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            b.iter(|| black_box(optimal_attack_with(&net, cfg, false).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dc_opf");
+    g.sample_size(20);
+    for (name, net) in [
+        ("three_bus", ed_cases::three_bus()),
+        ("six_bus", ed_cases::six_bus()),
+        ("ieee118_like", ed_cases::ieee118_like()),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(DcOpf::new(&net).solve().unwrap())));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kkt_build,
+    bench_algorithm1_exact_small,
+    bench_algorithm1_heuristic_scaling,
+    bench_dispatch
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! EMS simulation benchmarks: image construction, value scanning,
+//! signature filtering, exploit location, and object classification —
+//! the runtime costs of the paper's online attack phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ed_ems::exploit::Exploit;
+use ed_ems::forensics::{classify_objects, scan_bytes};
+use ed_ems::EmsPackage;
+use std::hint::black_box;
+
+fn bench_image_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ems_image_build");
+    g.sample_size(20);
+    let net = ed_cases::ieee118_like();
+    let ratings = net.static_ratings_mva();
+    for pkg in EmsPackage::all() {
+        g.bench_function(pkg.name(), |b| {
+            b.iter(|| black_box(pkg.build(&net, &ratings, 7).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_value_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("value_scan");
+    g.sample_size(20);
+    for (label, net) in [("six_bus", ed_cases::six_bus()), ("ieee118", ed_cases::ieee118_like())] {
+        let ratings = net.static_ratings_mva();
+        let inst = EmsPackage::PowerWorld.build(&net, &ratings, 3).unwrap();
+        let pattern = inst.rating_repr.encode(ratings[0]);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &inst, |b, inst| {
+            b.iter(|| black_box(scan_bytes(&inst.memory, &pattern)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_exploit_locate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exploit_locate");
+    g.sample_size(20);
+    let net = ed_cases::ieee118_like();
+    let ratings = net.static_ratings_mva();
+    for pkg in EmsPackage::all() {
+        let reference = pkg.build(&net, &ratings, 5).unwrap();
+        let exploit = Exploit::new(pkg.rating_signature(&reference)).tainted_only();
+        let victim = pkg.build(&net, &ratings, 6).unwrap();
+        g.bench_function(pkg.name(), |b| {
+            b.iter(|| black_box(exploit.locate(&victim, 0, ratings[0]).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classify_objects");
+    g.sample_size(10);
+    let net = ed_cases::ieee118_like();
+    let ratings = net.static_ratings_mva();
+    for pkg in EmsPackage::all() {
+        let inst = pkg.build(&net, &ratings, 11).unwrap();
+        g.bench_function(pkg.name(), |b| b.iter(|| black_box(classify_objects(&inst))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_image_build, bench_value_scan, bench_exploit_locate, bench_classify);
+criterion_main!(benches);

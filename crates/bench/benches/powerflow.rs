@@ -1,0 +1,102 @@
+//! Power-flow scaling benchmarks: DC solve, PTDF assembly, AC
+//! Newton–Raphson, and N−1 screening across system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ed_cases::{synthetic, SyntheticConfig};
+use ed_powerflow::{ac, contingency, dc, lodf::Lodf, ptdf::Ptdf, Network};
+use std::hint::black_box;
+
+fn case(buses: usize) -> Network {
+    match buses {
+        3 => ed_cases::three_bus(),
+        6 => ed_cases::six_bus(),
+        118 => ed_cases::ieee118_like(),
+        n => synthetic(&SyntheticConfig {
+            buses: n,
+            lines: n + n / 3,
+            gens: (n / 6).max(2),
+            total_demand_mw: 30.0 * n as f64,
+            capacity_margin: 1.6,
+            seed: 0xCAFE ^ n as u64,
+        })
+        .expect("valid synthetic config"),
+    }
+}
+
+fn proportional_dispatch(net: &Network) -> Vec<f64> {
+    let cap: f64 = net.total_pmax_mw();
+    let d = net.total_demand_mw();
+    net.gens().iter().map(|g| g.pmax_mw / cap * d).collect()
+}
+
+fn bench_dc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dc_solve");
+    for buses in [6usize, 30, 57, 118] {
+        let net = case(buses);
+        let inj = net.injections_mw(&proportional_dispatch(&net));
+        g.bench_with_input(BenchmarkId::from_parameter(buses), &(&net, &inj), |b, (net, inj)| {
+            b.iter(|| black_box(dc::solve(net, inj).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ptdf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptdf_compute");
+    g.sample_size(20);
+    for buses in [30usize, 57, 118] {
+        let net = case(buses);
+        g.bench_with_input(BenchmarkId::from_parameter(buses), &net, |b, net| {
+            b.iter(|| black_box(Ptdf::compute(net).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ac_newton");
+    g.sample_size(20);
+    for buses in [6usize, 30, 57, 118] {
+        let net = case(buses);
+        let dispatch = proportional_dispatch(&net);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(buses),
+            &(&net, &dispatch),
+            |b, (net, dispatch)| b.iter(|| black_box(ac::solve(net, dispatch).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_n_minus_1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("n_minus_1_screen");
+    g.sample_size(10);
+    for buses in [30usize, 118] {
+        let net = case(buses);
+        let dispatch = proportional_dispatch(&net);
+        let ratings = net.static_ratings_mva();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(buses),
+            &(&net, &dispatch, &ratings),
+            |b, (net, dispatch, ratings)| {
+                b.iter(|| black_box(contingency::screen_n_minus_1(net, dispatch, ratings).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lodf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lodf_compute");
+    g.sample_size(10);
+    for buses in [30usize, 118] {
+        let net = case(buses);
+        g.bench_with_input(BenchmarkId::from_parameter(buses), &net, |b, net| {
+            b.iter(|| black_box(Lodf::compute(net).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dc, bench_ptdf, bench_ac, bench_n_minus_1, bench_lodf);
+criterion_main!(benches);

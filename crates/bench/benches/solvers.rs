@@ -1,0 +1,122 @@
+//! Microbenchmarks for the optimization substrate: LP simplex, QP
+//! (active-set and interior-point), MILP branch-and-bound, and MPEC
+//! complementarity branching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ed_optim::lp::{LpProblem, Row};
+use ed_optim::milp::MilpProblem;
+use ed_optim::mpec::MpecProblem;
+use ed_optim::qp::{QpMethod, QpOptions, QpProblem};
+use std::hint::black_box;
+
+/// A dense-ish random LP with `n` variables and `n` rows (seeded LCG).
+fn random_lp(n: usize, seed: u64) -> LpProblem {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let mut lp = LpProblem::minimize();
+    let vars: Vec<_> = (0..n).map(|_| lp.add_var(0.0, 10.0, next().abs() + 0.1)).collect();
+    for _ in 0..n {
+        let mut row = Row::ge(next().abs() * 2.0);
+        for &v in vars.iter().take(8) {
+            row = row.coef(v, next().abs() + 0.05);
+        }
+        lp.add_row(row);
+    }
+    lp
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_simplex");
+    g.sample_size(20);
+    for n in [20usize, 60, 120, 240] {
+        let lp = random_lp(n, 0xBEEF ^ n as u64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
+            b.iter(|| black_box(lp.solve().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// Economic-dispatch-shaped QP with `n` generators.
+fn dispatch_qp(n: usize) -> QpProblem {
+    let mut qp = QpProblem::new(n);
+    let diag: Vec<f64> = (0..n).map(|i| 0.004 + 0.0002 * (i % 10) as f64).collect();
+    let lin: Vec<f64> = (0..n).map(|i| 10.0 + (i % 7) as f64).collect();
+    qp.set_quadratic_diag(&diag);
+    qp.set_linear(&lin);
+    qp.add_eq(&vec![1.0; n], 80.0 * n as f64);
+    for j in 0..n {
+        qp.add_bounds(j, 0.0, 120.0);
+    }
+    qp
+}
+
+fn bench_qp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qp_dispatch");
+    g.sample_size(20);
+    for n in [10usize, 30, 60] {
+        let qp = dispatch_qp(n);
+        let active = QpOptions { method: QpMethod::ActiveSet, ..Default::default() };
+        let ipm = QpOptions { method: QpMethod::InteriorPoint, ..Default::default() };
+        g.bench_with_input(BenchmarkId::new("active_set", n), &qp, |b, qp| {
+            b.iter(|| black_box(qp.solve_with(&active).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("interior_point", n), &qp, |b, qp| {
+            b.iter(|| black_box(qp.solve_with(&ipm).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn knapsack(n: usize) -> MilpProblem {
+    let mut lp = LpProblem::maximize();
+    let mut vars = vec![];
+    for i in 0..n {
+        vars.push(lp.add_var(0.0, 1.0, 3.0 + ((i * 7) % 11) as f64));
+    }
+    let row = vars
+        .iter()
+        .enumerate()
+        .fold(Row::le(1.25 * n as f64), |r, (i, &v)| {
+            r.coef(v, 2.0 + ((i * 5) % 7) as f64)
+        });
+    lp.add_row(row);
+    MilpProblem::new(lp, vars)
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("milp_knapsack");
+    g.sample_size(10);
+    for n in [10usize, 16, 22] {
+        let m = knapsack(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(m.solve().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn chain_mpec(n: usize) -> MpecProblem {
+    let mut lp = LpProblem::maximize();
+    let vars: Vec<_> = (0..n).map(|_| lp.add_var(0.0, 1.0, 1.0)).collect();
+    let pairs = vars.windows(2).map(|w| (w[0], w[1])).collect();
+    MpecProblem::new(lp, pairs)
+}
+
+fn bench_mpec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpec_chain");
+    g.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let m = chain_mpec(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(m.solve().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_qp, bench_milp, bench_mpec);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Internal profiling/debugging helper for the 118-bus-class system (not a
+//! paper artifact): times both DC-OPF formulations and hunts for dispatch
+//! instances that stress the QP active-set solver.
+
+use ed_bench::{congested_dlr_lines, dlr_bounds_for};
+use ed_core::dispatch::{DcOpf, Formulation};
+use std::time::Instant;
+
+fn main() {
+    let net = ed_cases::ieee118_like();
+    for (name, f) in [("angle", Formulation::Angle), ("ptdf", Formulation::Ptdf)] {
+        let t = Instant::now();
+        let d = DcOpf::new(&net).formulation(f).solve();
+        match d {
+            Ok(d) => println!("{name}: cost {:.0} in {:?}", d.cost, t.elapsed()),
+            Err(e) => println!("{name}: error {e} in {:?}", t.elapsed()),
+        }
+    }
+
+    // Stress: every corner of the fig5 DLR box at several demand levels.
+    let dlr = congested_dlr_lines(&net, 4);
+    let (lo, hi) = dlr_bounds_for(&net, &dlr);
+    let base_demand = net.demand_vector_mw();
+    let mut failures = 0usize;
+    for scale_pct in [75, 85, 95, 100, 105, 110] {
+        let demand: Vec<f64> = base_demand.iter().map(|d| d * scale_pct as f64 / 100.0).collect();
+        for mask in 0..(1usize << dlr.len()) {
+            let mut ratings = net.static_ratings_mva();
+            for (k, l) in dlr.iter().enumerate() {
+                ratings[l.0] = if mask >> k & 1 == 1 { hi[k] } else { lo[k] };
+            }
+            let t = Instant::now();
+            let r = DcOpf::new(&net).demand(&demand).ratings(&ratings).solve();
+            let dt = t.elapsed();
+            match r {
+                Ok(_) => {
+                    if dt.as_millis() > 200 {
+                        println!("slow: scale {scale_pct}% mask {mask:04b} took {dt:?}");
+                    }
+                }
+                Err(ed_core::CoreError::DispatchInfeasible) => {}
+                Err(e) => {
+                    failures += 1;
+                    println!("FAIL scale {scale_pct}% mask {mask:04b}: {e} ({dt:?})");
+                }
+            }
+        }
+    }
+    println!("corner stress done, {failures} hard failures");
+}

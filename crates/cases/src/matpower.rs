@@ -1,0 +1,371 @@
+//! Parser and writer for a practical subset of the MATPOWER case format.
+//!
+//! Supports MATPOWER version-2 `.m` case files containing `mpc.baseMVA`,
+//! `mpc.bus`, `mpc.gen`, `mpc.branch`, and (optionally) `mpc.gencost`
+//! blocks with polynomial costs of degree ≤ 2. This is sufficient to load
+//! the standard IEEE test cases (9, 14, 30, 57, 118, ...) into a
+//! [`Network`]; anything the data model does not carry (areas, zones, taps,
+//! angle limits) is ignored with best-effort fidelity.
+//!
+//! # Example
+//!
+//! ```
+//! let text = ed_cases::matpower::write(&ed_cases::three_bus());
+//! let back = ed_cases::matpower::parse(&text).unwrap();
+//! assert_eq!(back.num_buses(), 3);
+//! ```
+
+use ed_powerflow::{BusKind, CostCurve, Network, NetworkBuilder, PowerflowError};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses a MATPOWER case file into a [`Network`].
+///
+/// Out-of-service branches and generators (status 0) are skipped. If no
+/// `mpc.gencost` block is present, all generators get a default linear cost
+/// of 10 $/MWh.
+///
+/// # Errors
+///
+/// Returns [`PowerflowError::InvalidNetwork`] on malformed input or if the
+/// resulting network fails validation (e.g. no slack bus, disconnected).
+pub fn parse(text: &str) -> Result<Network, PowerflowError> {
+    let invalid =
+        |what: String| PowerflowError::InvalidNetwork { what: format!("matpower: {what}") };
+
+    let base_mva = scalar_field(text, "baseMVA")
+        .ok_or_else(|| invalid("missing mpc.baseMVA".to_string()))?;
+    let bus_rows = matrix_field(text, "bus").ok_or_else(|| invalid("missing mpc.bus".into()))?;
+    let gen_rows = matrix_field(text, "gen").ok_or_else(|| invalid("missing mpc.gen".into()))?;
+    let branch_rows =
+        matrix_field(text, "branch").ok_or_else(|| invalid("missing mpc.branch".into()))?;
+    let gencost_rows = matrix_field(text, "gencost");
+
+    let mut builder = NetworkBuilder::new(base_mva);
+    let mut id_map = HashMap::new();
+    for row in &bus_rows {
+        if row.len() < 4 {
+            return Err(invalid(format!("bus row too short: {row:?}")));
+        }
+        let bus_i = row[0] as i64;
+        let kind = match row[1] as i64 {
+            3 => BusKind::Slack,
+            2 => BusKind::Pv,
+            1 | 4 => BusKind::Pq,
+            other => return Err(invalid(format!("unknown bus type {other}"))),
+        };
+        let id = builder.add_bus(&format!("bus-{bus_i}"), kind, row[2]);
+        builder.set_bus_demand_mvar(id, row[3]);
+        if row.len() > 7 && row[7] > 0.0 {
+            builder.set_voltage_setpoint(id, row[7]);
+        }
+        id_map.insert(bus_i, id);
+    }
+    for (i, row) in branch_rows.iter().enumerate() {
+        if row.len() < 6 {
+            return Err(invalid(format!("branch row {i} too short")));
+        }
+        if row.len() > 10 && row[10] == 0.0 {
+            continue; // out of service
+        }
+        let from = *id_map
+            .get(&(row[0] as i64))
+            .ok_or_else(|| invalid(format!("branch {i} references unknown bus {}", row[0])))?;
+        let to = *id_map
+            .get(&(row[1] as i64))
+            .ok_or_else(|| invalid(format!("branch {i} references unknown bus {}", row[1])))?;
+        // RATE_A of 0 means "unlimited" in MATPOWER; substitute a large cap.
+        let rating = if row[5] > 0.0 { row[5] } else { 9999.0 };
+        let l = builder.add_line(from, to, row[2], row[3], rating);
+        builder.set_line_charging(l, row[4]);
+    }
+    let mut gen_ids = Vec::new();
+    for (i, row) in gen_rows.iter().enumerate() {
+        if row.len() < 10 {
+            return Err(invalid(format!("gen row {i} too short")));
+        }
+        if row.len() > 7 && row[7] == 0.0 {
+            continue; // out of service
+        }
+        let bus = *id_map
+            .get(&(row[0] as i64))
+            .ok_or_else(|| invalid(format!("gen {i} references unknown bus {}", row[0])))?;
+        let g = builder.add_gen(bus, row[9], row[8], CostCurve::linear(10.0));
+        builder.set_gen_q_limits(g, row[4], row[3]);
+        gen_ids.push((g, i));
+    }
+    let network_before_costs = builder.build()?;
+    // Apply gencost rows if present (same in-service filtering order).
+    let mut net = network_before_costs;
+    if let Some(cost_rows) = gencost_rows {
+        let mut gens = net.gens().to_vec();
+        for (k, &(g, src_row)) in gen_ids.iter().enumerate() {
+            let _ = k;
+            let Some(row) = cost_rows.get(src_row) else { continue };
+            if row.len() < 4 {
+                return Err(invalid(format!("gencost row {src_row} too short")));
+            }
+            if row[0] as i64 != 2 {
+                return Err(invalid("only polynomial (model 2) costs supported".into()));
+            }
+            let ncost = row[3] as usize;
+            let coeffs = &row[4..];
+            if coeffs.len() < ncost {
+                return Err(invalid(format!("gencost row {src_row} missing coefficients")));
+            }
+            let cost = match ncost {
+                1 => CostCurve::quadratic(0.0, 0.0, coeffs[0]),
+                2 => CostCurve::quadratic(0.0, coeffs[0], coeffs[1]),
+                3 => CostCurve::quadratic(coeffs[0], coeffs[1], coeffs[2]),
+                n => return Err(invalid(format!("polynomial degree {} unsupported", n - 1))),
+            };
+            gens[g.0].cost = cost;
+        }
+        // Rebuild with costs (Network fields are crate-private to
+        // ed-powerflow, so round-trip through the builder).
+        let mut b2 = NetworkBuilder::new(net.base_mva());
+        let mut ids = Vec::new();
+        for bus in net.buses() {
+            let id = b2.add_bus(&bus.name, bus.kind, bus.demand_mw);
+            b2.set_bus_demand_mvar(id, bus.demand_mvar);
+            b2.set_voltage_setpoint(id, bus.voltage_setpoint_pu);
+            ids.push(id);
+        }
+        for line in net.lines() {
+            let l = b2.add_line(
+                ids[line.from.0],
+                ids[line.to.0],
+                line.resistance_pu,
+                line.reactance_pu,
+                line.rating_mva,
+            );
+            b2.set_line_charging(l, line.charging_pu);
+        }
+        for g in &gens {
+            let gid = b2.add_gen(ids[g.bus.0], g.pmin_mw, g.pmax_mw, g.cost);
+            b2.set_gen_q_limits(gid, g.qmin_mvar, g.qmax_mvar);
+        }
+        net = b2.build()?;
+    }
+    Ok(net)
+}
+
+/// Serializes a [`Network`] to MATPOWER case text.
+pub fn write(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "function mpc = case{}", net.num_buses());
+    let _ = writeln!(out, "mpc.version = '2';");
+    let _ = writeln!(out, "mpc.baseMVA = {};", net.base_mva());
+    let _ = writeln!(out, "mpc.bus = [");
+    for (i, bus) in net.buses().iter().enumerate() {
+        let t = match bus.kind {
+            BusKind::Slack => 3,
+            BusKind::Pv => 2,
+            BusKind::Pq => 1,
+        };
+        let _ = writeln!(
+            out,
+            "\t{}\t{}\t{}\t{}\t0\t0\t1\t{}\t0\t230\t1\t1.1\t0.9;",
+            i + 1,
+            t,
+            bus.demand_mw,
+            bus.demand_mvar,
+            bus.voltage_setpoint_pu
+        );
+    }
+    let _ = writeln!(out, "];");
+    let _ = writeln!(out, "mpc.gen = [");
+    for g in net.gens() {
+        let _ = writeln!(
+            out,
+            "\t{}\t0\t0\t{}\t{}\t1\t{}\t1\t{}\t{};",
+            g.bus.0 + 1,
+            g.qmax_mvar,
+            g.qmin_mvar,
+            net.base_mva(),
+            g.pmax_mw,
+            g.pmin_mw
+        );
+    }
+    let _ = writeln!(out, "];");
+    let _ = writeln!(out, "mpc.branch = [");
+    for l in net.lines() {
+        let _ = writeln!(
+            out,
+            "\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t0\t0\t1\t-360\t360;",
+            l.from.0 + 1,
+            l.to.0 + 1,
+            l.resistance_pu,
+            l.reactance_pu,
+            l.charging_pu,
+            l.rating_mva,
+            l.rating_mva,
+            l.rating_mva
+        );
+    }
+    let _ = writeln!(out, "];");
+    let _ = writeln!(out, "mpc.gencost = [");
+    for g in net.gens() {
+        let _ = writeln!(out, "\t2\t0\t0\t3\t{}\t{}\t{};", g.cost.a, g.cost.b, g.cost.c);
+    }
+    let _ = writeln!(out, "];");
+    out
+}
+
+/// Extracts `mpc.<name> = <number>;`.
+fn scalar_field(text: &str, name: &str) -> Option<f64> {
+    let needle = format!("mpc.{name}");
+    let start = text.find(&needle)?;
+    let rest = &text[start + needle.len()..];
+    let eq = rest.find('=')?;
+    let after = &rest[eq + 1..];
+    let end = after.find(';')?;
+    after[..end].trim().parse().ok()
+}
+
+/// Extracts the rows of `mpc.<name> = [ ... ];`.
+fn matrix_field(text: &str, name: &str) -> Option<Vec<Vec<f64>>> {
+    let needle = format!("mpc.{name}");
+    let mut search_from = 0usize;
+    // Find the *exact* field (avoid "mpc.gen" matching "mpc.gencost").
+    let start = loop {
+        let idx = text[search_from..].find(&needle)? + search_from;
+        let after = text[idx + needle.len()..].trim_start();
+        if after.starts_with('=') {
+            break idx;
+        }
+        search_from = idx + needle.len();
+    };
+    let open = text[start..].find('[')? + start;
+    let close = text[open..].find(']')? + open;
+    let body = &text[open + 1..close];
+    // Strip MATLAB comments line by line (a `%` comments to end of line only),
+    // then split the remaining text into `;`-terminated rows.
+    let decommented: String = body
+        .lines()
+        .map(|l| l.split('%').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut rows = Vec::new();
+    for raw in decommented.split(';') {
+        let vals: Vec<f64> = raw
+            .split_whitespace()
+            .flat_map(|tok| tok.split(','))
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .ok()?;
+        if !vals.is_empty() {
+            rows.push(vals);
+        }
+    }
+    Some(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{six_bus, three_bus};
+
+    #[test]
+    fn roundtrip_three_bus() {
+        let net = three_bus();
+        let text = write(&net);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_buses(), 3);
+        assert_eq!(back.num_lines(), 3);
+        assert_eq!(back.num_gens(), 2);
+        assert_eq!(back.total_demand_mw(), 300.0);
+        // Costs survive the round trip.
+        assert_eq!(back.gens()[0].cost.b, net.gens()[0].cost.b);
+        assert_eq!(back.gens()[1].cost.a, net.gens()[1].cost.a);
+        // Line parameters survive.
+        for (a, b) in back.lines().iter().zip(net.lines()) {
+            assert_eq!(a.reactance_pu, b.reactance_pu);
+            assert_eq!(a.rating_mva, b.rating_mva);
+        }
+    }
+
+    #[test]
+    fn roundtrip_six_bus() {
+        let net = six_bus();
+        let back = parse(&write(&net)).unwrap();
+        assert_eq!(back.num_buses(), net.num_buses());
+        assert_eq!(back.num_lines(), net.num_lines());
+        assert_eq!(back.num_gens(), net.num_gens());
+        for (a, b) in back.gens().iter().zip(net.gens()) {
+            assert_eq!(a.pmax_mw, b.pmax_mw);
+            assert_eq!(a.cost, b.cost);
+        }
+    }
+
+    #[test]
+    fn parses_handwritten_case_with_comments() {
+        let text = r#"
+function mpc = case2
+mpc.version = '2';
+mpc.baseMVA = 100;
+mpc.bus = [
+    1 3 0   0 0 0 1 1.0 0 230 1 1.1 0.9; % slack
+    2 1 50 16 0 0 1 1.0 0 230 1 1.1 0.9
+];
+mpc.gen = [
+    1 0 0 30 -30 1.0 100 1 100 0
+];
+mpc.branch = [
+    1 2 0.01 0.1 0.02 75 75 75 0 0 1 -360 360
+];
+mpc.gencost = [
+    2 0 0 3 0.02 15 100
+];
+"#;
+        let net = parse(text).unwrap();
+        assert_eq!(net.num_buses(), 2);
+        assert_eq!(net.bus(ed_powerflow::BusId(1)).demand_mw, 50.0);
+        assert_eq!(net.gens()[0].cost, CostCurve::quadratic(0.02, 15.0, 100.0));
+        assert_eq!(net.lines()[0].rating_mva, 75.0);
+    }
+
+    #[test]
+    fn skips_out_of_service_elements() {
+        let text = r#"
+mpc.baseMVA = 100;
+mpc.bus = [
+    1 3 0  0 0 0 1 1.0 0 230 1 1.1 0.9;
+    2 1 50 16 0 0 1 1.0 0 230 1 1.1 0.9
+];
+mpc.gen = [
+    1 0 0 30 -30 1.0 100 1 100 0;
+    2 0 0 30 -30 1.0 100 0 100 0
+];
+mpc.branch = [
+    1 2 0.01 0.1 0.02 75 75 75 0 0 1 -360 360;
+    1 2 0.01 0.1 0.02 75 75 75 0 0 0 -360 360
+];
+"#;
+        let net = parse(text).unwrap();
+        assert_eq!(net.num_gens(), 1);
+        assert_eq!(net.num_lines(), 1);
+    }
+
+    #[test]
+    fn zero_rating_becomes_unlimited() {
+        let text = r#"
+mpc.baseMVA = 100;
+mpc.bus = [
+    1 3 0  0 0 0 1 1.0 0 230 1 1.1 0.9;
+    2 1 50 16 0 0 1 1.0 0 230 1 1.1 0.9
+];
+mpc.gen = [ 1 0 0 30 -30 1.0 100 1 100 0 ];
+mpc.branch = [ 1 2 0.01 0.1 0.0 0 0 0 0 0 1 -360 360 ];
+"#;
+        let net = parse(text).unwrap();
+        assert_eq!(net.lines()[0].rating_mva, 9999.0);
+    }
+
+    #[test]
+    fn missing_sections_reported() {
+        assert!(parse("mpc.baseMVA = 100;").is_err());
+        assert!(parse("nothing here").is_err());
+    }
+}

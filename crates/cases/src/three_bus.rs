@@ -1,0 +1,140 @@
+//! The 3-bus benchmark of Section IV-A of the paper (Figure 3).
+//!
+//! Two generators `G1` (bus 1) and `G2` (bus 2) serve a constant-power load
+//! of 300 MW at bus 3. All three lines are identical with impedance
+//! `z = 0.002 + j0.05` pu, so the DC susceptance of each line is
+//! `β = 1/0.05 = 20` pu. Generation bounds are `0 ≤ p ≤ 300` MW and the
+//! paper's baseline cost is linear with `b1 = 2 b2`.
+//!
+//! Line ids: `0 = {1,2}`, `1 = {1,3}`, `2 = {2,3}`. The paper's attack
+//! examples manipulate the DLRs of lines `{1,3}` and `{2,3}` — ids 1 and 2.
+
+use ed_powerflow::{BusKind, CostCurve, LineId, Network, NetworkBuilder};
+
+/// Parameters of the 3-bus case.
+#[derive(Debug, Clone)]
+pub struct ThreeBusConfig {
+    /// Load at bus 3 in MW (paper: 300).
+    pub demand_mw: f64,
+    /// Reactive load at bus 3 in MVAr (used by the AC validation runs).
+    pub demand_mvar: f64,
+    /// Static line rating in MVA applied to all three lines (paper: 160).
+    pub rating_mva: f64,
+    /// Cost of generator G2 per MWh; G1 costs twice as much (paper: b1=2b2).
+    pub base_cost: f64,
+    /// Use quadratic costs `a p² + b p` instead of the paper's linear ones.
+    pub quadratic: bool,
+}
+
+impl Default for ThreeBusConfig {
+    fn default() -> Self {
+        ThreeBusConfig {
+            demand_mw: 300.0,
+            demand_mvar: 100.0,
+            rating_mva: 160.0,
+            base_cost: 10.0,
+            quadratic: false,
+        }
+    }
+}
+
+/// The paper's 3-bus system with default parameters.
+///
+/// # Example
+///
+/// ```
+/// let net = ed_cases::three_bus();
+/// assert_eq!(net.num_buses(), 3);
+/// assert_eq!(net.num_lines(), 3);
+/// assert_eq!(net.total_demand_mw(), 300.0);
+/// ```
+pub fn three_bus() -> Network {
+    three_bus_with(&ThreeBusConfig::default())
+}
+
+/// The paper's 3-bus system with explicit parameters.
+pub fn three_bus_with(config: &ThreeBusConfig) -> Network {
+    let mut b = NetworkBuilder::new(100.0);
+    let b1 = b.add_bus("B1", BusKind::Slack, 0.0);
+    let b2 = b.add_bus("B2", BusKind::Pv, 0.0);
+    let b3 = b.add_bus("B3", BusKind::Pq, config.demand_mw);
+    b.set_bus_demand_mvar(b3, config.demand_mvar);
+    b.set_bus_demand_mvar(b1, 0.0);
+    b.set_bus_demand_mvar(b2, 0.0);
+    b.add_line(b1, b2, 0.002, 0.05, config.rating_mva);
+    b.add_line(b1, b3, 0.002, 0.05, config.rating_mva);
+    b.add_line(b2, b3, 0.002, 0.05, config.rating_mva);
+    let (c1, c2) = if config.quadratic {
+        (
+            CostCurve::quadratic(0.01, 2.0 * config.base_cost, 0.0),
+            CostCurve::quadratic(0.005, config.base_cost, 0.0),
+        )
+    } else {
+        (
+            CostCurve::linear(2.0 * config.base_cost),
+            CostCurve::linear(config.base_cost),
+        )
+    };
+    b.add_gen(b1, 0.0, 300.0, c1);
+    b.add_gen(b2, 0.0, 300.0, c2);
+    b.build().expect("three-bus case is statically valid")
+}
+
+/// The two DLR-equipped lines of the paper's examples: `{1,3}` and `{2,3}`.
+pub fn dlr_lines() -> Vec<LineId> {
+    vec![LineId(1), LineId(2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ed_powerflow::dc;
+
+    #[test]
+    fn matches_paper_parameters() {
+        let net = three_bus();
+        for line in net.lines() {
+            assert_eq!(line.reactance_pu, 0.05);
+            assert_eq!(line.resistance_pu, 0.002);
+            assert_eq!(line.rating_mva, 160.0);
+            assert!((line.susceptance_pu() - 20.0).abs() < 1e-12);
+        }
+        let g = net.gens();
+        assert_eq!(g[0].cost.b, 2.0 * g[1].cost.b);
+        assert_eq!(g[0].pmax_mw, 300.0);
+    }
+
+    #[test]
+    fn paper_no_attack_flows() {
+        // Section IV-A closed form: dispatch (120, 180) gives flows
+        // (-20, 140, 160).
+        let net = three_bus();
+        let f = dc::solve(&net, &[120.0, 180.0, -300.0]).unwrap();
+        assert!((f.flow_mw[0] + 20.0).abs() < 1e-9);
+        assert!((f.flow_mw[1] - 140.0).abs() < 1e-9);
+        assert!((f.flow_mw[2] - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn configurable_demand() {
+        let net = three_bus_with(&ThreeBusConfig { demand_mw: 250.0, ..Default::default() });
+        assert_eq!(net.total_demand_mw(), 250.0);
+    }
+
+    #[test]
+    fn quadratic_variant() {
+        let net = three_bus_with(&ThreeBusConfig { quadratic: true, ..Default::default() });
+        assert!(net.gens()[0].cost.is_strictly_convex());
+        assert!(net.gens()[1].cost.is_strictly_convex());
+    }
+
+    #[test]
+    fn dlr_lines_are_the_load_feeders() {
+        let net = three_bus();
+        for id in dlr_lines() {
+            let line = net.line(id);
+            // Both DLR lines terminate at the load bus (bus index 2).
+            assert!(line.from.0 == 2 || line.to.0 == 2);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Algorithm 1 of the paper: optimal attack via `2·|E_D|` subproblems.
+//!
+//! For every DLR line and both flow directions, set the objective to the
+//! (scaled) flow on that line, solve the KKT single-level program, and keep
+//! the best violation. The corner/greedy heuristic seeds each subproblem
+//! with a valid incumbent so the branch-and-bound can prune from the start.
+
+use crate::attack::bilevel::{solve_subproblem, SubproblemSolution};
+use crate::attack::heuristic::{corner_heuristic, greedy_heuristic};
+use crate::attack::kkt::KktModel;
+use crate::attack::{AttackConfig, ViolationMetric};
+use crate::CoreError;
+use ed_powerflow::{LineId, Network};
+
+/// Result of one (line, direction) subproblem in Algorithm 1's loop.
+#[derive(Debug, Clone)]
+pub struct SubproblemOutcome {
+    /// Target DLR line.
+    pub line: LineId,
+    /// Flow direction (+1 forward, −1 reverse).
+    pub direction: i8,
+    /// Violation achieved in the configured metric (percent or MW).
+    pub violation: f64,
+    /// Whether this value was proved optimal by the solver (`false` when it
+    /// came from the heuristic only).
+    pub proved_optimal: bool,
+    /// Branch-and-bound nodes spent.
+    pub nodes: usize,
+}
+
+/// The optimal attack found by Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct AttackResult {
+    /// Best capacity violation `U*_cap` in percent of the true rating
+    /// (Eq. 14a), clamped at zero.
+    pub ucap_pct: f64,
+    /// The same violation in MW (`|f| − u^d` on the target line).
+    pub overload_mw: f64,
+    /// The optimal manipulated ratings `u^a*` (ordered like the config's
+    /// DLR lines).
+    pub ua_mw: Vec<f64>,
+    /// The line and direction achieving `U*_cap`, if any violation is
+    /// positive.
+    pub target: Option<(LineId, i8)>,
+    /// The defender's dispatch under `u^a*` as seen by the bilevel model.
+    pub dispatch_mw: Vec<f64>,
+    /// Per-subproblem detail (2·|E_D| entries).
+    pub subproblems: Vec<SubproblemOutcome>,
+    /// Total branch-and-bound nodes across all subproblems.
+    pub total_nodes: usize,
+}
+
+/// Runs Algorithm 1 with the options embedded in the config.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidInput`] for inconsistent configs.
+/// - [`CoreError::DispatchInfeasible`] if *no* permissible manipulation
+///   admits a feasible dispatch (the attacker has no stealthy move at all).
+/// - Propagates unexpected solver failures.
+pub fn optimal_attack(net: &Network, config: &AttackConfig) -> Result<AttackResult, CoreError> {
+    optimal_attack_with(net, config, true)
+}
+
+/// Runs Algorithm 1, optionally without the exact bilevel solves
+/// (`exact = false` returns the heuristic's answer in the same shape —
+/// used by the large-network sweeps and the `ablation_incumbent` bench).
+///
+/// # Errors
+///
+/// Same as [`optimal_attack`].
+pub fn optimal_attack_with(
+    net: &Network,
+    config: &AttackConfig,
+    exact: bool,
+) -> Result<AttackResult, CoreError> {
+    config.validate(net)?;
+    let heuristic = if config.dlr_lines.len() <= 12 {
+        corner_heuristic(net, config)?
+    } else {
+        greedy_heuristic(net, config)?
+    };
+    if heuristic.evaluated == 0 {
+        return Err(CoreError::DispatchInfeasible);
+    }
+
+    let mut best: Option<(f64, f64, Vec<f64>, Vec<f64>, (LineId, i8))> = None;
+    // Seed with the heuristic's best candidate.
+    for (k, &line) in config.dlr_lines.iter().enumerate() {
+        for (d, dir) in [(0usize, 1i8), (1usize, -1i8)] {
+            let f = heuristic.best_flow[k][d];
+            if !f.is_finite() || heuristic.best_ua[k][d].is_empty() {
+                continue;
+            }
+            let violation = metric_value(config.metric, f, config.u_d[k]);
+            if best.as_ref().map_or(true, |(v, ..)| violation > *v) {
+                best = Some((
+                    violation,
+                    f - config.u_d[k],
+                    heuristic.best_ua[k][d].clone(),
+                    Vec::new(),
+                    (line, dir),
+                ));
+            }
+        }
+    }
+
+    let mut subproblems = Vec::new();
+    let mut total_nodes = 0usize;
+
+    if exact {
+        let mut model = KktModel::build(net, config)?;
+        for (k, &line) in config.dlr_lines.iter().enumerate() {
+            for dir in [1.0f64, -1.0] {
+                let scale = match config.metric {
+                    ViolationMetric::PercentOfTrue => 100.0 / config.u_d[k],
+                    ViolationMetric::AbsoluteMw => 1.0,
+                };
+                let offset = match config.metric {
+                    ViolationMetric::PercentOfTrue => -100.0,
+                    ViolationMetric::AbsoluteMw => -config.u_d[k],
+                };
+                model.set_flow_objective(line, dir, scale);
+                let hint = if config.options.use_heuristic {
+                    // best_flow[k][d] already stores max(dir·f) over the
+                    // heuristic candidates, i.e. the solver objective
+                    // value (before scaling) that candidate achieves.
+                    let f = heuristic.best_flow[k][if dir > 0.0 { 0 } else { 1 }];
+                    f.is_finite().then(|| scale * f)
+                } else {
+                    None
+                };
+                let solved = solve_subproblem(&model, line, &config.options, hint)?;
+                match solved {
+                    Some(SubproblemSolution {
+                        objective,
+                        ua_mw,
+                        flow_mw,
+                        dispatch_mw,
+                        proved_optimal,
+                        nodes,
+                    }) => {
+                        let violation = objective + offset;
+                        total_nodes += nodes;
+                        subproblems.push(SubproblemOutcome {
+                            line,
+                            direction: dir as i8,
+                            violation,
+                            proved_optimal,
+                            nodes,
+                        });
+                        if best.as_ref().map_or(true, |(v, ..)| violation > *v) {
+                            best = Some((
+                                violation,
+                                dir * flow_mw - config.u_d[k],
+                                ua_mw,
+                                dispatch_mw,
+                                (line, dir as i8),
+                            ));
+                        }
+                    }
+                    None => {
+                        // Nothing better than the heuristic incumbent for this
+                        // subproblem; record the heuristic value.
+                        let f = heuristic.best_flow[k][if dir > 0.0 { 0 } else { 1 }];
+                        subproblems.push(SubproblemOutcome {
+                            line,
+                            direction: dir as i8,
+                            violation: if f.is_finite() {
+                                metric_value(config.metric, f, config.u_d[k])
+                            } else {
+                                f64::NEG_INFINITY
+                            },
+                            proved_optimal: true,
+                            nodes: 0,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let (violation, overload, ua, dispatch, target) =
+        best.ok_or(CoreError::DispatchInfeasible)?;
+    let ucap_pct = match config.metric {
+        ViolationMetric::PercentOfTrue => violation.max(0.0),
+        ViolationMetric::AbsoluteMw => {
+            // Convert for reporting: the MW metric's target line determines
+            // the percent figure.
+            let k = config
+                .dlr_lines
+                .iter()
+                .position(|&l| l == target.0)
+                .expect("target is a DLR line");
+            (100.0 * (overload + config.u_d[k]) / config.u_d[k] - 100.0).max(0.0)
+        }
+    };
+    // Snap solver-noise-level positives to a clean zero.
+    let ucap_pct = if ucap_pct < 1e-9 { 0.0 } else { ucap_pct };
+    Ok(AttackResult {
+        ucap_pct,
+        overload_mw: overload,
+        ua_mw: ua,
+        target: (overload > 1e-6).then_some(target),
+        dispatch_mw: dispatch,
+        subproblems,
+        total_nodes,
+    })
+}
+
+fn metric_value(metric: ViolationMetric, flow: f64, ud: f64) -> f64 {
+    match metric {
+        ViolationMetric::PercentOfTrue => 100.0 * (flow / ud - 1.0),
+        ViolationMetric::AbsoluteMw => flow - ud,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{AttackConfig, BilevelOptions, BilevelSolver};
+
+    fn paper_config(ud13: f64, ud23: f64) -> AttackConfig {
+        AttackConfig::new(ed_cases::three_bus::dlr_lines())
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![ud13, ud23])
+    }
+
+    /// Table I of the paper, all four rows: the optimal strategy (A or B),
+    /// the manipulated ratings, the resulting flows, and the MW overload.
+    #[test]
+    fn table1_rows_exact() {
+        let net = ed_cases::three_bus();
+        let rows: [(f64, f64, [f64; 2], f64); 4] = [
+            (130.0, 120.0, [100.0, 200.0], 80.0),
+            (130.0, 150.0, [200.0, 100.0], 70.0),
+            (160.0, 150.0, [100.0, 200.0], 50.0),
+            (160.0, 180.0, [200.0, 100.0], 40.0),
+        ];
+        for (ud13, ud23, expected_ua, expected_overload) in rows {
+            let config = paper_config(ud13, ud23);
+            let r = optimal_attack(&net, &config).unwrap();
+            assert!(
+                (r.overload_mw - expected_overload).abs() < 1e-4,
+                "ud=({ud13},{ud23}): overload {} != {expected_overload}",
+                r.overload_mw
+            );
+            assert_eq!(r.ua_mw, expected_ua.to_vec(), "ud=({ud13},{ud23})");
+        }
+    }
+
+    /// Big-M MILP and MPEC agree on the optimum.
+    #[test]
+    fn bigm_and_mpec_agree() {
+        let net = ed_cases::three_bus();
+        let mut config = paper_config(130.0, 120.0);
+        config.options = BilevelOptions {
+            solver: BilevelSolver::BigM { big_m: 1e5 },
+            node_limit: 50_000,
+            use_heuristic: true,
+        };
+        let bigm = optimal_attack(&net, &config).unwrap();
+        config.options.solver = BilevelSolver::Mpec;
+        let mpec = optimal_attack(&net, &config).unwrap();
+        assert!(
+            (bigm.ucap_pct - mpec.ucap_pct).abs() < 1e-4,
+            "bigM {} vs MPEC {}",
+            bigm.ucap_pct,
+            mpec.ucap_pct
+        );
+    }
+
+    /// The exact solver can never do worse than the heuristic.
+    #[test]
+    fn exact_at_least_heuristic() {
+        let net = ed_cases::three_bus();
+        let config = paper_config(140.0, 135.0);
+        let exact = optimal_attack_with(&net, &config, true).unwrap();
+        let heur = optimal_attack_with(&net, &config, false).unwrap();
+        assert!(exact.ucap_pct >= heur.ucap_pct - 1e-6);
+    }
+
+    /// Generous true ratings leave nothing to violate.
+    #[test]
+    fn no_violation_when_ud_generous() {
+        let net = ed_cases::three_bus();
+        let config = paper_config(200.0, 200.0);
+        let r = optimal_attack(&net, &config).unwrap();
+        assert_eq!(r.ucap_pct, 0.0);
+        assert!(r.target.is_none());
+    }
+
+    /// Quadratic costs follow the same machinery (118-node setting).
+    #[test]
+    fn quadratic_costs_supported() {
+        let net = ed_cases::three_bus_with(&ed_cases::ThreeBusConfig {
+            quadratic: true,
+            ..Default::default()
+        });
+        let config = paper_config(130.0, 120.0);
+        let r = optimal_attack(&net, &config).unwrap();
+        assert!(r.ucap_pct > 0.0);
+    }
+}

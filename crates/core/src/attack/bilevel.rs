@@ -1,0 +1,137 @@
+//! Subproblem solvers: big-M MILP (paper, Eq. 16–17) vs complementarity
+//! branching (MPEC).
+
+use crate::attack::kkt::KktModel;
+use crate::CoreError;
+use ed_optim::lp::{Row, VarId};
+use ed_optim::milp::{MilpOptions, MilpProblem};
+use ed_optim::mpec::{MpecOptions, MpecProblem};
+use ed_optim::OptimError;
+use ed_powerflow::LineId;
+
+/// Which reformulation of complementary slackness to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BilevelSolver {
+    /// The paper's approach: binary `μ_i` with `λ_i ≤ M μ_i` and
+    /// `s_i ≤ M (1 − μ_i)` (Eq. 16d), solved as a MILP. `big_m` is the
+    /// constant ("M is infinity, chosen as a significantly large number").
+    BigM {
+        /// The big-M constant in model units (MW / $-per-MW scale).
+        big_m: f64,
+    },
+    /// Branch directly on violated pairs `λ_i · s_i > 0`; no big-M enters
+    /// the model. Scales better and is the default for large networks.
+    Mpec,
+}
+
+impl Default for BilevelSolver {
+    fn default() -> Self {
+        BilevelSolver::Mpec
+    }
+}
+
+/// Budgets and solver selection for the bilevel subproblems.
+#[derive(Debug, Clone)]
+pub struct BilevelOptions {
+    /// Complementarity handling.
+    pub solver: BilevelSolver,
+    /// Branch-and-bound node budget per subproblem.
+    pub node_limit: usize,
+    /// Seed the search with the corner/greedy heuristic's value as an
+    /// incumbent bound (prunes aggressively; never cuts the optimum).
+    pub use_heuristic: bool,
+}
+
+impl Default for BilevelOptions {
+    fn default() -> Self {
+        BilevelOptions {
+            solver: BilevelSolver::Mpec,
+            node_limit: 20_000,
+            use_heuristic: true,
+        }
+    }
+}
+
+/// Solution of one (line, direction) subproblem.
+#[derive(Debug, Clone)]
+pub struct SubproblemSolution {
+    /// Optimal objective (in the scaled units passed to
+    /// [`KktModel::set_flow_objective`]).
+    pub objective: f64,
+    /// Manipulated ratings `u^a` (ordered like the config's DLR lines).
+    pub ua_mw: Vec<f64>,
+    /// The defender's flow on the target line at the optimum (MW, signed).
+    pub flow_mw: f64,
+    /// The defender's dispatch at the optimum (MW).
+    pub dispatch_mw: Vec<f64>,
+    /// `true` if the branch-and-bound tree was exhausted.
+    pub proved_optimal: bool,
+    /// Nodes explored.
+    pub nodes: usize,
+}
+
+/// Solves one subproblem on a prepared KKT model whose objective has been
+/// set via [`KktModel::set_flow_objective`].
+///
+/// `incumbent_hint`, when given, must be a *valid achievable* objective
+/// value (e.g. from the corner heuristic); the search then returns `None`
+/// if nothing strictly better exists.
+///
+/// # Errors
+///
+/// Propagates unexpected solver failures; an infeasible or fully pruned
+/// search returns `Ok(None)`.
+pub(crate) fn solve_subproblem(
+    model: &KktModel,
+    target: LineId,
+    options: &BilevelOptions,
+    incumbent_hint: Option<f64>,
+) -> Result<Option<SubproblemSolution>, CoreError> {
+    match options.solver {
+        BilevelSolver::Mpec => {
+            let mpec = MpecProblem::new(model.lp.clone(), model.pairs.clone());
+            let mut opts = MpecOptions::default();
+            opts.max_nodes = options.node_limit;
+            opts.incumbent_hint = incumbent_hint;
+            match mpec.solve_with(&opts) {
+                Ok(sol) => Ok(Some(SubproblemSolution {
+                    objective: sol.objective,
+                    ua_mw: model.ua_at(&sol.x),
+                    flow_mw: model.flow_at(&sol.x, target),
+                    dispatch_mw: model.dispatch_at(&sol.x),
+                    proved_optimal: sol.proved_optimal,
+                    nodes: sol.nodes,
+                })),
+                Err(OptimError::Infeasible) | Err(OptimError::NodeLimit { .. }) => Ok(None),
+                Err(e) => Err(e.into()),
+            }
+        }
+        BilevelSolver::BigM { big_m } => {
+            let mut lp = model.lp.clone();
+            let mut binaries: Vec<VarId> = Vec::with_capacity(model.pairs.len());
+            for &(lambda, slack) in &model.pairs {
+                let mu = lp.add_var(0.0, 1.0, 0.0);
+                // λ ≤ M μ  and  s ≤ M (1 − μ)   (Eq. 16d).
+                lp.add_row(Row::le(0.0).coef(lambda, 1.0).coef(mu, -big_m));
+                lp.add_row(Row::le(big_m).coef(slack, 1.0).coef(mu, big_m));
+                binaries.push(mu);
+            }
+            let milp = MilpProblem::new(lp, binaries);
+            let mut opts = MilpOptions::default();
+            opts.max_nodes = options.node_limit;
+            opts.incumbent_hint = incumbent_hint;
+            match milp.solve_with(&opts) {
+                Ok(sol) => Ok(Some(SubproblemSolution {
+                    objective: sol.objective,
+                    ua_mw: model.ua_at(&sol.x),
+                    flow_mw: model.flow_at(&sol.x, target),
+                    dispatch_mw: model.dispatch_at(&sol.x),
+                    proved_optimal: sol.proved_optimal,
+                    nodes: sol.nodes,
+                })),
+                Err(OptimError::Infeasible) | Err(OptimError::NodeLimit { .. }) => Ok(None),
+                Err(e) => Err(e.into()),
+            }
+        }
+    }
+}

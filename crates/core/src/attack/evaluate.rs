@@ -1,0 +1,296 @@
+//! Evaluation of a manipulation end-to-end: operator dispatch, DC flows,
+//! and AC validation — the machinery behind Figures 4b/4c and 5a/5b.
+
+use crate::attack::{optimal_attack_with, AttackConfig};
+use crate::dispatch::DcOpf;
+use crate::CoreError;
+use ed_dlr::Scenario;
+use ed_powerflow::{ac, Network};
+
+/// What actually happens on the grid when the operator implements the
+/// dispatch computed against manipulated ratings.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// The manipulation that was applied (per DLR line, MW).
+    pub ua_mw: Vec<f64>,
+    /// The operator's dispatch under the manipulated ratings (MW).
+    pub dispatch_mw: Vec<f64>,
+    /// DC flows of that dispatch (MW, per line).
+    pub dc_flows_mw: Vec<f64>,
+    /// Maximum percentage violation of the *true* DLR ratings under DC
+    /// flows — the bilevel model's prediction (clamped at zero).
+    pub dc_violation_pct: f64,
+    /// Generation cost of the dispatch under the DC model ($/h).
+    pub dc_cost: f64,
+    /// AC apparent flows (MVA, per line), when the AC validation converged.
+    pub ac_flows_mva: Option<Vec<f64>>,
+    /// Maximum percentage violation of the true DLR ratings under AC
+    /// apparent flows (Fig. 4b's observation that these exceed the DC
+    /// prediction).
+    pub ac_violation_pct: Option<f64>,
+    /// Actual generation cost when the slack covers AC losses ($/h).
+    pub ac_cost: Option<f64>,
+}
+
+/// Dispatches against `u^a` and measures violations against `u^d`.
+///
+/// The AC validation can fail to converge for extreme manipulations; that
+/// is reported as `None` fields rather than an error, mirroring how the
+/// paper's MATPOWER runs simply lack data points where AC OPF diverges.
+///
+/// # Errors
+///
+/// - [`CoreError::DispatchInfeasible`] if the operator's dispatch against
+///   the manipulated ratings is infeasible (alarm raised, attack failed).
+/// - Propagates other dispatch failures.
+pub fn evaluate_attack(
+    net: &Network,
+    config: &AttackConfig,
+    ua_mw: &[f64],
+) -> Result<AttackOutcome, CoreError> {
+    config.validate(net)?;
+    if ua_mw.len() != config.dlr_lines.len() {
+        return Err(CoreError::InvalidInput {
+            what: format!(
+                "ua has {} entries for {} DLR lines",
+                ua_mw.len(),
+                config.dlr_lines.len()
+            ),
+        });
+    }
+    let demand = config.effective_demand(net);
+    let seen_ratings = config.ratings_with(net, ua_mw);
+    let dispatch = DcOpf::new(net).demand(&demand).ratings(&seen_ratings).solve()?;
+
+    // Violations are measured against the *true* ratings on DLR lines.
+    let dc_violation_pct = config
+        .dlr_lines
+        .iter()
+        .zip(&config.u_d)
+        .map(|(l, &ud)| 100.0 * (dispatch.flows_mw[l.0].abs() / ud - 1.0))
+        .fold(0.0_f64, f64::max);
+
+    // AC validation with the overridden demand in place.
+    let ac_result = {
+        let scaled = scale_network_demand(net, &demand);
+        ac::solve(&scaled, &dispatch.p_mw).ok()
+    };
+    let (ac_flows_mva, ac_violation_pct, ac_cost) = match ac_result {
+        Some(acf) => {
+            let app = acf.apparent_flows_mva();
+            let viol = config
+                .dlr_lines
+                .iter()
+                .zip(&config.u_d)
+                .map(|(l, &ud)| 100.0 * (app[l.0] / ud - 1.0))
+                .fold(0.0_f64, f64::max);
+            // Actual cost: replace the slack generators' dispatch by what
+            // the AC solution makes them produce (losses included).
+            let slack_extra = acf.total_losses_mw();
+            let mut p_actual = dispatch.p_mw.clone();
+            if let Some((gid, _)) = net.gens_at(net.slack()).next() {
+                p_actual[gid.0] += slack_extra;
+            }
+            let cost = net.dispatch_cost(&p_actual);
+            (Some(app), Some(viol), Some(cost))
+        }
+        None => (None, None, None),
+    };
+
+    Ok(AttackOutcome {
+        ua_mw: ua_mw.to_vec(),
+        dispatch_mw: dispatch.p_mw.clone(),
+        dc_flows_mw: dispatch.flows_mw,
+        dc_violation_pct,
+        dc_cost: dispatch.cost,
+        ac_flows_mva,
+        ac_violation_pct,
+        ac_cost,
+    })
+}
+
+/// Clones a network with a replacement demand vector (both P and Q scaled
+/// by the per-bus ratio).
+fn scale_network_demand(net: &Network, demand_mw: &[f64]) -> Network {
+    use ed_powerflow::NetworkBuilder;
+    let mut b = NetworkBuilder::new(net.base_mva());
+    let mut ids = Vec::new();
+    for (i, bus) in net.buses().iter().enumerate() {
+        let id = b.add_bus(&bus.name, bus.kind, demand_mw[i]);
+        let q = if bus.demand_mw.abs() > 1e-9 {
+            bus.demand_mvar * demand_mw[i] / bus.demand_mw
+        } else {
+            bus.demand_mvar
+        };
+        b.set_bus_demand_mvar(id, q);
+        b.set_voltage_setpoint(id, bus.voltage_setpoint_pu);
+        ids.push(id);
+    }
+    for line in net.lines() {
+        let l = b.add_line(
+            ids[line.from.0],
+            ids[line.to.0],
+            line.resistance_pu,
+            line.reactance_pu,
+            line.rating_mva,
+        );
+        b.set_line_charging(l, line.charging_pu);
+    }
+    for g in net.gens() {
+        let gid = b.add_gen(ids[g.bus.0], g.pmin_mw, g.pmax_mw, g.cost);
+        b.set_gen_q_limits(gid, g.qmin_mvar, g.qmax_mvar);
+    }
+    b.build().expect("scaling a valid network preserves validity")
+}
+
+/// One point of the "time of attack" sweeps (Figures 4b/4c, 5a/5b).
+#[derive(Debug, Clone)]
+pub struct TimelinePoint {
+    /// Hour of day (0..24).
+    pub hour: f64,
+    /// Total system demand at this step (MW).
+    pub demand_mw: f64,
+    /// True dynamic ratings per DLR line (MW).
+    pub u_d: Vec<f64>,
+    /// Optimal manipulated ratings per DLR line (MW), if an attack exists.
+    pub u_a: Option<Vec<f64>>,
+    /// The bilevel model's predicted violation (percent, DC flows).
+    pub predicted_violation_pct: f64,
+    /// Measured DC violation after re-dispatching (percent).
+    pub dc_violation_pct: f64,
+    /// Measured AC violation (percent), when the power flow converged.
+    pub ac_violation_pct: Option<f64>,
+    /// Flow on each DLR line under attack (MW, DC).
+    pub dlr_flows_mw: Vec<f64>,
+    /// Operator's generation cost under the attack (DC model, $/h).
+    pub dc_cost: f64,
+    /// Actual (AC, loss-inclusive) generation cost, when available.
+    pub ac_cost: Option<f64>,
+    /// Generation cost with *no* attack, for reference ($/h); `None` when
+    /// the unattacked dispatch is itself infeasible.
+    pub baseline_cost: Option<f64>,
+}
+
+/// Runs the attack at every step of a scenario (the paper's 15-minute OPF
+/// instantiation) and collects the series for Figures 4 and 5.
+///
+/// Steps where no stealthy manipulation admits a feasible dispatch are
+/// skipped (the operator would be alarmed regardless of the attacker).
+///
+/// `exact = false` uses the heuristic only — the recommended setting for
+/// the 118-bus sweep, matching the bench defaults.
+///
+/// # Errors
+///
+/// Propagates configuration errors; per-step infeasibility is absorbed.
+pub fn run_timeline(
+    net: &Network,
+    template: &AttackConfig,
+    scenario: &Scenario,
+    exact: bool,
+) -> Result<Vec<TimelinePoint>, CoreError> {
+    let mut points = Vec::with_capacity(scenario.len());
+    for step in scenario.steps() {
+        let u_d: Vec<f64> = template
+            .dlr_lines
+            .iter()
+            .map(|l| step.ratings_mw[l.0])
+            .collect();
+        let config = template
+            .clone()
+            .true_ratings(u_d.clone())
+            .demand(step.demand_mw.clone());
+        let result = match optimal_attack_with(net, &config, exact) {
+            Ok(r) => r,
+            Err(CoreError::DispatchInfeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        let outcome = match evaluate_attack(net, &config, &result.ua_mw) {
+            Ok(o) => o,
+            Err(CoreError::DispatchInfeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        let baseline_cost = DcOpf::new(net)
+            .demand(&step.demand_mw)
+            .ratings(&config.true_ratings_vector(net))
+            .solve()
+            .ok()
+            .map(|d| d.cost);
+        points.push(TimelinePoint {
+            hour: step.hour,
+            demand_mw: step.total_demand_mw(),
+            u_d,
+            u_a: Some(result.ua_mw.clone()),
+            predicted_violation_pct: result.ucap_pct,
+            dc_violation_pct: outcome.dc_violation_pct,
+            ac_violation_pct: outcome.ac_violation_pct,
+            dlr_flows_mw: config
+                .dlr_lines
+                .iter()
+                .map(|l| outcome.dc_flows_mw[l.0])
+                .collect(),
+            dc_cost: outcome.dc_cost,
+            ac_cost: outcome.ac_cost,
+            baseline_cost,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackConfig;
+    use ed_dlr::{DemandProfile, DlrProfile, ScenarioBuilder};
+
+    fn paper_config() -> AttackConfig {
+        AttackConfig::new(ed_cases::three_bus::dlr_lines())
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![130.0, 120.0])
+    }
+
+    #[test]
+    fn evaluate_strategy_a() {
+        let net = ed_cases::three_bus();
+        let config = paper_config();
+        let o = evaluate_attack(&net, &config, &[100.0, 200.0]).unwrap();
+        // DC: f23 = 200 on true rating 120 -> 66.7%.
+        assert!((o.dc_violation_pct - 100.0 * (200.0 / 120.0 - 1.0)).abs() < 1e-4);
+        // AC apparent flow includes reactive power: strictly worse.
+        let ac = o.ac_violation_pct.expect("AC converges on the 3-bus case");
+        assert!(ac > o.dc_violation_pct, "AC {ac} vs DC {}", o.dc_violation_pct);
+        // Actual cost exceeds the DC estimate (losses).
+        assert!(o.ac_cost.unwrap() > o.dc_cost);
+    }
+
+    #[test]
+    fn wrong_ua_length_rejected() {
+        let net = ed_cases::three_bus();
+        let config = paper_config();
+        assert!(matches!(
+            evaluate_attack(&net, &config, &[100.0]),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn timeline_produces_series() {
+        let net = ed_cases::three_bus();
+        let scenario = ScenarioBuilder::new(&net)
+            .steps(8)
+            .demand(DemandProfile::double_peak(300.0))
+            .dlr(ed_powerflow::LineId(1), DlrProfile::sinusoidal(100.0, 200.0, 5.0))
+            .dlr(ed_powerflow::LineId(2), DlrProfile::sinusoidal(100.0, 200.0, 11.0))
+            .build();
+        let template = AttackConfig::new(ed_cases::three_bus::dlr_lines())
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![160.0, 160.0]);
+        let points = run_timeline(&net, &template, &scenario, false).unwrap();
+        assert!(!points.is_empty());
+        for p in &points {
+            assert!(p.dc_cost > 0.0);
+            assert!(p.predicted_violation_pct >= 0.0);
+            assert_eq!(p.u_d.len(), 2);
+        }
+    }
+}

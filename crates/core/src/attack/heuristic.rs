@@ -1,0 +1,243 @@
+//! Primal heuristics: candidate manipulations evaluated through the real
+//! defender response.
+//!
+//! Any `u^a` in the permissible box is a *feasible* attack; evaluating the
+//! defender's actual dispatch against it yields a valid lower bound on
+//! every subproblem objective. Optimal attacks empirically sit at corners
+//! of the box (Table I: `u^a ∈ {100, 200}^2`), so corner enumeration is an
+//! excellent incumbent generator for small `|E_D|`, and coordinate-greedy
+//! search covers larger sets.
+
+use crate::attack::AttackConfig;
+use crate::dispatch::DcOpf;
+use crate::CoreError;
+use ed_powerflow::Network;
+
+/// Result of a heuristic sweep.
+#[derive(Debug, Clone)]
+pub struct HeuristicResult {
+    /// Best manipulation found (ordered like the config's DLR lines).
+    pub ua_mw: Vec<f64>,
+    /// Violation achieved per (DLR-line, direction): `best_flow[k][0]` is
+    /// the largest `+f` and `best_flow[k][1]` the largest `−f` seen on DLR
+    /// line `k` over all candidates (MW). These seed the per-subproblem
+    /// incumbent hints of Algorithm 1.
+    pub best_flow: Vec<[f64; 2]>,
+    /// The `u^a` achieving each `best_flow` entry.
+    pub best_ua: Vec<[Vec<f64>; 2]>,
+    /// Candidates whose dispatch was evaluated.
+    pub evaluated: usize,
+}
+
+impl HeuristicResult {
+    /// The best percentage violation over all DLR lines (Eq. 14a, clamped
+    /// at zero).
+    pub fn best_violation_pct(&self, u_d: &[f64]) -> f64 {
+        let mut best = 0.0_f64;
+        for (k, flows) in self.best_flow.iter().enumerate() {
+            for &f in flows {
+                best = best.max(100.0 * (f / u_d[k] - 1.0));
+            }
+        }
+        best
+    }
+}
+
+/// Evaluates one candidate `u^a` through the defender's dispatch; returns
+/// the flow on every DLR line, or `None` if the dispatch is infeasible
+/// (such candidates trip the operator's alarm and are useless to the
+/// attacker).
+fn evaluate_candidate(
+    net: &Network,
+    config: &AttackConfig,
+    demand: &[f64],
+    ua: &[f64],
+) -> Result<Option<Vec<f64>>, CoreError> {
+    let ratings = config.ratings_with(net, ua);
+    match DcOpf::new(net).demand(demand).ratings(&ratings).solve() {
+        Ok(dispatch) => Ok(Some(
+            config
+                .dlr_lines
+                .iter()
+                .map(|l| dispatch.flows_mw[l.0])
+                .collect(),
+        )),
+        Err(CoreError::DispatchInfeasible) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn fold_candidate(result: &mut HeuristicResult, ua: &[f64], flows: &[f64]) {
+    for (k, &f) in flows.iter().enumerate() {
+        if f > result.best_flow[k][0] {
+            result.best_flow[k][0] = f;
+            result.best_ua[k][0] = ua.to_vec();
+        }
+        if -f > result.best_flow[k][1] {
+            result.best_flow[k][1] = -f;
+            result.best_ua[k][1] = ua.to_vec();
+        }
+    }
+}
+
+fn empty_result(n: usize) -> HeuristicResult {
+    HeuristicResult {
+        ua_mw: Vec::new(),
+        best_flow: vec![[f64::NEG_INFINITY; 2]; n],
+        best_ua: vec![[Vec::new(), Vec::new()]; n],
+        evaluated: 0,
+    }
+}
+
+/// Enumerates all `2^|E_D|` corners of the permissible box (plus the true
+/// ratings as a baseline). Intended for `|E_D| ≤ ~12`.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidInput`] if `|E_D| > 16` (use
+///   [`greedy_heuristic`] instead) or the config is inconsistent.
+/// - Propagates dispatch failures other than infeasibility.
+pub fn corner_heuristic(net: &Network, config: &AttackConfig) -> Result<HeuristicResult, CoreError> {
+    config.validate(net)?;
+    let n = config.dlr_lines.len();
+    if n > 16 {
+        return Err(CoreError::InvalidInput {
+            what: format!("corner enumeration over {n} DLR lines is 2^{n} candidates; use greedy_heuristic"),
+        });
+    }
+    let demand = config.effective_demand(net);
+    let mut result = empty_result(n);
+    let mut candidates: Vec<Vec<f64>> = (0..(1usize << n))
+        .map(|mask| {
+            (0..n)
+                .map(|k| if mask >> k & 1 == 1 { config.u_max[k] } else { config.u_min[k] })
+                .collect()
+        })
+        .collect();
+    candidates.push(config.u_d.clone());
+    for ua in &candidates {
+        if let Some(flows) = evaluate_candidate(net, config, &demand, ua)? {
+            result.evaluated += 1;
+            fold_candidate(&mut result, ua, &flows);
+        }
+    }
+    finalize(config, &mut result);
+    Ok(result)
+}
+
+/// Coordinate-greedy search from the true ratings: repeatedly move one
+/// line's rating to whichever bound most improves the best violation,
+/// until a full pass makes no progress (at most `3·|E_D|` passes).
+///
+/// # Errors
+///
+/// Same as [`corner_heuristic`] (without the size limit).
+pub fn greedy_heuristic(net: &Network, config: &AttackConfig) -> Result<HeuristicResult, CoreError> {
+    config.validate(net)?;
+    let n = config.dlr_lines.len();
+    let demand = config.effective_demand(net);
+    let mut result = empty_result(n);
+    let mut current = config.u_d.clone();
+    if let Some(flows) = evaluate_candidate(net, config, &demand, &current)? {
+        result.evaluated += 1;
+        fold_candidate(&mut result, &current, &flows);
+    }
+    let score = |r: &HeuristicResult| r.best_violation_pct(&config.u_d);
+    for _pass in 0..3 {
+        let mut improved = false;
+        for k in 0..n {
+            for candidate_value in [config.u_min[k], config.u_max[k]] {
+                if (current[k] - candidate_value).abs() < 1e-12 {
+                    continue;
+                }
+                let mut trial = current.clone();
+                trial[k] = candidate_value;
+                let before = score(&result);
+                if let Some(flows) = evaluate_candidate(net, config, &demand, &trial)? {
+                    result.evaluated += 1;
+                    fold_candidate(&mut result, &trial, &flows);
+                    if score(&result) > before + 1e-9 {
+                        current = trial;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    finalize(config, &mut result);
+    Ok(result)
+}
+
+/// Chooses the overall-best `ua_mw` from the per-line records.
+fn finalize(config: &AttackConfig, result: &mut HeuristicResult) {
+    let mut best_pct = f64::NEG_INFINITY;
+    let mut best_ua = config.u_d.clone();
+    for (k, (flows, uas)) in result.best_flow.iter().zip(&result.best_ua).enumerate() {
+        for (dir, &f) in flows.iter().enumerate() {
+            if !f.is_finite() {
+                continue;
+            }
+            let pct = 100.0 * (f / config.u_d[k] - 1.0);
+            if pct > best_pct && !uas[dir].is_empty() {
+                best_pct = pct;
+                best_ua = uas[dir].clone();
+            }
+        }
+    }
+    result.ua_mw = best_ua;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackConfig;
+
+    fn paper_config() -> AttackConfig {
+        AttackConfig::new(ed_cases::three_bus::dlr_lines())
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![130.0, 120.0])
+    }
+
+    #[test]
+    fn corners_find_table1_strategy_a() {
+        let net = ed_cases::three_bus();
+        let config = paper_config();
+        let r = corner_heuristic(&net, &config).unwrap();
+        // Table I row (130, 120): strategy A, ua = (100, 200), f23 = 200.
+        assert_eq!(r.ua_mw, vec![100.0, 200.0], "{r:?}");
+        // Flow on DLR line index 1 ({2,3}) reaches 200 MW.
+        assert!((r.best_flow[1][0] - 200.0).abs() < 1e-4);
+        let pct = r.best_violation_pct(&config.u_d);
+        assert!((pct - 100.0 * (200.0 / 120.0 - 1.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn greedy_matches_corners_on_three_bus() {
+        let net = ed_cases::three_bus();
+        let config = paper_config();
+        let c = corner_heuristic(&net, &config).unwrap();
+        let g = greedy_heuristic(&net, &config).unwrap();
+        assert!(
+            (c.best_violation_pct(&config.u_d) - g.best_violation_pct(&config.u_d)).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn corner_limit_enforced() {
+        let net = ed_cases::three_bus();
+        // 17 fake lines exceed the enumeration cap (validation of ids comes
+        // after the size check would fail them anyway, so use valid ids).
+        let mut lines = ed_cases::three_bus::dlr_lines();
+        lines.extend(std::iter::repeat(ed_powerflow::LineId(0)).take(15));
+        let config = AttackConfig::new(lines)
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![120.0; 17]);
+        assert!(matches!(
+            corner_heuristic(&net, &config),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+}

@@ -1,0 +1,300 @@
+//! KKT single-level reformulation of the bilevel subproblem (Eq. 15–16).
+//!
+//! The inner (defender) problem is the DC economic dispatch
+//!
+//! ```text
+//! min_y 0.5 y'H y + h1'y   s.t.  A_eq y = b_eq,   A_in y ≤ k2 + C·u^a
+//! ```
+//!
+//! with `y = (p, θ)`. Because the inner problem is convex with linear
+//! constraints, strong duality lets us replace it by its KKT system:
+//! primal feasibility, dual feasibility (`λ ≥ 0`), stationarity
+//! (`H y + A_eq'ν + A_in'λ + h1 = 0`), and complementary slackness
+//! (`λ_i · s_i = 0`, where `s` is the explicit slack of each inequality).
+//!
+//! [`KktModel::build`] assembles everything *except* complementarity into a
+//! single [`LpProblem`]; complementarity is layered on by the caller either
+//! as big-M indicator binaries (the paper's MILP, Eq. 16) or as
+//! complementarity pairs for branching (MPEC). The manipulated ratings
+//! `u^a` are first-class variables bounded by `[u^min, u^max]`, so the same
+//! model serves every subproblem objective of Algorithm 1.
+
+use crate::attack::AttackConfig;
+use crate::CoreError;
+use ed_optim::lp::{LpProblem, Row, Sense, VarId};
+use ed_powerflow::{LineId, Network};
+
+/// The assembled KKT model.
+#[derive(Debug, Clone)]
+pub struct KktModel {
+    /// LP with primal feasibility, dual feasibility and stationarity rows;
+    /// the objective is unset (zero) until a subproblem target is chosen.
+    pub lp: LpProblem,
+    /// Manipulated-rating variables, one per DLR line (order follows the
+    /// config's `dlr_lines`).
+    pub ua_vars: Vec<VarId>,
+    /// Generator output variables (MW).
+    pub p_vars: Vec<VarId>,
+    /// Bus angle variables (radians).
+    pub theta_vars: Vec<VarId>,
+    /// Complementarity pairs `(λ_i, s_i)` for every inner inequality.
+    pub pairs: Vec<(VarId, VarId)>,
+    /// Per-line `(from, to, base·β)` for expressing flows in the objective.
+    flow_coef: Vec<(usize, usize, f64)>,
+}
+
+impl KktModel {
+    /// Builds the KKT model for a network and attack configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] via the config validation.
+    pub fn build(net: &Network, config: &AttackConfig) -> Result<KktModel, CoreError> {
+        config.validate(net)?;
+        let demand = config.effective_demand(net);
+        if demand.len() != net.num_buses() {
+            return Err(CoreError::InvalidInput {
+                what: "demand vector length mismatch".into(),
+            });
+        }
+        let nb = net.num_buses();
+        let ng = net.num_gens();
+        let base = net.base_mva();
+        // Index of each DLR line in the config, by line id.
+        let dlr_index = |line: usize| config.dlr_lines.iter().position(|l| l.0 == line);
+
+        let mut lp = LpProblem::maximize(); // sense set per subproblem; Max by default
+
+        // --- Variables ---
+        let ua_vars: Vec<VarId> = config
+            .dlr_lines
+            .iter()
+            .enumerate()
+            .map(|(k, _)| lp.add_var(config.u_min[k], config.u_max[k], 0.0))
+            .collect();
+        let p_vars: Vec<VarId> = (0..ng)
+            .map(|_| lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0))
+            .collect();
+        let theta_vars: Vec<VarId> = (0..nb)
+            .map(|_| lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0))
+            .collect();
+        let nu_vars: Vec<VarId> = (0..nb + 1) // balance rows + reference row
+            .map(|_| lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0))
+            .collect();
+
+        // Inner inequality bookkeeping: coefficient lists over y variables,
+        // plus the rhs and optional ua term, so stationarity can be
+        // accumulated after all rows exist.
+        struct Ineq {
+            coeffs: Vec<(VarId, f64)>,
+            rhs_const: f64,
+            rhs_ua: Option<VarId>,
+            lambda: VarId,
+            slack: VarId,
+        }
+        let mut ineqs: Vec<Ineq> = Vec::new();
+        let mut add_ineq =
+            |lp: &mut LpProblem, coeffs: Vec<(VarId, f64)>, rhs_const: f64, rhs_ua: Option<VarId>| {
+                let lambda = lp.add_var(0.0, f64::INFINITY, 0.0);
+                let slack = lp.add_var(0.0, f64::INFINITY, 0.0);
+                ineqs.push(Ineq { coeffs, rhs_const, rhs_ua, lambda, slack });
+            };
+
+        // Generator bounds (Eq. 1).
+        for (g, gen) in net.gens().iter().enumerate() {
+            add_ineq(&mut lp, vec![(p_vars[g], 1.0)], gen.pmax_mw, None);
+            add_ineq(&mut lp, vec![(p_vars[g], -1.0)], -gen.pmin_mw, None);
+        }
+        // Flow limits (Eq. 7/13) and flow coefficients for objectives.
+        let mut flow_coef = Vec::with_capacity(net.num_lines());
+        for (l, line) in net.lines().iter().enumerate() {
+            let w = base * line.susceptance_pu();
+            let (f, t) = (line.from.0, line.to.0);
+            flow_coef.push((f, t, w));
+            let fwd = vec![(theta_vars[f], w), (theta_vars[t], -w)];
+            let bwd = vec![(theta_vars[f], -w), (theta_vars[t], w)];
+            match dlr_index(l) {
+                Some(k) => {
+                    add_ineq(&mut lp, fwd, 0.0, Some(ua_vars[k]));
+                    add_ineq(&mut lp, bwd, 0.0, Some(ua_vars[k]));
+                }
+                None => {
+                    let us = net.lines()[l].rating_mva;
+                    add_ineq(&mut lp, fwd, us, None);
+                    add_ineq(&mut lp, bwd, us, None);
+                }
+            }
+        }
+
+        // --- Primal feasibility ---
+        // Balance equalities (Eq. 5): Σ_{g@i} p_g − Σ outflow = d_i.
+        let mut balance: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); nb];
+        for line in net.lines() {
+            let w = base * line.susceptance_pu();
+            let (f, t) = (line.from.0, line.to.0);
+            balance[f].push((theta_vars[f], -w));
+            balance[f].push((theta_vars[t], w));
+            balance[t].push((theta_vars[t], -w));
+            balance[t].push((theta_vars[f], w));
+        }
+        for (g, gen) in net.gens().iter().enumerate() {
+            balance[gen.bus.0].push((p_vars[g], 1.0));
+        }
+        for (i, coeffs) in balance.iter().enumerate() {
+            lp.add_row(Row::eq(demand[i]).coefs(coeffs.iter().copied()));
+        }
+        // Reference angle row (its multiplier is nu_vars[nb]).
+        lp.add_row(Row::eq(0.0).coef(theta_vars[net.slack().0], 1.0));
+
+        // Inequalities with explicit slack: a'y + s − ua = rhs_const.
+        for ineq in &ineqs {
+            let mut row = Row::eq(ineq.rhs_const).coefs(ineq.coeffs.iter().copied());
+            row = row.coef(ineq.slack, 1.0);
+            if let Some(ua) = ineq.rhs_ua {
+                row = row.coef(ua, -1.0);
+            }
+            lp.add_row(row);
+        }
+
+        // --- Stationarity ---
+        // For each y variable v: H_vv·y_v + Σ_eq a_ev·ν_e + Σ_in a_iv·λ_i = −h1_v.
+        // Accumulate coefficient lists per y variable.
+        let ny = ng + nb;
+        let y_index = |v: VarId| -> Option<usize> {
+            if let Some(pos) = p_vars.iter().position(|&p| p == v) {
+                Some(pos)
+            } else {
+                theta_vars.iter().position(|&t| t == v).map(|pos| ng + pos)
+            }
+        };
+        let mut stationarity: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); ny];
+        // Equality contributions: balance rows then reference row.
+        for (i, coeffs) in balance.iter().enumerate() {
+            for &(v, c) in coeffs {
+                let yi = y_index(v).expect("balance rows touch only y variables");
+                stationarity[yi].push((nu_vars[i], c));
+            }
+        }
+        stationarity[ng + net.slack().0].push((nu_vars[nb], 1.0));
+        // Inequality contributions.
+        for ineq in &ineqs {
+            for &(v, c) in &ineq.coeffs {
+                let yi = y_index(v).expect("inequalities touch only y variables");
+                stationarity[yi].push((ineq.lambda, c));
+            }
+        }
+        // Hessian and linear terms: p_g has H = 2a_g, h1 = b_g; θ has none.
+        for (g, gen) in net.gens().iter().enumerate() {
+            let mut row = Row::eq(-gen.cost.b).coefs(stationarity[g].iter().copied());
+            if gen.cost.a != 0.0 {
+                row = row.coef(p_vars[g], 2.0 * gen.cost.a);
+            }
+            lp.add_row(row);
+        }
+        for i in 0..nb {
+            lp.add_row(Row::eq(0.0).coefs(stationarity[ng + i].iter().copied()));
+        }
+
+        let pairs = ineqs.iter().map(|q| (q.lambda, q.slack)).collect();
+        Ok(KktModel { lp, ua_vars, p_vars, theta_vars, pairs, flow_coef })
+    }
+
+    /// Sets the objective to maximize `dir · f_l` scaled by `scale` (plus an
+    /// implicit constant the caller accounts for), where `f_l` is the DC
+    /// flow on `line` and `dir ∈ {+1, −1}` picks the flow direction — the
+    /// per-subproblem objective of Algorithm 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn set_flow_objective(&mut self, line: LineId, dir: f64, scale: f64) {
+        let (f, t, w) = self.flow_coef[line.0];
+        self.lp.clear_objective();
+        self.lp.set_sense(Sense::Max);
+        self.lp.set_objective_coef(self.theta_vars[f], dir * scale * w);
+        self.lp.set_objective_coef(self.theta_vars[t], -dir * scale * w);
+    }
+
+    /// DC flow on `line` at an LP solution vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range or `x` is shorter than the model.
+    pub fn flow_at(&self, x: &[f64], line: LineId) -> f64 {
+        let (f, t, w) = self.flow_coef[line.0];
+        w * (x[self.theta_vars[f].index()] - x[self.theta_vars[t].index()])
+    }
+
+    /// Manipulated ratings at an LP solution vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is shorter than the model.
+    pub fn ua_at(&self, x: &[f64]) -> Vec<f64> {
+        self.ua_vars.iter().map(|v| x[v.index()]).collect()
+    }
+
+    /// Generator dispatch at an LP solution vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is shorter than the model.
+    pub fn dispatch_at(&self, x: &[f64]) -> Vec<f64> {
+        self.p_vars.iter().map(|v| x[v.index()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackConfig;
+    use crate::dispatch::DcOpf;
+    use ed_optim::mpec::MpecProblem;
+
+    /// With complementarity enforced and a zero objective, any feasible
+    /// point of the KKT system must be an *optimal* inner dispatch. Verify
+    /// against the dispatch module for fixed ua.
+    #[test]
+    fn kkt_feasible_point_is_inner_optimal() {
+        let net = ed_cases::three_bus();
+        let config = AttackConfig::new(ed_cases::three_bus::dlr_lines())
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![160.0, 160.0]);
+        let mut model = KktModel::build(&net, &config).unwrap();
+        // Pin ua to (160, 160) = the static scenario.
+        for (k, &v) in model.ua_vars.clone().iter().enumerate() {
+            let _ = k;
+            model.lp.set_bounds(v, 160.0, 160.0);
+        }
+        let mpec = MpecProblem::new(model.lp.clone(), model.pairs.clone());
+        let sol = mpec.solve().unwrap();
+        let p = model.dispatch_at(&sol.x);
+        // Inner-optimal dispatch for these ratings is (120, 180).
+        let reference = DcOpf::new(&net).solve().unwrap();
+        assert!((p[0] - reference.p_mw[0]).abs() < 1e-4, "p={p:?}");
+        assert!((p[1] - reference.p_mw[1]).abs() < 1e-4, "p={p:?}");
+    }
+
+    #[test]
+    fn model_dimensions() {
+        let net = ed_cases::three_bus();
+        let config = AttackConfig::new(ed_cases::three_bus::dlr_lines())
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![130.0, 120.0]);
+        let model = KktModel::build(&net, &config).unwrap();
+        // Pairs: 2 per generator + 2 per line.
+        assert_eq!(model.pairs.len(), 2 * net.num_gens() + 2 * net.num_lines());
+        assert_eq!(model.ua_vars.len(), 2);
+        assert_eq!(model.p_vars.len(), 2);
+        assert_eq!(model.theta_vars.len(), 3);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let net = ed_cases::three_bus();
+        let config = AttackConfig::new(vec![ed_powerflow::LineId(9)])
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![100.0]);
+        assert!(KktModel::build(&net, &config).is_err());
+    }
+}

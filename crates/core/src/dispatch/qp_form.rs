@@ -1,0 +1,168 @@
+//! QP formulations of DC-OPF (used when all generator costs are strictly
+//! convex, as in the paper's 118-node experiments).
+
+use crate::CoreError;
+use ed_optim::qp::QpProblem;
+use ed_powerflow::{ptdf::Ptdf, Network};
+
+/// Angle formulation with variables `(p, θ)`. Returns `(p_mw, lmp)`.
+pub(crate) fn solve_angle(
+    net: &Network,
+    demand_mw: &[f64],
+    ratings_mw: &[f64],
+) -> Result<(Vec<f64>, Vec<f64>), CoreError> {
+    let nb = net.num_buses();
+    let ng = net.num_gens();
+    let base = net.base_mva();
+    let n = ng + nb;
+    let mut qp = QpProblem::new(n);
+
+    let mut diag = vec![0.0; n];
+    let mut lin = vec![0.0; n];
+    for (gi, g) in net.gens().iter().enumerate() {
+        diag[gi] = 2.0 * g.cost.a;
+        lin[gi] = g.cost.b;
+    }
+    qp.set_quadratic_diag(&diag);
+    qp.set_linear(&lin);
+
+    // Balance equalities.
+    let mut balance_rows = Vec::with_capacity(nb);
+    let mut rows = vec![vec![0.0; n]; nb];
+    for line in net.lines() {
+        let w = base * line.susceptance_pu();
+        let (f, t) = (line.from.0, line.to.0);
+        rows[f][ng + f] -= w;
+        rows[f][ng + t] += w;
+        rows[t][ng + t] -= w;
+        rows[t][ng + f] += w;
+    }
+    for (gi, g) in net.gens().iter().enumerate() {
+        rows[g.bus.0][gi] += 1.0;
+    }
+    for (i, row) in rows.into_iter().enumerate() {
+        qp.add_eq(&row, demand_mw[i]);
+        balance_rows.push(i);
+    }
+    // Reference angle.
+    let mut ref_row = vec![0.0; n];
+    ref_row[ng + net.slack().0] = 1.0;
+    qp.add_eq(&ref_row, 0.0);
+
+    // Generator bounds.
+    for (gi, g) in net.gens().iter().enumerate() {
+        qp.add_bounds(gi, g.pmin_mw, g.pmax_mw);
+    }
+    // Flow limits.
+    for (l, line) in net.lines().iter().enumerate() {
+        let w = base * line.susceptance_pu();
+        let (f, t) = (line.from.0, line.to.0);
+        let mut a = vec![0.0; n];
+        a[ng + f] = w;
+        a[ng + t] = -w;
+        qp.add_ineq(&a, ratings_mw[l]);
+        let neg: Vec<f64> = a.iter().map(|v| -v).collect();
+        qp.add_ineq(&neg, ratings_mw[l]);
+    }
+
+    let sol = qp.solve()?;
+    let p_mw = sol.x[..ng].to_vec();
+    // With L = f + ν g_eq, LMP_i = dC*/dd_i = -ν_i.
+    let lmp = balance_rows.iter().map(|&i| -sol.eq_duals[i]).collect();
+    Ok((p_mw, lmp))
+}
+
+/// PTDF formulation with variables `p` only. Returns `(p_mw, lmp)`.
+pub(crate) fn solve_ptdf(
+    net: &Network,
+    demand_mw: &[f64],
+    ratings_mw: &[f64],
+) -> Result<(Vec<f64>, Vec<f64>), CoreError> {
+    let ng = net.num_gens();
+    let ptdf = Ptdf::compute(net)?;
+    let mut qp = QpProblem::new(ng);
+    let diag: Vec<f64> = net.gens().iter().map(|g| 2.0 * g.cost.a).collect();
+    let lin: Vec<f64> = net.gens().iter().map(|g| g.cost.b).collect();
+    qp.set_quadratic_diag(&diag);
+    qp.set_linear(&lin);
+
+    let total_demand: f64 = demand_mw.iter().sum();
+    qp.add_eq(&vec![1.0; ng], total_demand);
+    for (gi, g) in net.gens().iter().enumerate() {
+        qp.add_bounds(gi, g.pmin_mw, g.pmax_mw);
+    }
+    // Redundant-row elimination: a flow constraint whose worst-case
+    // activity over the whole generation box cannot reach its rhs can
+    // never bind and is dropped (typically most lines of a large system).
+    let mut fwd = vec![None; net.num_lines()];
+    let mut bwd = vec![None; net.num_lines()];
+    for l in 0..net.num_lines() {
+        let base_flow: f64 = demand_mw
+            .iter()
+            .enumerate()
+            .map(|(b, &d)| ptdf.factor(l, b) * d)
+            .sum();
+        let a: Vec<f64> = net.gens().iter().map(|g| ptdf.factor(l, g.bus.0)).collect();
+        let max_pos: f64 = a
+            .iter()
+            .zip(net.gens())
+            .map(|(&h, g)| (h * g.pmin_mw).max(h * g.pmax_mw))
+            .sum();
+        let max_neg: f64 = a
+            .iter()
+            .zip(net.gens())
+            .map(|(&h, g)| (-h * g.pmin_mw).max(-h * g.pmax_mw))
+            .sum();
+        if max_pos > ratings_mw[l] + base_flow {
+            let neg_rhs = ratings_mw[l] + base_flow;
+            fwd[l] = Some(qp.add_ineq(&a, neg_rhs));
+        }
+        if max_neg > ratings_mw[l] - base_flow {
+            let neg: Vec<f64> = a.iter().map(|v| -v).collect();
+            bwd[l] = Some(qp.add_ineq(&neg, ratings_mw[l] - base_flow));
+        }
+    }
+
+    let sol = qp.solve()?;
+    let p_mw = sol.x[..ng].to_vec();
+    // dC*/dd_i = -ν_energy - Σ_l λ_fwd PTDF[l][i] + Σ_l λ_bwd PTDF[l][i].
+    let nu = sol.eq_duals[0];
+    let lmp = (0..net.num_buses())
+        .map(|i| {
+            let mut v = -nu;
+            for l in 0..net.num_lines() {
+                let h = ptdf.factor(l, i);
+                if let Some(row) = fwd[l] {
+                    v -= sol.ineq_duals[row] * h;
+                }
+                if let Some(row) = bwd[l] {
+                    v += sol.ineq_duals[row] * h;
+                }
+            }
+            v
+        })
+        .collect();
+    Ok((p_mw, lmp))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dispatch::{DcOpf, Formulation};
+
+    #[test]
+    fn quadratic_three_bus_agrees_across_formulations() {
+        let net = ed_cases::three_bus_with(&ed_cases::ThreeBusConfig {
+            quadratic: true,
+            ..Default::default()
+        });
+        let a = DcOpf::new(&net).formulation(Formulation::Angle).solve().unwrap();
+        let b = DcOpf::new(&net).formulation(Formulation::Ptdf).solve().unwrap();
+        for (x, y) in a.p_mw.iter().zip(&b.p_mw) {
+            assert!((x - y).abs() < 1e-4, "{:?} vs {:?}", a.p_mw, b.p_mw);
+        }
+        assert!((a.cost - b.cost).abs() < 1e-3);
+        for (x, y) in a.lmp.iter().zip(&b.lmp) {
+            assert!((x - y).abs() < 1e-3, "lmp {:?} vs {:?}", a.lmp, b.lmp);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for dispatch, attack, and mitigation operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `ed-core` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The dispatch problem is infeasible (demand cannot be served within
+    /// generation and line limits) — the situation in which the paper's
+    /// operator "sets off an alarm".
+    DispatchInfeasible,
+    /// Inconsistent inputs (wrong vector lengths, bad line ids, inverted
+    /// bounds, ...).
+    InvalidInput {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// The bilevel solver exhausted its budget without a provably optimal
+    /// attack; the partial result (if any) is reported through the normal
+    /// return path instead of this error.
+    AttackSearchExhausted {
+        /// Node budget that was exhausted.
+        nodes: usize,
+    },
+    /// An optimization-layer failure.
+    Optim(ed_optim::OptimError),
+    /// A power-flow-layer failure.
+    Powerflow(ed_powerflow::PowerflowError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DispatchInfeasible => {
+                write!(f, "economic dispatch is infeasible for the given demand and ratings")
+            }
+            CoreError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+            CoreError::AttackSearchExhausted { nodes } => {
+                write!(f, "attack search exhausted {nodes} nodes without proof of optimality")
+            }
+            CoreError::Optim(e) => write!(f, "optimization failure: {e}"),
+            CoreError::Powerflow(e) => write!(f, "power flow failure: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<ed_optim::OptimError> for CoreError {
+    fn from(e: ed_optim::OptimError) -> Self {
+        match e {
+            ed_optim::OptimError::Infeasible => CoreError::DispatchInfeasible,
+            other => CoreError::Optim(other),
+        }
+    }
+}
+
+impl From<ed_powerflow::PowerflowError> for CoreError {
+    fn from(e: ed_powerflow::PowerflowError) -> Self {
+        CoreError::Powerflow(e)
+    }
+}

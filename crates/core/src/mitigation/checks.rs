@@ -1,0 +1,133 @@
+//! Plausibility checks on reported DLR values.
+
+/// Static out-of-bound check: a reported rating must lie in
+/// `[u^min, u^max]`. This is the "typical out-of-bound check for false data
+/// injections" the paper's attack is designed to pass (Section I) — by
+/// construction the optimal attack never trips it.
+#[derive(Debug, Clone)]
+pub struct BoundsCheck {
+    u_min: Vec<f64>,
+    u_max: Vec<f64>,
+}
+
+impl BoundsCheck {
+    /// Creates a check for the given permissible ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn new(u_min: Vec<f64>, u_max: Vec<f64>) -> BoundsCheck {
+        assert_eq!(u_min.len(), u_max.len(), "bound vectors must align");
+        BoundsCheck { u_min, u_max }
+    }
+
+    /// Indices of reported values outside their permissible range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reported.len()` differs from the configured length.
+    pub fn violations(&self, reported: &[f64]) -> Vec<usize> {
+        assert_eq!(reported.len(), self.u_min.len(), "reported length mismatch");
+        reported
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &u)| {
+                (u < self.u_min[i] - 1e-9 || u > self.u_max[i] + 1e-9).then_some(i)
+            })
+            .collect()
+    }
+
+    /// `true` if every reported value passes.
+    pub fn passes(&self, reported: &[f64]) -> bool {
+        self.violations(reported).is_empty()
+    }
+}
+
+/// Trend check: consecutive DLR reports must not jump more than
+/// `max_step_mw` between readings. Physical ratings move with weather
+/// (slow); a memory overwrite lands instantaneously.
+///
+/// The paper notes its attack "achieves a certain level of stealthiness by
+/// ensuring that the incorrect parameters reflect similar general trends as
+/// the true ones" — this check quantifies exactly how much trend-matching
+/// the attacker is forced into.
+#[derive(Debug, Clone)]
+pub struct TrendCheck {
+    max_step_mw: f64,
+    last: Option<Vec<f64>>,
+}
+
+impl TrendCheck {
+    /// Creates a check allowing at most `max_step_mw` change per reading.
+    pub fn new(max_step_mw: f64) -> TrendCheck {
+        TrendCheck { max_step_mw, last: None }
+    }
+
+    /// Feeds the next reading; returns indices that jumped too far since
+    /// the previous reading (empty on the first reading).
+    pub fn observe(&mut self, reported: &[f64]) -> Vec<usize> {
+        let flagged = match &self.last {
+            None => Vec::new(),
+            Some(prev) => {
+                assert_eq!(prev.len(), reported.len(), "reading length changed");
+                reported
+                    .iter()
+                    .zip(prev)
+                    .enumerate()
+                    .filter_map(|(i, (&now, &before))| {
+                        ((now - before).abs() > self.max_step_mw).then_some(i)
+                    })
+                    .collect()
+            }
+        };
+        self.last = Some(reported.to_vec());
+        flagged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{optimal_attack, AttackConfig};
+
+    #[test]
+    fn bounds_check_flags_outliers() {
+        let c = BoundsCheck::new(vec![100.0, 100.0], vec![200.0, 200.0]);
+        assert!(c.passes(&[150.0, 200.0]));
+        assert_eq!(c.violations(&[99.0, 201.0]), vec![0, 1]);
+    }
+
+    /// The optimal attack is in-bound by construction: the paper's
+    /// stealthiness property.
+    #[test]
+    fn optimal_attack_always_passes_bounds_check() {
+        let net = ed_cases::three_bus();
+        for (ud13, ud23) in [(130.0, 120.0), (160.0, 150.0), (160.0, 180.0)] {
+            let config = AttackConfig::new(ed_cases::three_bus::dlr_lines())
+                .bounds(100.0, 200.0)
+                .true_ratings(vec![ud13, ud23]);
+            let r = optimal_attack(&net, &config).unwrap();
+            let check = BoundsCheck::new(config.u_min.clone(), config.u_max.clone());
+            assert!(check.passes(&r.ua_mw), "attack {:?} tripped the bound check", r.ua_mw);
+        }
+    }
+
+    #[test]
+    fn trend_check_catches_step_change() {
+        let mut t = TrendCheck::new(15.0);
+        assert!(t.observe(&[150.0, 160.0]).is_empty(), "first reading never flags");
+        assert!(t.observe(&[155.0, 150.0]).is_empty(), "small drift passes");
+        // A memory overwrite to the paper's strategy-A values jumps 55/50 MW.
+        assert_eq!(t.observe(&[100.0, 200.0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn trend_check_resumes_after_flag() {
+        let mut t = TrendCheck::new(10.0);
+        t.observe(&[100.0]);
+        assert_eq!(t.observe(&[150.0]), vec![0]);
+        // Subsequent small moves from the (already suspicious) level pass:
+        // the check is stateless beyond one step by design.
+        assert!(t.observe(&[152.0]).is_empty());
+    }
+}

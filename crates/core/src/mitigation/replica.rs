@@ -1,0 +1,130 @@
+//! N-version replica cross-checking — Section VII item (iii).
+//!
+//! "A more traditional approach is to use redundancy such as N-version
+//! programming by maintaining a redundant controller software ... The
+//! replica can rerun the control algorithm to calculate and compare its
+//! calculated control outputs with those of the main controller."
+//!
+//! Here the two "versions" are the two genuinely different DC-OPF
+//! implementations in this workspace (angle-form vs PTDF-form), each fed
+//! its own copy of the rating inputs. A memory-corruption attack that
+//! reaches only one controller's address space produces divergent
+//! dispatches and is flagged; an attacker must now compromise both
+//! processes coherently.
+
+use crate::dispatch::{DcOpf, Formulation};
+use crate::CoreError;
+use ed_powerflow::Network;
+
+/// Outcome of a replica comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaVerdict {
+    /// Dispatches agree within tolerance.
+    Consistent,
+    /// Dispatches diverge — one controller is corrupted (or faulty).
+    Mismatch {
+        /// Largest per-generator dispatch difference in MW.
+        max_divergence_mw: f64,
+    },
+    /// One replica found the problem infeasible while the other did not —
+    /// also a red flag.
+    FeasibilityDisagreement,
+}
+
+/// Runs the main controller (angle form, `main_ratings`) and the replica
+/// (PTDF form, `replica_ratings`) and compares dispatches.
+///
+/// In an uncompromised system both rating vectors are reads of the same
+/// SCADA data and the dispatches agree to solver tolerance; a single-sided
+/// memory corruption makes them diverge.
+///
+/// # Errors
+///
+/// Propagates input-validation errors; solver infeasibility is part of the
+/// verdict, not an error.
+pub fn replica_check(
+    net: &Network,
+    demand_mw: &[f64],
+    main_ratings_mw: &[f64],
+    replica_ratings_mw: &[f64],
+    tol_mw: f64,
+) -> Result<ReplicaVerdict, CoreError> {
+    let main = DcOpf::new(net)
+        .demand(demand_mw)
+        .ratings(main_ratings_mw)
+        .formulation(Formulation::Angle)
+        .solve();
+    let replica = DcOpf::new(net)
+        .demand(demand_mw)
+        .ratings(replica_ratings_mw)
+        .formulation(Formulation::Ptdf)
+        .solve();
+    match (main, replica) {
+        (Ok(a), Ok(b)) => {
+            let max_div = a
+                .p_mw
+                .iter()
+                .zip(&b.p_mw)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0_f64, f64::max);
+            if max_div <= tol_mw {
+                Ok(ReplicaVerdict::Consistent)
+            } else {
+                Ok(ReplicaVerdict::Mismatch { max_divergence_mw: max_div })
+            }
+        }
+        (Err(CoreError::DispatchInfeasible), Err(CoreError::DispatchInfeasible)) => {
+            Ok(ReplicaVerdict::Consistent)
+        }
+        (Err(CoreError::DispatchInfeasible), Ok(_)) | (Ok(_), Err(CoreError::DispatchInfeasible)) => {
+            Ok(ReplicaVerdict::FeasibilityDisagreement)
+        }
+        (Err(e), _) | (_, Err(e)) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{optimal_attack, AttackConfig};
+
+    #[test]
+    fn honest_inputs_consistent() {
+        let net = ed_cases::three_bus();
+        let ratings = net.static_ratings_mva();
+        let v = replica_check(&net, &net.demand_vector_mw(), &ratings, &ratings, 0.5).unwrap();
+        assert_eq!(v, ReplicaVerdict::Consistent);
+    }
+
+    /// The paper's attack corrupts one controller's memory; the
+    /// uncorrupted replica disagrees and the attack is detected.
+    #[test]
+    fn one_sided_corruption_detected() {
+        let net = ed_cases::three_bus();
+        let config = AttackConfig::new(ed_cases::three_bus::dlr_lines())
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![160.0, 160.0]);
+        let attack = optimal_attack(&net, &config).unwrap();
+        let corrupted = config.ratings_with(&net, &attack.ua_mw);
+        let honest = config.true_ratings_vector(&net);
+        let v = replica_check(&net, &net.demand_vector_mw(), &corrupted, &honest, 0.5).unwrap();
+        assert!(
+            matches!(
+                v,
+                ReplicaVerdict::Mismatch { .. } | ReplicaVerdict::FeasibilityDisagreement
+            ),
+            "corruption went undetected: {v:?}"
+        );
+    }
+
+    #[test]
+    fn quadratic_costs_agree_across_replicas() {
+        let net = ed_cases::three_bus_with(&ed_cases::ThreeBusConfig {
+            quadratic: true,
+            ..Default::default()
+        });
+        let ratings = net.static_ratings_mva();
+        let v = replica_check(&net, &net.demand_vector_mw(), &ratings, &ratings, 0.5).unwrap();
+        assert_eq!(v, ReplicaVerdict::Consistent);
+    }
+}

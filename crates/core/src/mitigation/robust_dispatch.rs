@@ -1,0 +1,158 @@
+//! Attack-aware ("robust") dispatch — Section VII item (iv).
+//!
+//! The key observation: *any* in-bound manipulation `u^a ∈ [u^min, u^max]`
+//! can make the operator load a line up to `u^a ≤ u^max`, while the true
+//! capacity may be as low as the reported value is fake. If the operator
+//! instead dispatches against `min(reported, u^min · (1 + margin))`, the
+//! worst-case overload of the true rating `u^d ≥ u^min` is bounded by the
+//! margin — at the price of a higher generation cost in nominal (honest)
+//! conditions. [`robust_dispatch`] implements that policy and quantifies
+//! the price of robustness.
+
+use crate::dispatch::{DcOpf, Dispatch};
+use crate::CoreError;
+use ed_powerflow::{LineId, Network};
+
+/// Policy parameters for robust dispatch.
+#[derive(Debug, Clone)]
+pub struct RobustConfig {
+    /// DLR-equipped lines whose reports are untrusted.
+    pub dlr_lines: Vec<LineId>,
+    /// Worst-case rating floor per DLR line (`u^min`).
+    pub u_min: Vec<f64>,
+    /// Trust margin above the floor (0.0 = fully conservative: ignore
+    /// reports entirely; 1.0 = trust reports up to `2·u^min`).
+    pub margin: f64,
+}
+
+/// A robust dispatch with its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RobustDispatch {
+    /// The dispatch actually used.
+    pub dispatch: Dispatch,
+    /// The (capped) ratings it was computed against.
+    pub effective_ratings_mw: Vec<f64>,
+    /// Guaranteed bound on the percentage violation of any true rating
+    /// `u^d ≥ u^min`, whatever in-bound values the attacker reports.
+    pub violation_bound_pct: f64,
+}
+
+/// Dispatches against capped ratings `min(reported, u^min·(1+margin))`.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidInput`] on inconsistent configuration.
+/// - [`CoreError::DispatchInfeasible`] if even the capped ratings cannot
+///   serve the demand — the operator must shed load; robustness is not
+///   free.
+pub fn robust_dispatch(
+    net: &Network,
+    demand_mw: &[f64],
+    reported_ratings_mw: &[f64],
+    config: &RobustConfig,
+) -> Result<RobustDispatch, CoreError> {
+    if config.u_min.len() != config.dlr_lines.len() {
+        return Err(CoreError::InvalidInput {
+            what: "u_min length must match dlr_lines".into(),
+        });
+    }
+    if reported_ratings_mw.len() != net.num_lines() {
+        return Err(CoreError::InvalidInput {
+            what: format!(
+                "reported ratings has {} entries for {} lines",
+                reported_ratings_mw.len(),
+                net.num_lines()
+            ),
+        });
+    }
+    if config.margin < 0.0 {
+        return Err(CoreError::InvalidInput { what: "margin must be nonnegative".into() });
+    }
+    let mut effective = reported_ratings_mw.to_vec();
+    for (l, &floor) in config.dlr_lines.iter().zip(&config.u_min) {
+        let cap = floor * (1.0 + config.margin);
+        effective[l.0] = effective[l.0].min(cap);
+    }
+    let dispatch = DcOpf::new(net).demand(demand_mw).ratings(&effective).solve()?;
+    Ok(RobustDispatch {
+        dispatch,
+        effective_ratings_mw: effective,
+        violation_bound_pct: 100.0 * config.margin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{optimal_attack, AttackConfig};
+
+    /// The robust policy bounds what the paper's optimal attack can do.
+    #[test]
+    fn caps_the_optimal_attack() {
+        let net = ed_cases::three_bus();
+        let attack_cfg = AttackConfig::new(ed_cases::three_bus::dlr_lines())
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![130.0, 120.0]);
+        let attack = optimal_attack(&net, &attack_cfg).unwrap();
+        assert!(attack.ucap_pct > 60.0, "unmitigated attack is severe");
+
+        let robust_cfg = RobustConfig {
+            dlr_lines: ed_cases::three_bus::dlr_lines(),
+            u_min: vec![100.0, 100.0],
+            margin: 0.10,
+        };
+        // Operator sees the attacker's ratings but caps them at 110 MW.
+        let reported = attack_cfg.ratings_with(&net, &attack.ua_mw);
+        let robust =
+            robust_dispatch(&net, &net.demand_vector_mw(), &reported, &robust_cfg);
+        match robust {
+            Ok(r) => {
+                // Violation of any true rating >= u_min is bounded by the margin.
+                for (l, &ud) in attack_cfg.dlr_lines.iter().zip(&attack_cfg.u_d) {
+                    let f = r.dispatch.flows_mw[l.0].abs();
+                    assert!(
+                        100.0 * (f / ud - 1.0) <= r.violation_bound_pct + 1e-6,
+                        "flow {f} vs true rating {ud}"
+                    );
+                }
+            }
+            // Capping both feeders at 110 MW cannot serve 300 MW through a
+            // 160 MW third line; load shedding is the honest outcome.
+            Err(CoreError::DispatchInfeasible) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    /// With a workable margin the robust dispatch is feasible and the
+    /// violation bound holds against the recomputed attack.
+    #[test]
+    fn margin_trades_cost_for_safety() {
+        let net = ed_cases::three_bus();
+        let robust_cfg = RobustConfig {
+            dlr_lines: ed_cases::three_bus::dlr_lines(),
+            u_min: vec![100.0, 100.0],
+            margin: 0.5, // trust up to 150 MW
+        };
+        let honest = net.static_ratings_mva();
+        let r = robust_dispatch(&net, &net.demand_vector_mw(), &honest, &robust_cfg).unwrap();
+        // Cost of robustness: >= the unrestricted dispatch cost.
+        let nominal = DcOpf::new(&net).solve().unwrap();
+        assert!(r.dispatch.cost >= nominal.cost - 1e-9);
+        // Effective ratings are capped at 150 on the DLR lines.
+        assert_eq!(r.effective_ratings_mw[1], 150.0);
+        assert_eq!(r.effective_ratings_mw[2], 150.0);
+        assert_eq!(r.violation_bound_pct, 50.0);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let net = ed_cases::three_bus();
+        let cfg = RobustConfig {
+            dlr_lines: ed_cases::three_bus::dlr_lines(),
+            u_min: vec![100.0],
+            margin: 0.1,
+        };
+        assert!(robust_dispatch(&net, &net.demand_vector_mw(), &net.static_ratings_mva(), &cfg)
+            .is_err());
+    }
+}

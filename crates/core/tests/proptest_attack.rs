@@ -1,0 +1,101 @@
+//! Property-based tests for dispatch and the bilevel attack on the paper's
+//! 3-bus system across randomized parameters.
+
+use ed_core::attack::{evaluate_attack, optimal_attack, optimal_attack_with, AttackConfig};
+use ed_core::dispatch::{DcOpf, Formulation};
+use proptest::prelude::*;
+
+fn config(ud13: f64, ud23: f64) -> AttackConfig {
+    AttackConfig::new(ed_cases::three_bus::dlr_lines())
+        .bounds(100.0, 200.0)
+        .true_ratings(vec![ud13, ud23])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The optimal manipulation always stays inside the stealthy band —
+    /// the paper's in-bound stealthiness property (Eq. 12).
+    #[test]
+    fn attack_always_in_bounds(ud13 in 105.0f64..195.0, ud23 in 105.0f64..195.0) {
+        let net = ed_cases::three_bus();
+        match optimal_attack(&net, &config(ud13, ud23)) {
+            Ok(r) => {
+                for &ua in &r.ua_mw {
+                    prop_assert!((100.0..=200.0).contains(&ua), "ua {ua} out of band");
+                }
+            }
+            Err(ed_core::CoreError::DispatchInfeasible) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// The exact bilevel optimum dominates the heuristic.
+    #[test]
+    fn exact_dominates_heuristic(ud13 in 110.0f64..190.0, ud23 in 110.0f64..190.0) {
+        let net = ed_cases::three_bus();
+        let cfg = config(ud13, ud23);
+        let (Ok(exact), Ok(heur)) = (
+            optimal_attack_with(&net, &cfg, true),
+            optimal_attack_with(&net, &cfg, false),
+        ) else { return Ok(()); };
+        prop_assert!(exact.ucap_pct >= heur.ucap_pct - 1e-6);
+    }
+
+    /// Re-dispatching against the reported optimal manipulation reproduces
+    /// at least the predicted violation (the KKT model is consistent with
+    /// the real dispatch response, modulo degenerate ties).
+    #[test]
+    fn evaluation_consistent_with_prediction(ud13 in 110.0f64..190.0, ud23 in 110.0f64..190.0) {
+        let net = ed_cases::three_bus();
+        let cfg = config(ud13, ud23);
+        let Ok(r) = optimal_attack(&net, &cfg) else { return Ok(()); };
+        let Ok(outcome) = evaluate_attack(&net, &cfg, &r.ua_mw) else { return Ok(()); };
+        // The re-dispatch may tie-break differently with linear costs, but
+        // never *exceeds* the attacker's optimum.
+        prop_assert!(
+            outcome.dc_violation_pct <= r.ucap_pct + 1e-4,
+            "measured {} exceeds predicted optimum {}",
+            outcome.dc_violation_pct,
+            r.ucap_pct
+        );
+    }
+
+    /// Both dispatch formulations agree on cost for random demand levels.
+    #[test]
+    fn formulations_agree(demand in 150.0f64..460.0) {
+        let net = ed_cases::three_bus_with(&ed_cases::ThreeBusConfig {
+            quadratic: true,
+            demand_mw: demand,
+            ..Default::default()
+        });
+        let a = DcOpf::new(&net).formulation(Formulation::Angle).solve();
+        let p = DcOpf::new(&net).formulation(Formulation::Ptdf).solve();
+        match (a, p) {
+            (Ok(a), Ok(p)) => {
+                prop_assert!((a.cost - p.cost).abs() < 1e-3 * (1.0 + a.cost.abs()));
+            }
+            (Err(_), Err(_)) => {}
+            (a, p) => prop_assert!(false, "feasibility disagreement: {a:?} vs {p:?}"),
+        }
+    }
+
+    /// Dispatch respects generator limits and line ratings for any demand
+    /// it accepts.
+    #[test]
+    fn dispatch_respects_limits(demand in 100.0f64..470.0) {
+        let net = ed_cases::three_bus_with(&ed_cases::ThreeBusConfig {
+            demand_mw: demand,
+            ..Default::default()
+        });
+        let Ok(d) = DcOpf::new(&net).solve() else { return Ok(()); };
+        for (p, g) in d.p_mw.iter().zip(net.gens()) {
+            prop_assert!(*p >= g.pmin_mw - 1e-6 && *p <= g.pmax_mw + 1e-6);
+        }
+        for (f, u) in d.flows_mw.iter().zip(&net.static_ratings_mva()) {
+            prop_assert!(f.abs() <= u + 1e-6, "flow {f} over rating {u}");
+        }
+        let total: f64 = d.p_mw.iter().sum();
+        prop_assert!((total - demand).abs() < 1e-6);
+    }
+}

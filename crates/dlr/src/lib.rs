@@ -1,0 +1,30 @@
+//! Dynamic Line Rating (DLR) substrate.
+//!
+//! The paper's attack targets the DLR values that line-mounted sensors
+//! report to the EMS (Section II-B, Figure 2): true line capacity varies
+//! with weather and usually exceeds the conservative static rating. This
+//! crate provides everything the experiments need on that front:
+//!
+//! - [`weather`] — deterministic 24-hour weather series (ambient
+//!   temperature, wind speed) with morning/afternoon structure.
+//! - [`thermal`] — a simplified IEEE-738-style conductor thermal model
+//!   mapping weather to an ampacity-based MVA rating (used for Figure 2).
+//! - [`profiles`] — the paper's stylized inputs for Figure 4a: a
+//!   double-peak demand curve and offset sinusoidal DLR patterns bounded by
+//!   `[u_min, u_max]`.
+//! - [`scenario`] — a 24-hour timeline sampled every 15 minutes (96 steps,
+//!   as in the paper's "OPF instantiated every 15 minutes") combining
+//!   demand and per-line DLR series for a given network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profiles;
+pub mod scenario;
+pub mod thermal;
+pub mod weather;
+
+pub use profiles::{DemandProfile, DlrProfile};
+pub use scenario::{Scenario, ScenarioBuilder, TimeStep};
+pub use thermal::{ConductorParams, ThermalModel};
+pub use weather::{Weather, WeatherSeries};

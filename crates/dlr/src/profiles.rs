@@ -1,0 +1,148 @@
+//! The stylized demand and DLR profiles of Figure 4a.
+//!
+//! The paper instantiates OPF every 15 minutes over 24 hours with:
+//! - an aggregate demand curve with *two peaks* (morning and evening), and
+//! - per-line DLR curves with *sinusoidal patterns and a phase offset*
+//!   between lines, bounded by `[u_min, u_max] = [100, 200]` MW.
+
+/// A 24-hour aggregate demand profile with morning and evening peaks.
+#[derive(Debug, Clone)]
+pub struct DemandProfile {
+    /// Base (overnight valley) demand in MW.
+    pub base_mw: f64,
+    /// Additional demand at the peaks in MW.
+    pub peak_mw: f64,
+    /// Hour of the morning peak (paper-style: ~9h).
+    pub morning_peak_h: f64,
+    /// Hour of the evening peak (~19h).
+    pub evening_peak_h: f64,
+}
+
+impl DemandProfile {
+    /// The paper-style profile scaled to a nominal demand: valley at 75% of
+    /// nominal, peaks at ~110%.
+    pub fn double_peak(nominal_mw: f64) -> DemandProfile {
+        DemandProfile {
+            base_mw: 0.75 * nominal_mw,
+            peak_mw: 0.35 * nominal_mw,
+            morning_peak_h: 9.0,
+            evening_peak_h: 19.0,
+        }
+    }
+
+    /// Demand at `hour` (0..24), smooth with two Gaussian-like bumps.
+    pub fn at(&self, hour: f64) -> f64 {
+        let bump = |peak_h: f64, width: f64| {
+            let d = circular_hour_distance(hour, peak_h);
+            (-d * d / (2.0 * width * width)).exp()
+        };
+        self.base_mw + self.peak_mw * (bump(self.morning_peak_h, 2.0) + bump(self.evening_peak_h, 2.5))
+    }
+
+    /// Samples the profile at `steps` uniform points over 24 hours.
+    pub fn sample(&self, steps: usize) -> Vec<f64> {
+        (0..steps)
+            .map(|k| self.at(24.0 * k as f64 / steps as f64))
+            .collect()
+    }
+}
+
+/// Hour distance on the 24 h circle.
+fn circular_hour_distance(a: f64, b: f64) -> f64 {
+    let d = (a - b).rem_euclid(24.0);
+    d.min(24.0 - d)
+}
+
+/// A sinusoidal DLR pattern for one line, clamped to `[u_min, u_max]`
+/// (Figure 4a: "sinusoidal patterns with certain offset between the two").
+#[derive(Debug, Clone, Copy)]
+pub struct DlrProfile {
+    /// Lower permissible rating in MW (paper: 100).
+    pub u_min: f64,
+    /// Upper permissible rating in MW (paper: 200).
+    pub u_max: f64,
+    /// Phase offset in hours between this line's pattern and hour 0.
+    pub phase_h: f64,
+    /// Number of full cycles per day (paper figures suggest ~1).
+    pub cycles_per_day: f64,
+}
+
+impl DlrProfile {
+    /// A pattern spanning `[u_min, u_max]` with the given phase offset.
+    pub fn sinusoidal(u_min: f64, u_max: f64, phase_h: f64) -> DlrProfile {
+        DlrProfile { u_min, u_max, phase_h, cycles_per_day: 1.0 }
+    }
+
+    /// Rating at `hour` (0..24) in MW.
+    pub fn at(&self, hour: f64) -> f64 {
+        let mid = 0.5 * (self.u_min + self.u_max);
+        let amp = 0.5 * (self.u_max - self.u_min);
+        let angle = (hour - self.phase_h) / 24.0 * self.cycles_per_day * std::f64::consts::TAU;
+        (mid + amp * angle.sin()).clamp(self.u_min, self.u_max)
+    }
+
+    /// Samples the profile at `steps` uniform points over 24 hours.
+    pub fn sample(&self, steps: usize) -> Vec<f64> {
+        (0..steps)
+            .map(|k| self.at(24.0 * k as f64 / steps as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_has_two_peaks() {
+        let p = DemandProfile::double_peak(300.0);
+        let s = p.sample(96);
+        // Count local maxima on the circular series.
+        let n = s.len();
+        let peaks = (0..n)
+            .filter(|&i| s[i] > s[(i + n - 1) % n] && s[i] > s[(i + 1) % n])
+            .count();
+        assert_eq!(peaks, 2, "series {s:?}");
+    }
+
+    #[test]
+    fn demand_valley_overnight() {
+        let p = DemandProfile::double_peak(300.0);
+        assert!(p.at(3.0) < p.at(9.0));
+        assert!(p.at(3.0) < p.at(19.0));
+        assert!((p.at(3.0) - 225.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn dlr_respects_bounds() {
+        let d = DlrProfile::sinusoidal(100.0, 200.0, 5.0);
+        for v in d.sample(96) {
+            assert!((100.0..=200.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn dlr_phase_offset_shifts_pattern() {
+        let a = DlrProfile::sinusoidal(100.0, 200.0, 0.0);
+        let b = DlrProfile::sinusoidal(100.0, 200.0, 6.0);
+        // A 6-hour offset on a 24-hour sine is a quarter period.
+        assert!((a.at(6.0) - b.at(12.0)).abs() < 1e-9);
+        assert!((a.at(0.0) - b.at(6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dlr_spans_full_range() {
+        let d = DlrProfile::sinusoidal(100.0, 200.0, 0.0);
+        let s = d.sample(96);
+        let max = s.iter().cloned().fold(f64::MIN, f64::max);
+        let min = s.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 195.0 && min < 105.0);
+    }
+
+    #[test]
+    fn circular_distance() {
+        assert_eq!(circular_hour_distance(23.0, 1.0), 2.0);
+        assert_eq!(circular_hour_distance(1.0, 23.0), 2.0);
+        assert_eq!(circular_hour_distance(12.0, 0.0), 12.0);
+    }
+}

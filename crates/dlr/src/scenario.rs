@@ -1,0 +1,221 @@
+//! 24-hour attack scenarios: demand and per-line ratings over time.
+//!
+//! A [`Scenario`] packages everything the time-sweep experiments (Figures
+//! 4 and 5) need per step: the bus demand vector and the effective line
+//! ratings — dynamic values `u^d` on DLR-equipped lines, static ratings
+//! `u^s` everywhere else (Eq. 9 of the paper).
+
+use crate::profiles::{DemandProfile, DlrProfile};
+use ed_powerflow::{LineId, Network};
+
+/// One time step of a scenario.
+#[derive(Debug, Clone)]
+pub struct TimeStep {
+    /// Hour of day (0..24).
+    pub hour: f64,
+    /// Active demand per bus in MW.
+    pub demand_mw: Vec<f64>,
+    /// Effective rating per line in MW (DLR where equipped, static
+    /// otherwise).
+    pub ratings_mw: Vec<f64>,
+}
+
+impl TimeStep {
+    /// Total system demand at this step.
+    pub fn total_demand_mw(&self) -> f64 {
+        self.demand_mw.iter().sum()
+    }
+}
+
+/// A 24-hour scenario for a given network.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    steps: Vec<TimeStep>,
+    dlr_lines: Vec<LineId>,
+}
+
+impl Scenario {
+    /// The time steps in chronological order.
+    pub fn steps(&self) -> &[TimeStep] {
+        &self.steps
+    }
+
+    /// Lines equipped with DLR sensors (`E_D` of the paper).
+    pub fn dlr_lines(&self) -> &[LineId] {
+        &self.dlr_lines
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the scenario has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Builder for [`Scenario`].
+///
+/// # Example
+///
+/// ```
+/// use ed_dlr::{ScenarioBuilder, DemandProfile, DlrProfile};
+/// use ed_powerflow::LineId;
+///
+/// let net = ed_cases::three_bus();
+/// let scenario = ScenarioBuilder::new(&net)
+///     .steps(96)
+///     .demand(DemandProfile::double_peak(300.0))
+///     .dlr(LineId(1), DlrProfile::sinusoidal(100.0, 200.0, 5.0))
+///     .dlr(LineId(2), DlrProfile::sinusoidal(100.0, 200.0, 11.0))
+///     .build();
+/// assert_eq!(scenario.len(), 96);
+/// assert_eq!(scenario.dlr_lines().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    base_demand: Vec<f64>,
+    static_ratings: Vec<f64>,
+    steps: usize,
+    demand: Option<DemandProfile>,
+    dlr: Vec<(LineId, DlrProfile)>,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario for `net` (captures demands and static ratings).
+    pub fn new(net: &Network) -> ScenarioBuilder {
+        ScenarioBuilder {
+            base_demand: net.demand_vector_mw(),
+            static_ratings: net.static_ratings_mva(),
+            steps: 96,
+            demand: None,
+            dlr: Vec::new(),
+        }
+    }
+
+    /// Number of uniform steps over 24 h (default 96 = every 15 minutes).
+    pub fn steps(mut self, steps: usize) -> ScenarioBuilder {
+        self.steps = steps;
+        self
+    }
+
+    /// Sets the aggregate demand profile. Without one, demand stays at the
+    /// network's nominal values.
+    pub fn demand(mut self, profile: DemandProfile) -> ScenarioBuilder {
+        self.demand = Some(profile);
+        self
+    }
+
+    /// Marks `line` as DLR-equipped with the given rating profile.
+    pub fn dlr(mut self, line: LineId, profile: DlrProfile) -> ScenarioBuilder {
+        self.dlr.push((line, profile));
+        self
+    }
+
+    /// Builds the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a DLR line id is out of range for the network or `steps`
+    /// is zero.
+    pub fn build(self) -> Scenario {
+        assert!(self.steps > 0, "scenario needs at least one step");
+        for (l, _) in &self.dlr {
+            assert!(l.0 < self.static_ratings.len(), "DLR line {l:?} out of range");
+        }
+        let nominal_total: f64 = self.base_demand.iter().sum();
+        let steps = (0..self.steps)
+            .map(|k| {
+                let hour = 24.0 * k as f64 / self.steps as f64;
+                let scale = match &self.demand {
+                    Some(p) if nominal_total > 0.0 => p.at(hour) / nominal_total,
+                    _ => 1.0,
+                };
+                let demand_mw: Vec<f64> =
+                    self.base_demand.iter().map(|d| d * scale).collect();
+                let mut ratings_mw = self.static_ratings.clone();
+                for (l, profile) in &self.dlr {
+                    ratings_mw[l.0] = profile.at(hour);
+                }
+                TimeStep { hour, demand_mw, ratings_mw }
+            })
+            .collect();
+        Scenario {
+            steps,
+            dlr_lines: self.dlr.iter().map(|&(l, _)| l).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> ed_powerflow::Network {
+        // Local copy of the paper 3-bus to avoid a dev-dependency cycle with
+        // ed-cases.
+        use ed_powerflow::{BusKind, CostCurve, NetworkBuilder};
+        let mut b = NetworkBuilder::new(100.0);
+        let b1 = b.add_bus("B1", BusKind::Slack, 0.0);
+        let b2 = b.add_bus("B2", BusKind::Pv, 0.0);
+        let b3 = b.add_bus("B3", BusKind::Pq, 300.0);
+        b.add_line(b1, b2, 0.002, 0.05, 160.0);
+        b.add_line(b1, b3, 0.002, 0.05, 160.0);
+        b.add_line(b2, b3, 0.002, 0.05, 160.0);
+        b.add_gen(b1, 0.0, 300.0, CostCurve::linear(2.0));
+        b.add_gen(b2, 0.0, 300.0, CostCurve::linear(1.0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_is_constant_nominal() {
+        let s = ScenarioBuilder::new(&net()).steps(4).build();
+        for step in s.steps() {
+            assert_eq!(step.total_demand_mw(), 300.0);
+            assert_eq!(step.ratings_mw, vec![160.0, 160.0, 160.0]);
+        }
+    }
+
+    #[test]
+    fn demand_profile_scales_buses_proportionally() {
+        let s = ScenarioBuilder::new(&net())
+            .steps(96)
+            .demand(DemandProfile::double_peak(300.0))
+            .build();
+        for step in s.steps() {
+            // Only bus 3 has demand, so it carries the whole profile.
+            assert_eq!(step.demand_mw[0], 0.0);
+            assert!((step.demand_mw[2] - step.total_demand_mw()).abs() < 1e-9);
+        }
+        let peak = s.steps().iter().map(TimeStep::total_demand_mw).fold(f64::MIN, f64::max);
+        let valley = s.steps().iter().map(TimeStep::total_demand_mw).fold(f64::MAX, f64::min);
+        assert!(peak > 300.0 && valley < 250.0, "peak {peak} valley {valley}");
+    }
+
+    #[test]
+    fn dlr_lines_get_dynamic_ratings() {
+        let s = ScenarioBuilder::new(&net())
+            .steps(24)
+            .dlr(LineId(1), DlrProfile::sinusoidal(100.0, 200.0, 5.0))
+            .build();
+        let mut seen_non_static = false;
+        for step in s.steps() {
+            assert_eq!(step.ratings_mw[0], 160.0, "non-DLR line stays static");
+            assert_eq!(step.ratings_mw[2], 160.0);
+            if (step.ratings_mw[1] - 160.0).abs() > 1.0 {
+                seen_non_static = true;
+            }
+        }
+        assert!(seen_non_static);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_dlr_line_panics() {
+        let _ = ScenarioBuilder::new(&net())
+            .dlr(LineId(99), DlrProfile::sinusoidal(100.0, 200.0, 0.0))
+            .build();
+    }
+}

@@ -1,0 +1,178 @@
+//! Simplified IEEE-738-style conductor thermal rating model.
+//!
+//! A transmission line's ampacity is set by the steady-state heat balance
+//! `q_joule = q_convection + q_radiation − q_solar`. This module implements
+//! a reduced form of the IEEE Std 738 balance that keeps the two dominant
+//! sensitivities the paper leans on — ambient temperature and wind speed —
+//! and maps ampacity to an MVA rating at nominal voltage. It drives the
+//! Figure 2 reproduction (static vs dynamic rating over a day).
+
+use crate::weather::Weather;
+
+/// Conductor and installation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConductorParams {
+    /// Maximum allowed conductor temperature in °C (typically 75–100).
+    pub max_conductor_c: f64,
+    /// AC resistance at the maximum temperature, Ω/m (e.g. 8.7e-5 for
+    /// "Drake" ACSR).
+    pub resistance_ohm_per_m: f64,
+    /// Conductor outside diameter in m.
+    pub diameter_m: f64,
+    /// Solar absorptivity (0..1).
+    pub absorptivity: f64,
+    /// Emissivity (0..1).
+    pub emissivity: f64,
+    /// Line-to-line nominal voltage in kV (used to convert ampacity to MVA).
+    pub nominal_kv: f64,
+}
+
+impl Default for ConductorParams {
+    fn default() -> Self {
+        // "Drake"-class ACSR on a 230 kV line, as in the paper's 3-bus
+        // example (V_nom = 230 kV).
+        ConductorParams {
+            max_conductor_c: 75.0,
+            resistance_ohm_per_m: 8.688e-5,
+            diameter_m: 0.02814,
+            absorptivity: 0.8,
+            emissivity: 0.8,
+            nominal_kv: 230.0,
+        }
+    }
+}
+
+/// The thermal model: computes ampacity and MVA ratings from weather.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermalModel {
+    params: ConductorParams,
+    /// Solar heat gain in W/m at full sun (scaled by a day-night factor
+    /// supplied per call).
+    solar_w_per_m: f64,
+}
+
+impl ThermalModel {
+    /// Creates a model with the given conductor parameters.
+    pub fn new(params: ConductorParams) -> ThermalModel {
+        ThermalModel { params, solar_w_per_m: 15.0 }
+    }
+
+    /// The conductor parameters in use.
+    pub fn params(&self) -> &ConductorParams {
+        &self.params
+    }
+
+    /// Steady-state ampacity (A) under the given weather.
+    ///
+    /// Uses the IEEE-738 structure with McAdams forced convection and
+    /// Stefan–Boltzmann radiation; natural convection provides a floor at
+    /// near-zero wind.
+    pub fn ampacity_a(&self, weather: &Weather, sun_fraction: f64) -> f64 {
+        let p = &self.params;
+        let tc = p.max_conductor_c;
+        let ta = weather.ambient_c.min(tc - 1.0);
+        let dt = tc - ta;
+        let tfilm = (tc + ta) / 2.0;
+
+        // Air properties at film temperature (engineering fits).
+        let k_air = 2.424e-2 + 7.477e-5 * tfilm - 4.407e-9 * tfilm * tfilm; // W/(m·K)
+        let density = 1.293 / (1.0 + 0.00367 * tfilm); // kg/m^3 at sea level
+        let viscosity = (1.458e-6 * (tfilm + 273.0).powf(1.5)) / (tfilm + 383.4); // kg/(m·s)
+
+        // Forced convection (IEEE 738 low/high Reynolds fits, W/m).
+        let re = density * weather.wind_ms * p.diameter_m / viscosity;
+        let qc_forced_low = (1.01 + 1.35 * re.powf(0.52)) * k_air * dt;
+        let qc_forced_high = 0.754 * re.powf(0.6) * k_air * dt;
+        // Natural convection (W/m).
+        let qc_natural = 3.645 * density.powf(0.5) * p.diameter_m.powf(0.75) * dt.powf(1.25);
+        let qc = qc_forced_low.max(qc_forced_high).max(qc_natural);
+
+        // Radiation (W/m).
+        let t1 = (tc + 273.0) / 100.0;
+        let t2 = (ta + 273.0) / 100.0;
+        let qr = 17.8 * p.diameter_m * p.emissivity * (t1.powi(4) - t2.powi(4));
+
+        // Solar gain (W/m).
+        let qs = p.absorptivity * self.solar_w_per_m * sun_fraction.clamp(0.0, 1.0);
+
+        let net = (qc + qr - qs).max(0.0);
+        (net / p.resistance_ohm_per_m).sqrt()
+    }
+
+    /// Dynamic MVA rating at nominal voltage (three-phase).
+    pub fn rating_mva(&self, weather: &Weather, sun_fraction: f64) -> f64 {
+        let amps = self.ampacity_a(weather, sun_fraction);
+        3f64.sqrt() * self.params.nominal_kv * amps / 1000.0
+    }
+
+    /// Conservative *static* rating: the dynamic rating under worst-case
+    /// assumptions (hot ambient, calm wind, full sun). This is the `u^s`
+    /// the operator falls back to on lines without DLR sensors.
+    pub fn static_rating_mva(&self, worst_ambient_c: f64) -> f64 {
+        self.rating_mva(&Weather { ambient_c: worst_ambient_c, wind_ms: 0.61 }, 1.0)
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel::new(ConductorParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThermalModel {
+        ThermalModel::default()
+    }
+
+    #[test]
+    fn wind_increases_rating() {
+        let m = model();
+        let calm = m.rating_mva(&Weather { ambient_c: 30.0, wind_ms: 0.6 }, 1.0);
+        let breezy = m.rating_mva(&Weather { ambient_c: 30.0, wind_ms: 5.0 }, 1.0);
+        assert!(breezy > 1.3 * calm, "breezy {breezy} vs calm {calm}");
+    }
+
+    #[test]
+    fn heat_decreases_rating() {
+        let m = model();
+        let cool = m.rating_mva(&Weather { ambient_c: 5.0, wind_ms: 2.0 }, 1.0);
+        let hot = m.rating_mva(&Weather { ambient_c: 40.0, wind_ms: 2.0 }, 1.0);
+        assert!(cool > hot);
+    }
+
+    #[test]
+    fn dynamic_exceeds_static_in_favorable_weather() {
+        // Figure 2 of the paper: true (dynamic) capacity is usually above
+        // the conservative static rating.
+        let m = model();
+        let stat = m.static_rating_mva(40.0);
+        let dynamic = m.rating_mva(&Weather { ambient_c: 20.0, wind_ms: 3.0 }, 0.5);
+        assert!(dynamic > stat, "dynamic {dynamic} <= static {stat}");
+    }
+
+    #[test]
+    fn night_sun_fraction_raises_rating() {
+        let m = model();
+        let w = Weather { ambient_c: 25.0, wind_ms: 1.0 };
+        assert!(m.rating_mva(&w, 0.0) > m.rating_mva(&w, 1.0));
+    }
+
+    #[test]
+    fn ratings_in_plausible_range_for_230kv() {
+        // A 230 kV Drake line is good for very roughly 400 MVA; accept a
+        // generous band since the model is simplified.
+        let m = model();
+        let r = m.rating_mva(&Weather { ambient_c: 25.0, wind_ms: 2.0 }, 1.0);
+        assert!(r > 150.0 && r < 700.0, "rating {r}");
+    }
+
+    #[test]
+    fn ambient_above_conductor_limit_clamped() {
+        let m = model();
+        let r = m.rating_mva(&Weather { ambient_c: 120.0, wind_ms: 2.0 }, 1.0);
+        assert!(r.is_finite() && r >= 0.0);
+    }
+}

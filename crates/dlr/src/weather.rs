@@ -1,0 +1,119 @@
+//! Deterministic 24-hour weather series.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A weather sample at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weather {
+    /// Ambient air temperature in °C.
+    pub ambient_c: f64,
+    /// Wind speed perpendicular to the conductor in m/s.
+    pub wind_ms: f64,
+}
+
+/// A seeded 24-hour weather series with diurnal structure.
+///
+/// Temperature follows a sinusoid peaking mid-afternoon; wind is strongest
+/// overnight and weakest in the afternoon (the worst case for line
+/// ampacity, which is exactly when the paper notes attacks pay best —
+/// "during the hot summers and low windy conditions").
+#[derive(Debug, Clone)]
+pub struct WeatherSeries {
+    samples: Vec<Weather>,
+    minutes_per_step: f64,
+}
+
+impl WeatherSeries {
+    /// Generates a series of `steps` samples covering 24 hours.
+    ///
+    /// `mean_temp_c` sets the daily average temperature (e.g. 30 for a
+    /// summer day, 5 for winter); `seed` controls small per-step jitter.
+    pub fn diurnal(steps: usize, mean_temp_c: f64, seed: u64) -> WeatherSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let minutes_per_step = 24.0 * 60.0 / steps as f64;
+        let samples = (0..steps)
+            .map(|k| {
+                let hour = k as f64 * minutes_per_step / 60.0;
+                // Peak temperature ~15:00, trough ~03:00.
+                let phase = (hour - 15.0) / 24.0 * std::f64::consts::TAU;
+                let ambient_c = mean_temp_c + 8.0 * phase.cos() + rng.gen_range(-0.5..0.5);
+                // Wind: 1..6 m/s, lowest mid-afternoon.
+                let wind_phase = (hour - 3.0) / 24.0 * std::f64::consts::TAU;
+                let wind_ms =
+                    (3.5 + 2.5 * wind_phase.cos() + rng.gen_range(-0.3..0.3)).max(0.3);
+                Weather { ambient_c, wind_ms }
+            })
+            .collect();
+        WeatherSeries { samples, minutes_per_step }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample at step `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    pub fn at(&self, k: usize) -> Weather {
+        self.samples[k]
+    }
+
+    /// Minutes between consecutive samples.
+    pub fn minutes_per_step(&self) -> f64 {
+        self.minutes_per_step
+    }
+
+    /// Iterator over samples.
+    pub fn iter(&self) -> impl Iterator<Item = &Weather> {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = WeatherSeries::diurnal(96, 30.0, 1);
+        let b = WeatherSeries::diurnal(96, 30.0, 1);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn afternoon_hotter_than_night() {
+        let w = WeatherSeries::diurnal(96, 30.0, 2);
+        // 15:00 = step 60, 03:00 = step 12.
+        assert!(w.at(60).ambient_c > w.at(12).ambient_c + 5.0);
+    }
+
+    #[test]
+    fn afternoon_wind_lower_than_night() {
+        let w = WeatherSeries::diurnal(96, 30.0, 3);
+        assert!(w.at(60).wind_ms < w.at(12).wind_ms);
+    }
+
+    #[test]
+    fn wind_never_negative() {
+        let w = WeatherSeries::diurnal(96, 30.0, 4);
+        assert!(w.iter().all(|s| s.wind_ms > 0.0));
+    }
+
+    #[test]
+    fn step_spacing() {
+        let w = WeatherSeries::diurnal(96, 20.0, 5);
+        assert_eq!(w.len(), 96);
+        assert!((w.minutes_per_step() - 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the EMS simulation and exploit layers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `ed-ems` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EmsError {
+    /// A memory access touched an unmapped address.
+    Unmapped {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// A write hit a read-only segment (W^X protection, as the paper notes
+    /// for code regions).
+    AccessViolation {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// A heap arena ran out of space.
+    OutOfMemory {
+        /// Bytes that could not be allocated.
+        requested: usize,
+    },
+    /// The exploit could not uniquely identify the target parameter
+    /// (zero or multiple candidates survived the signature).
+    TargetAmbiguous {
+        /// Candidates that survived.
+        survivors: usize,
+    },
+    /// The simulated EMS state is inconsistent (corrupted beyond what its
+    /// own parser tolerates).
+    CorruptState {
+        /// Description.
+        what: String,
+    },
+    /// A dispatch failure from the core layer.
+    Core(ed_core::CoreError),
+}
+
+impl fmt::Display for EmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmsError::Unmapped { addr } => write!(f, "unmapped address {addr:#010x}"),
+            EmsError::AccessViolation { addr } => {
+                write!(f, "write to read-only memory at {addr:#010x}")
+            }
+            EmsError::OutOfMemory { requested } => {
+                write!(f, "heap arena exhausted allocating {requested} bytes")
+            }
+            EmsError::TargetAmbiguous { survivors } => {
+                write!(f, "signature matched {survivors} candidates (need exactly 1)")
+            }
+            EmsError::CorruptState { what } => write!(f, "corrupt EMS state: {what}"),
+            EmsError::Core(e) => write!(f, "dispatch failure: {e}"),
+        }
+    }
+}
+
+impl Error for EmsError {}
+
+impl From<ed_core::CoreError> for EmsError {
+    fn from(e: ed_core::CoreError) -> Self {
+        EmsError::Core(e)
+    }
+}

@@ -1,0 +1,10 @@
+//! Memory forensics: taint-scoped scanning, structural signatures, and
+//! object classification (the offline/online analysis stages of Figure 6).
+
+mod classify;
+mod predicates;
+mod scan;
+
+pub use classify::{classify_objects, ClassificationReport};
+pub use predicates::{Predicate, Signature};
+pub use scan::{recognize_rating, scan_bytes, scan_u32, RecognitionReport, ValueScan};

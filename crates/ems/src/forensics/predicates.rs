@@ -1,0 +1,319 @@
+//! The three structural memory signature kinds of Table II, as logical
+//! predicates evaluated against candidate addresses.
+//!
+//! Signatures must hold regardless of where the heap landed in a given run
+//! ("the signature does not depend on the absolute address values given
+//! the target parameter candidate's location"), so predicates only ever
+//! use offsets relative to the candidate, dereferenced pointers, and the
+//! fixed text/vftable addresses of the binary.
+
+use crate::memory::AddressSpace;
+
+/// One atomic structural check relative to a candidate address.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `u32[cand + off] == value` — intra-class fixed-value pattern
+    /// (e.g. a status field that is always 1).
+    U32At {
+        /// Signed offset from the candidate.
+        off: i64,
+        /// Expected value.
+        value: u32,
+    },
+    /// `u32[cand + off] < bound` — intra-class small-integer pattern
+    /// (e.g. a bus index below the bus count).
+    U32LessAt {
+        /// Signed offset from the candidate.
+        off: i64,
+        /// Exclusive upper bound.
+        bound: u32,
+    },
+    /// `f64[cand + off]` is a whole number in `[lo, hi]` — used for
+    /// MATPOWER-style tables whose id columns are stored as doubles.
+    IntegralF64At {
+        /// Signed offset from the candidate.
+        off: i64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// `f64[cand + off] == value` exactly.
+    F64At {
+        /// Signed offset from the candidate.
+        off: i64,
+        /// Expected value.
+        value: f64,
+    },
+    /// The `u32` at `cand + off` points into a non-writable segment —
+    /// the address-relative *type* pattern for vfptr/code/string-constant
+    /// fields (Table II, left column).
+    TextPtrAt {
+        /// Signed offset from the candidate.
+        off: i64,
+    },
+    /// The `u32` at `cand + off` points into a writable segment (a heap
+    /// pointer, e.g. a name string).
+    HeapPtrAt {
+        /// Signed offset from the candidate.
+        off: i64,
+    },
+    /// Code pointer-instruction pattern (Table II, middle column): the
+    /// object's vfptr at `cand + vfptr_off` leads to a vftable whose
+    /// `entry`-th slot points at code beginning with `prologue`.
+    VftablePrologue {
+        /// Signed offset of the vfptr field from the candidate.
+        vfptr_off: i64,
+        /// Vftable slot index.
+        entry: usize,
+        /// Expected first four instruction bytes.
+        prologue: [u8; 4],
+    },
+    /// The object's vfptr at `cand + vfptr_off` equals a known vftable
+    /// address (vftables live at fixed addresses across runs).
+    VftableAt {
+        /// Signed offset of the vfptr field from the candidate.
+        vfptr_off: i64,
+        /// Expected vftable address.
+        vftable: u32,
+    },
+    /// Data pointer-based pattern (Table II, right column): the node at
+    /// `cand + node_off` sits on a doubly-linked list, verified by the
+    /// cycle `node.prev.next == node`.
+    ListCycle {
+        /// Signed offset of the node base from the candidate.
+        node_off: i64,
+        /// Offset of the `prev` pointer within a node.
+        prev_off: i64,
+        /// Offset of the `next` pointer within a node.
+        next_off: i64,
+    },
+    /// The candidate is an element of a vector registered in a container
+    /// object: some heap object with vfptr == `holder_vftable` stores a
+    /// base pointer at `ptr_off` and a length at `count_off`, and the
+    /// candidate falls on an `elem_size` stride inside that vector
+    /// (a recursive data-pointer pattern, like the paper's graph search).
+    VectorElement {
+        /// Vftable identifying the container class.
+        holder_vftable: u32,
+        /// Offset of the data pointer within the container.
+        ptr_off: i64,
+        /// Offset of the element count (u32) within the container.
+        count_off: i64,
+        /// Element stride in bytes.
+        elem_size: u32,
+        /// Offset of the target field within each element.
+        elem_off: u32,
+    },
+}
+
+fn rel(cand: u32, off: i64) -> Option<u32> {
+    let a = cand as i64 + off;
+    (0..=u32::MAX as i64).contains(&a).then_some(a as u32)
+}
+
+impl Predicate {
+    /// Evaluates the predicate for a candidate address. Any memory fault
+    /// during evaluation means "no match".
+    pub fn matches(&self, mem: &AddressSpace, cand: u32) -> bool {
+        self.try_matches(mem, cand).unwrap_or(false)
+    }
+
+    fn try_matches(&self, mem: &AddressSpace, cand: u32) -> Option<bool> {
+        Some(match *self {
+            Predicate::U32At { off, value } => mem.read_u32(rel(cand, off)?).ok()? == value,
+            Predicate::U32LessAt { off, bound } => mem.read_u32(rel(cand, off)?).ok()? < bound,
+            Predicate::IntegralF64At { off, lo, hi } => {
+                let v = mem.read_f64(rel(cand, off)?).ok()?;
+                v.fract() == 0.0 && v >= lo && v <= hi
+            }
+            Predicate::F64At { off, value } => mem.read_f64(rel(cand, off)?).ok()? == value,
+            Predicate::TextPtrAt { off } => {
+                let p = mem.read_u32(rel(cand, off)?).ok()?;
+                mem.is_text_pointer(p)
+            }
+            Predicate::HeapPtrAt { off } => {
+                let p = mem.read_u32(rel(cand, off)?).ok()?;
+                !mem.is_text_pointer(p) && mem.read(p, 1).is_ok()
+            }
+            Predicate::VftablePrologue { vfptr_off, entry, prologue } => {
+                let vft = mem.read_u32(rel(cand, vfptr_off)?).ok()?;
+                let f = mem.read_u32(vft + 4 * entry as u32).ok()?;
+                mem.read(f, 4).ok()? == prologue
+            }
+            Predicate::VftableAt { vfptr_off, vftable } => {
+                mem.read_u32(rel(cand, vfptr_off)?).ok()? == vftable
+            }
+            Predicate::ListCycle { node_off, prev_off, next_off } => {
+                let node = rel(cand, node_off)?;
+                let prev = mem.read_u32(rel(node, prev_off)?).ok()?;
+                let back = mem.read_u32(rel(prev, next_off)?).ok()?;
+                back == node
+            }
+            Predicate::VectorElement { holder_vftable, ptr_off, count_off, elem_size, elem_off } => {
+                // Recursive pointer traversal: find the container by its
+                // vftable, then check membership.
+                for seg in mem.writable_segments() {
+                    let mut addr = seg.base;
+                    while addr + 4 <= seg.end() {
+                        if mem.read_u32(addr).ok() == Some(holder_vftable) {
+                            let ptr = rel(addr, ptr_off)
+                                .and_then(|a| mem.read_u32(a).ok());
+                            let count = rel(addr, count_off)
+                                .and_then(|a| mem.read_u32(a).ok());
+                            if let (Some(ptr), Some(count)) = (ptr, count) {
+                                let first = ptr as u64 + elem_off as u64;
+                                let span = count as u64 * elem_size as u64;
+                                let c = cand as u64;
+                                if c >= first
+                                    && c < ptr as u64 + span
+                                    && (c - first) % elem_size as u64 == 0
+                                {
+                                    return Some(true);
+                                }
+                            }
+                        }
+                        addr += 4;
+                    }
+                }
+                false
+            }
+        })
+    }
+}
+
+/// A conjunction of predicates — "the generated predicates are combined
+/// into a single conjunctive logical predicate".
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Signature {
+    /// The conjuncts.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Signature {
+    /// A signature from a list of conjuncts.
+    pub fn new(predicates: Vec<Predicate>) -> Signature {
+        Signature { predicates }
+    }
+
+    /// `true` if every predicate holds for the candidate.
+    pub fn matches(&self, mem: &AddressSpace, cand: u32) -> bool {
+        self.predicates.iter().all(|p| p.matches(mem, cand))
+    }
+
+    /// Filters a candidate list down to signature survivors.
+    pub fn filter(&self, mem: &AddressSpace, candidates: &[u32]) -> Vec<u32> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| self.matches(mem, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Perm;
+
+    fn space() -> AddressSpace {
+        let mut m = AddressSpace::new();
+        m.map(".text", 0x0040_0000, 0x100, Perm::ReadExecute);
+        m.map("heap", 0x1000, 0x200, Perm::ReadWrite);
+        m
+    }
+
+    #[test]
+    fn u32_and_bounds() {
+        let mut m = space();
+        m.write_u32(0x1010, 7).unwrap();
+        assert!(Predicate::U32At { off: 0x10, value: 7 }.matches(&m, 0x1000));
+        assert!(!Predicate::U32At { off: 0x10, value: 8 }.matches(&m, 0x1000));
+        assert!(Predicate::U32LessAt { off: 0x10, bound: 8 }.matches(&m, 0x1000));
+        assert!(!Predicate::U32LessAt { off: 0x10, bound: 7 }.matches(&m, 0x1000));
+    }
+
+    #[test]
+    fn fault_means_no_match() {
+        let m = space();
+        assert!(!Predicate::U32At { off: -0x10_000, value: 0 }.matches(&m, 0x1000));
+    }
+
+    #[test]
+    fn text_and_heap_pointers() {
+        let mut m = space();
+        m.write_u32(0x1000, 0x0040_0010).unwrap(); // text ptr
+        m.write_u32(0x1004, 0x1100).unwrap(); // heap ptr
+        assert!(Predicate::TextPtrAt { off: 0 }.matches(&m, 0x1000));
+        assert!(!Predicate::HeapPtrAt { off: 0 }.matches(&m, 0x1000));
+        assert!(Predicate::HeapPtrAt { off: 4 }.matches(&m, 0x1000));
+    }
+
+    #[test]
+    fn list_cycle() {
+        let mut m = space();
+        // Two nodes at 0x1000 and 0x1040; prev at +4, next at +8.
+        m.write_u32(0x1004, 0x1040).unwrap(); // A.prev = B
+        m.write_u32(0x1048, 0x1000).unwrap(); // B.next = A
+        let p = Predicate::ListCycle { node_off: 0, prev_off: 4, next_off: 8 };
+        assert!(p.matches(&m, 0x1000));
+        // Break the cycle.
+        m.write_u32(0x1048, 0x1044).unwrap();
+        assert!(!p.matches(&m, 0x1000));
+    }
+
+    #[test]
+    fn vftable_prologue() {
+        let mut m = space();
+        m.poke(0x0040_0000, &[0x53, 0x56, 0x8B, 0xF2]).unwrap();
+        // vftable in heap for test simplicity at 0x1100: slot 0 -> fn.
+        m.write_u32(0x1100, 0x0040_0000).unwrap();
+        m.write_u32(0x1000, 0x1100).unwrap(); // object vfptr
+        let p = Predicate::VftablePrologue {
+            vfptr_off: 0,
+            entry: 0,
+            prologue: [0x53, 0x56, 0x8B, 0xF2],
+        };
+        assert!(p.matches(&m, 0x1000));
+        let q = Predicate::VftablePrologue {
+            vfptr_off: 0,
+            entry: 0,
+            prologue: [0x90, 0x90, 0x90, 0x90],
+        };
+        assert!(!q.matches(&m, 0x1000));
+    }
+
+    #[test]
+    fn vector_element() {
+        let mut m = space();
+        // Container at 0x1000: vfptr 0xAA55 (fake), ptr at +4 -> 0x1100,
+        // count at +8 = 3, elements of 8 bytes.
+        m.write_u32(0x1000, 0x0040_0020).unwrap();
+        m.write_u32(0x1004, 0x1100).unwrap();
+        m.write_u32(0x1008, 3).unwrap();
+        let p = Predicate::VectorElement {
+            holder_vftable: 0x0040_0020,
+            ptr_off: 4,
+            count_off: 8,
+            elem_size: 8,
+            elem_off: 0,
+        };
+        assert!(p.matches(&m, 0x1100));
+        assert!(p.matches(&m, 0x1110));
+        assert!(!p.matches(&m, 0x1104), "misaligned element");
+        assert!(!p.matches(&m, 0x1118), "past the end");
+    }
+
+    #[test]
+    fn signature_conjunction() {
+        let mut m = space();
+        m.write_u32(0x1010, 1).unwrap();
+        m.write_u32(0x1014, 2).unwrap();
+        let sig = Signature::new(vec![
+            Predicate::U32At { off: 0, value: 1 },
+            Predicate::U32At { off: 4, value: 2 },
+        ]);
+        assert!(sig.matches(&m, 0x1010));
+        assert_eq!(sig.filter(&m, &[0x1010, 0x1014]), vec![0x1010]);
+    }
+}

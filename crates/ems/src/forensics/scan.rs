@@ -1,0 +1,176 @@
+//! Value scanning over writable memory, with taint scoping and the
+//! hit/relevant/recognized accounting of Table III.
+
+use crate::forensics::Signature;
+use crate::memory::AddressSpace;
+use crate::packages::EmsInstance;
+
+/// Finds every 4-aligned occurrence of `pattern` in writable segments.
+pub fn scan_bytes(mem: &AddressSpace, pattern: &[u8]) -> Vec<u32> {
+    let mut hits = Vec::new();
+    for seg in mem.writable_segments() {
+        let data = &seg.data;
+        if pattern.len() > data.len() {
+            continue;
+        }
+        let mut off = 0usize;
+        while off + pattern.len() <= data.len() {
+            if &data[off..off + pattern.len()] == pattern {
+                hits.push(seg.base + off as u32);
+            }
+            off += 4;
+        }
+    }
+    hits
+}
+
+/// Finds every 4-aligned occurrence of a `u32` value (e.g. a vftable
+/// address) in writable segments.
+pub fn scan_u32(mem: &AddressSpace, value: u32) -> Vec<u32> {
+    scan_bytes(mem, &value.to_le_bytes())
+}
+
+/// A value scan scoped to an instance, optionally taint-restricted.
+#[derive(Debug, Clone)]
+pub struct ValueScan {
+    /// Restrict hits to tainted ranges (the taint-tracking stage of
+    /// Figure 6 "narrows down the search space").
+    pub tainted_only: bool,
+}
+
+impl Default for ValueScan {
+    fn default() -> Self {
+        ValueScan { tainted_only: false }
+    }
+}
+
+impl ValueScan {
+    /// Scans for the stored representation of a rating value (MW).
+    pub fn find_rating(&self, instance: &EmsInstance, mw: f64) -> Vec<u32> {
+        let pattern = instance.rating_repr.encode(mw);
+        let mut hits = scan_bytes(&instance.memory, &pattern);
+        if self.tainted_only {
+            hits.retain(|&a| instance.is_tainted(a));
+        }
+        hits
+    }
+}
+
+/// Table III accounting for one target value.
+#[derive(Debug, Clone)]
+pub struct RecognitionReport {
+    /// Human-readable rendering of the searched value (hex of its bytes).
+    pub value_repr: String,
+    /// Raw scan hits.
+    pub hits: usize,
+    /// Ground-truth parameter addresses holding this value.
+    pub relevant: usize,
+    /// Signature survivors.
+    pub recognized: usize,
+    /// Survivors that are ground-truth parameters.
+    pub correct: usize,
+}
+
+impl RecognitionReport {
+    /// Recognition accuracy in percent: survivors must be exactly the
+    /// relevant set.
+    pub fn accuracy_pct(&self) -> f64 {
+        if self.relevant == 0 {
+            return if self.recognized == 0 { 100.0 } else { 0.0 };
+        }
+        if self.recognized == self.correct {
+            100.0 * self.correct as f64 / self.relevant as f64
+        } else {
+            // False positives survived: penalize.
+            100.0 * self.correct as f64 / self.recognized.max(self.relevant) as f64
+        }
+    }
+}
+
+/// Runs the full Table III experiment for one rating value: scan, filter
+/// by signature, compare against ground truth.
+pub fn recognize_rating(
+    instance: &EmsInstance,
+    signature: &Signature,
+    mw: f64,
+    scan: &ValueScan,
+) -> RecognitionReport {
+    let pattern = instance.rating_repr.encode(mw);
+    let hits = scan.find_rating(instance, mw);
+    let survivors = signature.filter(&instance.memory, &hits);
+    let truth: Vec<u32> = instance
+        .rating_addrs
+        .iter()
+        .copied()
+        .filter(|&a| {
+            instance
+                .memory
+                .read(a, pattern.len())
+                .map(|b| b == pattern)
+                .unwrap_or(false)
+        })
+        .collect();
+    let correct = survivors.iter().filter(|a| truth.contains(a)).count();
+    RecognitionReport {
+        value_repr: format!(
+            "0x{}",
+            pattern.iter().rev().map(|b| format!("{b:02X}")).collect::<String>()
+        ),
+        hits: hits.len(),
+        relevant: truth.len(),
+        recognized: survivors.len(),
+        correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Perm;
+
+    #[test]
+    fn scan_finds_aligned_occurrences() {
+        let mut m = AddressSpace::new();
+        m.map("heap", 0x1000, 0x100, Perm::ReadWrite);
+        m.write_f32(0x1010, 1.5).unwrap();
+        m.write_f32(0x1050, 1.5).unwrap();
+        let hits = scan_bytes(&m, &1.5f32.to_le_bytes());
+        assert_eq!(hits, vec![0x1010, 0x1050]);
+    }
+
+    #[test]
+    fn scan_skips_readonly() {
+        let mut m = AddressSpace::new();
+        m.map("ro", 0x1000, 0x100, Perm::ReadOnly);
+        m.poke(0x1010, &1.5f32.to_le_bytes()).unwrap();
+        assert!(scan_bytes(&m, &1.5f32.to_le_bytes()).is_empty());
+    }
+
+    #[test]
+    fn scan_u32_matches_pointer_values() {
+        let mut m = AddressSpace::new();
+        m.map("heap", 0x1000, 0x100, Perm::ReadWrite);
+        m.write_u32(0x1020, 0x02A4_5A30).unwrap();
+        assert_eq!(scan_u32(&m, 0x02A4_5A30), vec![0x1020]);
+    }
+
+    #[test]
+    fn accuracy_math() {
+        let r = RecognitionReport {
+            value_repr: "x".into(),
+            hits: 143,
+            relevant: 3,
+            recognized: 3,
+            correct: 3,
+        };
+        assert_eq!(r.accuracy_pct(), 100.0);
+        let bad = RecognitionReport {
+            value_repr: "x".into(),
+            hits: 10,
+            relevant: 2,
+            recognized: 4,
+            correct: 2,
+        };
+        assert!(bad.accuracy_pct() < 100.0);
+    }
+}

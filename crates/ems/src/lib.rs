@@ -1,0 +1,45 @@
+//! Simulated EMS software and the memory-corruption attack implementation
+//! (Sections V–VI of the paper).
+//!
+//! The paper demonstrates its attack on five commercial/open EMS packages
+//! by (i) reverse-engineering where each package keeps line-rating
+//! parameters in process memory, (ii) extracting *address-independent*
+//! structural signatures around those parameters, and (iii) using the
+//! signatures at attack time to locate and overwrite the values, so the
+//! next dispatch loop consumes corrupted data.
+//!
+//! We cannot ship Windows process images, so this crate simulates the
+//! essential substrate faithfully (DESIGN.md §5):
+//!
+//! - [`memory`] — a 32-bit virtual [`memory::AddressSpace`] with read-only
+//!   text/vftable segments and writable heap arenas whose base addresses
+//!   vary run to run (the reason the paper needs signatures instead of
+//!   absolute addresses).
+//! - [`packages`] — five EMS models with genuinely different in-memory
+//!   layouts, modeled on the paper's published reverse-engineering detail
+//!   (PowerWorld's `TTRLine` doubly-linked list with the rating at offset
+//!   `0x24`, PowerTools' MATPOWER-style branch matrix of Fig. 8c, ...).
+//!   Each package *reads its ratings back out of simulated memory* to run
+//!   economic dispatch, so memory corruption genuinely propagates into
+//!   control outputs.
+//! - [`forensics`] — taint marking, value scanning, vftable-based object
+//!   classification (Table IV) and the three signature kinds of Table II
+//!   (intra-class type patterns, code-pointer patterns, data-pointer /
+//!   linked-list-cycle patterns) with recognition accounting (Table III).
+//! - [`exploit`] / [`pipeline`] — the end-to-end attack: compute the
+//!   adversary-optimal ratings with `ed-core`, locate the true parameters
+//!   by signature, overwrite them, re-run the EMS dispatch loop, and report
+//!   the unsafe post-attack state (Figure 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod exploit;
+pub mod forensics;
+pub mod memory;
+pub mod packages;
+pub mod pipeline;
+
+pub use error::EmsError;
+pub use packages::{EmsInstance, EmsPackage, ObjectClass, ObjectRecord};

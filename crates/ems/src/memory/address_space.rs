@@ -1,0 +1,271 @@
+//! Segmented virtual memory with permissions.
+
+use crate::EmsError;
+
+/// Segment permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perm {
+    /// Read + execute (code); writes fault, as under W^X.
+    ReadExecute,
+    /// Read-only data (vftables, constants).
+    ReadOnly,
+    /// Read + write (heap, data).
+    ReadWrite,
+}
+
+/// A contiguous mapped region.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Base virtual address.
+    pub base: u32,
+    /// Backing bytes.
+    pub data: Vec<u8>,
+    /// Access permissions.
+    pub perm: Perm,
+    /// Human-readable name (".text", "heap-0", ...).
+    pub name: String,
+}
+
+impl Segment {
+    /// End address (exclusive).
+    pub fn end(&self) -> u32 {
+        self.base + self.data.len() as u32
+    }
+
+    /// `true` if `addr` lies inside this segment.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// A simulated 32-bit address space: ordered, non-overlapping segments.
+///
+/// All multi-byte accesses are little-endian, matching the x86 hexdumps in
+/// the paper's Figures 7–8.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    segments: Vec<Segment>,
+}
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace { segments: Vec::new() }
+    }
+
+    /// Maps a new zero-filled segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing segment or wraps the
+    /// 32-bit space.
+    pub fn map(&mut self, name: &str, base: u32, size: usize, perm: Perm) -> &mut Segment {
+        let end = base
+            .checked_add(size as u32)
+            .unwrap_or_else(|| panic!("segment {name} wraps the address space"));
+        for s in &self.segments {
+            assert!(
+                end <= s.base || base >= s.end(),
+                "segment {name} [{base:#x},{end:#x}) overlaps {} [{:#x},{:#x})",
+                s.name,
+                s.base,
+                s.end()
+            );
+        }
+        self.segments.push(Segment { base, data: vec![0; size], perm, name: name.to_string() });
+        self.segments.sort_by_key(|s| s.base);
+        self.segments
+            .iter_mut()
+            .find(|s| s.base == base)
+            .expect("just inserted")
+    }
+
+    /// All segments, ordered by base address.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Writable segments only (the exploit's search space).
+    pub fn writable_segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(|s| s.perm == Perm::ReadWrite)
+    }
+
+    fn locate(&self, addr: u32) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.contains(addr))
+    }
+
+    fn locate_mut(&mut self, addr: u32) -> Option<&mut Segment> {
+        self.segments.iter_mut().find(|s| s.contains(addr))
+    }
+
+    /// Reads `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::Unmapped`] if any byte is outside a segment.
+    pub fn read(&self, addr: u32, len: usize) -> Result<&[u8], EmsError> {
+        let seg = self.locate(addr).ok_or(EmsError::Unmapped { addr })?;
+        let off = (addr - seg.base) as usize;
+        if off + len > seg.data.len() {
+            return Err(EmsError::Unmapped { addr: seg.end() });
+        }
+        Ok(&seg.data[off..off + len])
+    }
+
+    /// Writes bytes (must land in one writable segment).
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::Unmapped`] / [`EmsError::AccessViolation`].
+    pub fn write(&mut self, addr: u32, bytes: &[u8]) -> Result<(), EmsError> {
+        let seg = self.locate_mut(addr).ok_or(EmsError::Unmapped { addr })?;
+        if seg.perm != Perm::ReadWrite {
+            return Err(EmsError::AccessViolation { addr });
+        }
+        let off = (addr - seg.base) as usize;
+        if off + bytes.len() > seg.data.len() {
+            return Err(EmsError::Unmapped { addr: seg.end() });
+        }
+        seg.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Raw write ignoring permissions — used only by image *construction*
+    /// (the loader writes code into `.text`; the exploit must use
+    /// [`AddressSpace::write`]).
+    pub fn poke(&mut self, addr: u32, bytes: &[u8]) -> Result<(), EmsError> {
+        let seg = self.locate_mut(addr).ok_or(EmsError::Unmapped { addr })?;
+        let off = (addr - seg.base) as usize;
+        if off + bytes.len() > seg.data.len() {
+            return Err(EmsError::Unmapped { addr: seg.end() });
+        }
+        seg.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::Unmapped`].
+    pub fn read_u32(&self, addr: u32) -> Result<u32, EmsError> {
+        let b = self.read(addr, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::Unmapped`].
+    pub fn read_f32(&self, addr: u32) -> Result<f32, EmsError> {
+        Ok(f32::from_bits(self.read_u32(addr)?))
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::Unmapped`].
+    pub fn read_f64(&self, addr: u32) -> Result<f64, EmsError> {
+        let b = self.read(addr, 8)?;
+        Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Writes a little-endian `u32` (permission-checked).
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::Unmapped`] / [`EmsError::AccessViolation`].
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), EmsError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `f32` (permission-checked).
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::Unmapped`] / [`EmsError::AccessViolation`].
+    pub fn write_f32(&mut self, addr: u32, v: f32) -> Result<(), EmsError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `f64` (permission-checked).
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::Unmapped`] / [`EmsError::AccessViolation`].
+    pub fn write_f64(&mut self, addr: u32, v: f64) -> Result<(), EmsError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// `true` if `addr` points into an executable or read-only segment —
+    /// the heuristic the forensics layer uses to recognize code/vftable
+    /// pointers.
+    pub fn is_text_pointer(&self, addr: u32) -> bool {
+        self.locate(addr)
+            .map(|s| s.perm != Perm::ReadWrite)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_read_write_roundtrip() {
+        let mut m = AddressSpace::new();
+        m.map("heap", 0x1000, 0x100, Perm::ReadWrite);
+        m.write_u32(0x1010, 0xDEADBEEF).unwrap();
+        assert_eq!(m.read_u32(0x1010).unwrap(), 0xDEADBEEF);
+        m.write_f64(0x1020, 1.5).unwrap();
+        assert_eq!(m.read_f64(0x1020).unwrap(), 1.5);
+        m.write_f32(0x1030, 1.5).unwrap();
+        assert_eq!(m.read_u32(0x1030).unwrap(), 0x3FC00000); // the paper's value
+    }
+
+    #[test]
+    fn wx_protection() {
+        let mut m = AddressSpace::new();
+        m.map("text", 0x400000, 0x100, Perm::ReadExecute);
+        assert!(matches!(
+            m.write_u32(0x400000, 1),
+            Err(EmsError::AccessViolation { .. })
+        ));
+        // But the loader can poke.
+        m.poke(0x400000, &[0x53, 0x56, 0x8B, 0xF2]).unwrap();
+        assert_eq!(m.read(0x400000, 4).unwrap(), &[0x53, 0x56, 0x8B, 0xF2]);
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let m = AddressSpace::new();
+        assert!(matches!(m.read_u32(0x42), Err(EmsError::Unmapped { .. })));
+    }
+
+    #[test]
+    fn cross_segment_read_faults() {
+        let mut m = AddressSpace::new();
+        m.map("a", 0x1000, 0x10, Perm::ReadWrite);
+        assert!(m.read(0x100C, 8).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_rejected() {
+        let mut m = AddressSpace::new();
+        m.map("a", 0x1000, 0x100, Perm::ReadWrite);
+        m.map("b", 0x1080, 0x100, Perm::ReadWrite);
+    }
+
+    #[test]
+    fn text_pointer_detection() {
+        let mut m = AddressSpace::new();
+        m.map("text", 0x400000, 0x100, Perm::ReadExecute);
+        m.map("heap", 0x1000, 0x100, Perm::ReadWrite);
+        assert!(m.is_text_pointer(0x400010));
+        assert!(!m.is_text_pointer(0x1000));
+        assert!(!m.is_text_pointer(0x9999));
+    }
+}

@@ -1,0 +1,59 @@
+//! Hexdump rendering in the style of the paper's Figures 7b and 8.
+
+use crate::memory::AddressSpace;
+
+/// Renders `len` bytes starting at `addr` as 16-byte hexdump rows
+/// (`ADDRESS  XX XX ... |ascii|`). Unmapped bytes render as `..`.
+pub fn hexdump(mem: &AddressSpace, addr: u32, len: usize) -> String {
+    let mut out = String::new();
+    let start = addr & !0xF;
+    let end = addr as u64 + len as u64;
+    let mut row = start;
+    while (row as u64) < end {
+        out.push_str(&format!("{row:08X}  "));
+        let mut ascii = String::with_capacity(16);
+        for i in 0..16u32 {
+            let a = row + i;
+            match mem.read(a, 1) {
+                Ok(b) => {
+                    out.push_str(&format!("{:02X} ", b[0]));
+                    ascii.push(if b[0].is_ascii_graphic() { b[0] as char } else { '.' });
+                }
+                Err(_) => {
+                    out.push_str(".. ");
+                    ascii.push(' ');
+                }
+            }
+            if i == 7 {
+                out.push(' ');
+            }
+        }
+        out.push_str(&format!(" |{ascii}|\n"));
+        row += 16;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Perm;
+
+    #[test]
+    fn formats_rows() {
+        let mut m = AddressSpace::new();
+        m.map("heap", 0x06410810, 0x40, Perm::ReadWrite);
+        m.write_u32(0x06410830, 0x3FC00000).unwrap();
+        let dump = hexdump(&m, 0x06410810, 0x30);
+        assert!(dump.contains("06410810"));
+        assert!(dump.contains("00 00 C0 3F"), "little-endian f32 1.5:\n{dump}");
+        assert_eq!(dump.lines().count(), 3);
+    }
+
+    #[test]
+    fn unmapped_shown_as_dots() {
+        let m = AddressSpace::new();
+        let dump = hexdump(&m, 0x1000, 0x10);
+        assert!(dump.contains(".."));
+    }
+}

@@ -1,0 +1,9 @@
+//! The simulated 32-bit process address space.
+
+mod address_space;
+mod alloc;
+mod hexdump;
+
+pub use address_space::{AddressSpace, Perm, Segment};
+pub use alloc::HeapArena;
+pub use hexdump::hexdump;

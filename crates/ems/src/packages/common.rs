@@ -1,0 +1,123 @@
+//! Machinery shared by all package builders: text/vftable construction and
+//! decoy salting.
+
+use crate::memory::{AddressSpace, HeapArena, Perm};
+use crate::EmsError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed text-segment base shared by the simulated binaries (the paper's
+/// PowerWorld functions live around `0x01375A8C`).
+pub(crate) const TEXT_BASE: u32 = 0x0137_0000;
+/// Fixed read-only data base (vftables; the paper's PowerWorld VMT sits at
+/// `0x02A45A30`).
+pub(crate) const RDATA_BASE: u32 = 0x02A4_0000;
+/// Heap arena bases (the paper's PowerWorld heap hexdumps are around
+/// `0x0641_0810`).
+pub(crate) const HEAP_BASE: u32 = 0x0640_0000;
+/// Second arena for strings/telemetry.
+pub(crate) const HEAP2_BASE: u32 = 0x0500_0000;
+
+/// Distinct x86 function prologues used for synthetic function bodies
+/// (`push ebx; push esi; mov esi,edx` appears in the paper's Figure 7a).
+pub(crate) const PROLOGUES: [[u8; 4]; 4] = [
+    [0x53, 0x56, 0x8B, 0xF2], // push ebx; push esi; mov esi, edx
+    [0x55, 0x8B, 0xEC, 0x83], // push ebp; mov ebp, esp; sub esp, ..
+    [0x56, 0x57, 0x8B, 0xF9], // push esi; push edi; mov edi, ecx
+    [0x53, 0x8B, 0xD8, 0x85], // push ebx; mov ebx, eax; test ..
+];
+
+/// The code/vftable skeleton of a simulated binary.
+#[derive(Debug, Clone)]
+pub(crate) struct TextLayout {
+    /// Addresses of synthetic functions, in definition order.
+    pub functions: Vec<u32>,
+    /// Next free offset in `.rdata` for vftable placement.
+    rdata_cursor: u32,
+}
+
+impl TextLayout {
+    /// Maps `.text` and `.rdata` and fills `.text` with `n_functions`
+    /// synthetic functions of 0x40 bytes each. Function *content* is
+    /// deterministic per package (`content_seed`), independent of the heap
+    /// seed — a binary's code does not change between runs.
+    pub fn build(mem: &mut AddressSpace, n_functions: usize, content_seed: u64) -> TextLayout {
+        let mut rng = StdRng::seed_from_u64(content_seed);
+        mem.map(".text", TEXT_BASE, n_functions * 0x40, Perm::ReadExecute);
+        mem.map(".rdata", RDATA_BASE, 0x2000, Perm::ReadOnly);
+        let mut functions = Vec::with_capacity(n_functions);
+        for i in 0..n_functions {
+            let addr = TEXT_BASE + (i as u32) * 0x40;
+            let prologue = PROLOGUES[i % PROLOGUES.len()];
+            let mut body = prologue.to_vec();
+            while body.len() < 0x40 {
+                body.push(rng.gen());
+            }
+            mem.poke(addr, &body).expect("text mapped");
+            functions.push(addr);
+        }
+        TextLayout { functions, rdata_cursor: RDATA_BASE }
+    }
+
+    /// Emits a vftable referencing the given function indices; returns its
+    /// (fixed) address in `.rdata`.
+    pub fn add_vftable(&mut self, mem: &mut AddressSpace, entries: &[usize]) -> u32 {
+        let addr = self.rdata_cursor;
+        for (k, &fi) in entries.iter().enumerate() {
+            let f = self.functions[fi % self.functions.len()];
+            mem.poke(addr + 4 * k as u32, &f.to_le_bytes())
+                .expect("rdata mapped");
+        }
+        self.rdata_cursor += 4 * entries.len() as u32 + 0x10;
+        addr
+    }
+}
+
+/// Writes a NUL-terminated name string into an arena; returns its address.
+pub(crate) fn alloc_string(
+    mem: &mut AddressSpace,
+    arena: &mut HeapArena,
+    s: &str,
+) -> Result<u32, EmsError> {
+    let addr = arena.alloc(s.len() + 1, 4)?;
+    mem.write(addr, s.as_bytes())?;
+    mem.write(addr + s.len() as u32, &[0])?;
+    Ok(addr)
+}
+
+/// Salts the image with a telemetry buffer containing stale copies of the
+/// rating values plus noise — these are the false-positive "hits" of
+/// Table III that plain value scanning cannot tell from the real
+/// parameters. The buffer is tainted (it *is* SCADA-derived data).
+///
+/// Returns the `(start, end)` range of the buffer.
+pub(crate) fn salt_telemetry(
+    mem: &mut AddressSpace,
+    arena: &mut HeapArena,
+    rating_bytes: &[Vec<u8>],
+    copies_per_value: usize,
+    seed: u64,
+) -> Result<(u32, u32), EmsError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E1E_0E7E);
+    let width = rating_bytes.first().map_or(8, Vec::len);
+    let slots = rating_bytes.len() * copies_per_value * 3;
+    let start = arena.alloc(slots * width, 8)?;
+    let mut cursor = start;
+    for bytes in rating_bytes {
+        for _ in 0..copies_per_value {
+            mem.write(cursor, bytes)?;
+            cursor += width as u32;
+            // Two noise slots between copies (plausible measurements).
+            for _ in 0..2 {
+                let noise: f64 = rng.gen_range(0.0..500.0);
+                if width == 4 {
+                    mem.write(cursor, &(noise as f32).to_le_bytes())?;
+                } else {
+                    mem.write(cursor, &noise.to_le_bytes())?;
+                }
+                cursor += width as u32;
+            }
+        }
+    }
+    Ok((start, cursor))
+}

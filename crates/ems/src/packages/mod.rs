@@ -1,0 +1,330 @@
+//! The five simulated EMS packages and their in-memory layouts.
+//!
+//! Each package builds a process image whose *structure* models what the
+//! paper reverse-engineered (Figures 7–8, Table II), and — crucially —
+//! each package's dispatch loop reads the line ratings back *out of that
+//! memory* before solving economic dispatch, so corrupting the image
+//! genuinely changes the control output.
+//!
+//! | Package            | Rating storage                                   |
+//! |--------------------|--------------------------------------------------|
+//! | PowerWorld         | `TTRLine` doubly-linked list, `f32` pu at `+0x24`|
+//! | NEPLAN             | header + contiguous array-of-structs, `f64` MW   |
+//! | PowerFactory       | `ElmLne → TypLne` indirection, `f64` MW          |
+//! | PowerTools         | MATPOWER-style branch matrix rows (Fig. 8c)      |
+//! | SmartGridToolbox   | structure-of-arrays vectors                      |
+
+mod common;
+mod neplan;
+mod power_factory;
+mod power_tools;
+mod power_world;
+mod sgt;
+
+use crate::forensics::Signature;
+use crate::memory::AddressSpace;
+use crate::EmsError;
+use ed_core::dispatch::{DcOpf, Dispatch};
+use ed_powerflow::Network;
+
+/// Which EMS package a simulated instance models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EmsPackage {
+    /// PowerWorld Simulator analogue (linked-list layout).
+    PowerWorld,
+    /// NEPLAN analogue (array-of-structs layout).
+    Neplan,
+    /// DIgSILENT PowerFactory analogue (nested-object layout).
+    PowerFactory,
+    /// PowerTools analogue (branch-matrix layout, Fig. 8c).
+    PowerTools,
+    /// SmartGridToolbox analogue (structure-of-arrays layout).
+    SmartGridToolbox,
+}
+
+impl EmsPackage {
+    /// All five packages, in the paper's Table IV order.
+    pub fn all() -> [EmsPackage; 5] {
+        [
+            EmsPackage::PowerWorld,
+            EmsPackage::Neplan,
+            EmsPackage::PowerFactory,
+            EmsPackage::PowerTools,
+            EmsPackage::SmartGridToolbox,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EmsPackage::PowerWorld => "PowerWorld",
+            EmsPackage::Neplan => "NEPLAN",
+            EmsPackage::PowerFactory => "PowerFactory",
+            EmsPackage::PowerTools => "Powertools",
+            EmsPackage::SmartGridToolbox => "SmartGridToolbox",
+        }
+    }
+
+    /// Builds a process image for `net` with the given line ratings.
+    ///
+    /// `seed` perturbs heap base offsets (run-to-run address variation);
+    /// text and vftable addresses stay fixed, as in a real non-ASLR'd or
+    /// rebased-once binary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena exhaustion (cannot happen for the bundled cases).
+    pub fn build(
+        &self,
+        net: &Network,
+        ratings_mw: &[f64],
+        seed: u64,
+    ) -> Result<EmsInstance, EmsError> {
+        assert_eq!(ratings_mw.len(), net.num_lines(), "one rating per line");
+        match self {
+            EmsPackage::PowerWorld => power_world::build(net, ratings_mw, seed),
+            EmsPackage::Neplan => neplan::build(net, ratings_mw, seed),
+            EmsPackage::PowerFactory => power_factory::build(net, ratings_mw, seed),
+            EmsPackage::PowerTools => power_tools::build(net, ratings_mw, seed),
+            EmsPackage::SmartGridToolbox => sgt::build(net, ratings_mw, seed),
+        }
+    }
+
+    /// The address-independent structural signature for this package's
+    /// line-rating parameters — the product of the paper's *offline*
+    /// binary-analysis phase. Fixed text/vftable addresses are read from
+    /// the `reference` instance; nothing heap-relative enters the
+    /// signature.
+    pub fn rating_signature(&self, reference: &EmsInstance) -> Signature {
+        match self {
+            EmsPackage::PowerWorld => power_world::signature(reference),
+            EmsPackage::Neplan => neplan::signature(reference),
+            EmsPackage::PowerFactory => power_factory::signature(reference),
+            EmsPackage::PowerTools => power_tools::signature(reference),
+            EmsPackage::SmartGridToolbox => sgt::signature(reference),
+        }
+    }
+}
+
+/// Ground-truth object classes for forensics accounting (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectClass {
+    /// A transmission-line object (or row).
+    Line,
+    /// A bus object.
+    Bus,
+    /// A generator object.
+    Gen,
+    /// A container/simulation/table-header object.
+    Container,
+}
+
+/// Ground-truth record of one allocated object.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectRecord {
+    /// Object base address.
+    pub addr: u32,
+    /// True class.
+    pub class: ObjectClass,
+    /// The vftable address stored at the object's base, if the class is
+    /// polymorphic in this package's layout.
+    pub vftable: Option<u32>,
+}
+
+/// How a package stores a rating value in memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoredRating {
+    /// 32-bit float, value = MW × scale.
+    F32 {
+        /// Multiplier from MW to the stored unit (e.g. `1/base` for pu).
+        scale: f64,
+    },
+    /// 64-bit float, value = MW × scale.
+    F64 {
+        /// Multiplier from MW to the stored unit.
+        scale: f64,
+    },
+}
+
+impl StoredRating {
+    /// Encodes a MW value to its little-endian byte representation.
+    pub fn encode(&self, mw: f64) -> Vec<u8> {
+        match self {
+            StoredRating::F32 { scale } => ((mw * scale) as f32).to_le_bytes().to_vec(),
+            StoredRating::F64 { scale } => (mw * scale).to_le_bytes().to_vec(),
+        }
+    }
+
+    /// Decodes a stored value (read at an address) back to MW.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults.
+    pub fn decode(&self, mem: &AddressSpace, addr: u32) -> Result<f64, EmsError> {
+        Ok(match self {
+            StoredRating::F32 { scale } => mem.read_f32(addr)? as f64 / scale,
+            StoredRating::F64 { scale } => mem.read_f64(addr)? / scale,
+        })
+    }
+
+    /// Size of the stored value in bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            StoredRating::F32 { .. } => 4,
+            StoredRating::F64 { .. } => 8,
+        }
+    }
+}
+
+/// A built EMS process image plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct EmsInstance {
+    /// Which package this models.
+    pub package: EmsPackage,
+    /// The simulated address space.
+    pub memory: AddressSpace,
+    /// Ground truth: address of each line's rating value (by line index).
+    pub rating_addrs: Vec<u32>,
+    /// Value encoding of ratings.
+    pub rating_repr: StoredRating,
+    /// Ground-truth allocation registry.
+    pub objects: Vec<ObjectRecord>,
+    /// Vftable addresses by class (classes absent for non-polymorphic
+    /// layouts).
+    pub vftables: Vec<(ObjectClass, u32)>,
+    /// Tainted ranges `[start, end)` — memory derived from SCADA inputs
+    /// (the taint-tracking stage of Figure 6 narrows the search to these).
+    pub tainted: Vec<(u32, u32)>,
+    /// Address of the package-specific root/global structure the dispatch
+    /// loop starts its traversal from.
+    pub root_addr: u32,
+}
+
+impl EmsInstance {
+    /// Reads the line ratings the dispatch loop would use, by traversing
+    /// the package's in-memory structures from [`EmsInstance::root_addr`]
+    /// (not the ground-truth address list).
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::CorruptState`] if traversal meets an inconsistent
+    /// structure (e.g. a corrupted pointer).
+    pub fn read_ratings_mw(&self) -> Result<Vec<f64>, EmsError> {
+        match self.package {
+            EmsPackage::PowerWorld => power_world::read_ratings(self),
+            EmsPackage::Neplan => neplan::read_ratings(self),
+            EmsPackage::PowerFactory => power_factory::read_ratings(self),
+            EmsPackage::PowerTools => power_tools::read_ratings(self),
+            EmsPackage::SmartGridToolbox => sgt::read_ratings(self),
+        }
+    }
+
+    /// The EMS control loop: read ratings out of memory, solve economic
+    /// dispatch, emit generator set-points (Figure 1's `control commands`).
+    ///
+    /// # Errors
+    ///
+    /// - [`EmsError::CorruptState`] if memory traversal fails.
+    /// - [`EmsError::Core`] if the dispatch itself fails.
+    pub fn run_ed(&self, net: &Network) -> Result<Dispatch, EmsError> {
+        let ratings = self.read_ratings_mw()?;
+        DcOpf::new(net)
+            .ratings(&ratings)
+            .solve()
+            .map_err(EmsError::from)
+    }
+
+    /// Vftable address of a class, if the layout is polymorphic for it.
+    pub fn vftable_of(&self, class: ObjectClass) -> Option<u32> {
+        self.vftables
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|&(_, a)| a)
+    }
+
+    /// `true` if `addr` lies in a tainted range.
+    pub fn is_tainted(&self, addr: u32) -> bool {
+        self.tainted.iter().any(|&(s, e)| addr >= s && addr < e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        ed_cases::three_bus()
+    }
+
+    #[test]
+    fn all_packages_roundtrip_ratings() {
+        let net = net();
+        let ratings = vec![160.0, 150.0, 150.0];
+        for pkg in EmsPackage::all() {
+            let inst = pkg.build(&net, &ratings, 42).unwrap();
+            let back = inst.read_ratings_mw().unwrap();
+            for (a, b) in back.iter().zip(&ratings) {
+                assert!(
+                    (a - b).abs() < 1e-3,
+                    "{}: read {back:?} wanted {ratings:?}",
+                    pkg.name()
+                );
+            }
+            assert_eq!(inst.rating_addrs.len(), 3, "{}", pkg.name());
+        }
+    }
+
+    #[test]
+    fn seeds_move_heap_objects() {
+        let net = net();
+        let ratings = vec![160.0, 150.0, 150.0];
+        for pkg in EmsPackage::all() {
+            let a = pkg.build(&net, &ratings, 1).unwrap();
+            let b = pkg.build(&net, &ratings, 2).unwrap();
+            assert_ne!(
+                a.rating_addrs, b.rating_addrs,
+                "{}: addresses must vary between runs",
+                pkg.name()
+            );
+            // But vftable (text) addresses stay fixed.
+            assert_eq!(a.vftables, b.vftables, "{}", pkg.name());
+        }
+    }
+
+    #[test]
+    fn run_ed_reproduces_paper_dispatch() {
+        let net = net();
+        let inst = EmsPackage::PowerWorld
+            .build(&net, &[160.0, 160.0, 160.0], 7)
+            .unwrap();
+        let d = inst.run_ed(&net).unwrap();
+        assert!((d.p_mw[0] - 120.0).abs() < 1e-4);
+        assert!((d.p_mw[1] - 180.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn direct_memory_write_changes_dispatch() {
+        let net = net();
+        let mut inst = EmsPackage::PowerTools
+            .build(&net, &[160.0, 160.0, 160.0], 7)
+            .unwrap();
+        // Corrupt line {2,3}'s rating (ground truth address) to 240 MW.
+        let addr = inst.rating_addrs[2];
+        let bytes = inst.rating_repr.encode(240.0);
+        inst.memory.write(addr, &bytes).unwrap();
+        let d = inst.run_ed(&net).unwrap();
+        // Cheaper G2 now serves more than its honest-limit share.
+        assert!(d.p_mw[1] > 180.0 + 1.0, "dispatch {:?}", d.p_mw);
+    }
+
+    #[test]
+    fn tainted_ranges_cover_ratings() {
+        let net = net();
+        for pkg in EmsPackage::all() {
+            let inst = pkg.build(&net, &[160.0, 150.0, 140.0], 3).unwrap();
+            for &a in &inst.rating_addrs {
+                assert!(inst.is_tainted(a), "{}: rating at {a:#x} untainted", pkg.name());
+            }
+        }
+    }
+}

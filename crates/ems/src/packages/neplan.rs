@@ -1,0 +1,138 @@
+//! NEPLAN-analogue layout: a header object owning one contiguous
+//! array-of-structs branch table; ratings are `f64` MW at `+0x10` of each
+//! `0x30`-byte row.
+
+use crate::forensics::{Predicate, Signature};
+use crate::memory::{AddressSpace, HeapArena};
+use crate::packages::common::{alloc_string, salt_telemetry, TextLayout, HEAP2_BASE, HEAP_BASE};
+use crate::packages::{EmsInstance, EmsPackage, ObjectClass, ObjectRecord, StoredRating};
+use crate::EmsError;
+use ed_powerflow::Network;
+
+const CONTENT_SEED: u64 = 0x4E45; // "NE"
+const ROW_SIZE: usize = 0x30;
+const OFF_FROM: u32 = 0x00;
+const OFF_TO: u32 = 0x04;
+const OFF_X: u32 = 0x08;
+const OFF_RATING: u32 = 0x10;
+const OFF_NAME: u32 = 0x18;
+const OFF_STATUS: u32 = 0x1C;
+
+pub(super) fn build(net: &Network, ratings_mw: &[f64], seed: u64) -> Result<EmsInstance, EmsError> {
+    let mut mem = AddressSpace::new();
+    let mut text = TextLayout::build(&mut mem, 24, CONTENT_SEED);
+    let vft_table = text.add_vftable(&mut mem, &[0, 1, 2, 3]);
+    let vft_bus = text.add_vftable(&mut mem, &[4, 5, 6]);
+    let vft_gen = text.add_vftable(&mut mem, &[7, 8, 9]);
+
+    let mut heap = HeapArena::create(&mut mem, "heap-objects", HEAP_BASE, 0x8_0000, seed);
+    let mut strings = HeapArena::create(&mut mem, "heap-strings", HEAP2_BASE, 0x4_0000, seed ^ 1);
+
+    let repr = StoredRating::F64 { scale: 1.0 };
+    let mut objects = Vec::new();
+    let mut rating_addrs = Vec::new();
+    let mut tainted = Vec::new();
+
+    // The branch table.
+    let table = heap.alloc(ROW_SIZE * net.num_lines(), 8)?;
+    for (i, line) in net.lines().iter().enumerate() {
+        let row = table + (i * ROW_SIZE) as u32;
+        mem.write_u32(row + OFF_FROM, line.from.0 as u32)?;
+        mem.write_u32(row + OFF_TO, line.to.0 as u32)?;
+        mem.write_f64(row + OFF_X, line.reactance_pu)?;
+        mem.write(row + OFF_RATING, &repr.encode(ratings_mw[i]))?;
+        let name = alloc_string(&mut mem, &mut strings, &format!("branch-{i}"))?;
+        mem.write_u32(row + OFF_NAME, name)?;
+        mem.write_u32(row + OFF_STATUS, 1)?;
+        mem.write_f64(row + 0x20, line.charging_pu)?;
+        objects.push(ObjectRecord { addr: row, class: ObjectClass::Line, vftable: None });
+        rating_addrs.push(row + OFF_RATING);
+        tainted.push((row + OFF_RATING, row + OFF_RATING + 8));
+    }
+    // Header (root).
+    let header = heap.alloc(0x10, 8)?;
+    mem.write_u32(header, vft_table)?;
+    mem.write_u32(header + 4, table)?;
+    mem.write_u32(header + 8, net.num_lines() as u32)?;
+    objects.push(ObjectRecord { addr: header, class: ObjectClass::Container, vftable: Some(vft_table) });
+
+    // Polymorphic bus/gen objects.
+    for (i, bus) in net.buses().iter().enumerate() {
+        let a = heap.alloc(0x14, 8)?;
+        mem.write_u32(a, vft_bus)?;
+        mem.write_u32(a + 4, i as u32)?;
+        let name = alloc_string(&mut mem, &mut strings, &bus.name)?;
+        mem.write_u32(a + 8, name)?;
+        mem.write_f32(a + 0xC, bus.demand_mw as f32)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Bus, vftable: Some(vft_bus) });
+    }
+    for g in net.gens() {
+        let a = heap.alloc(0x18, 8)?;
+        mem.write_u32(a, vft_gen)?;
+        mem.write_u32(a + 4, g.bus.0 as u32)?;
+        mem.write_f64(a + 8, g.pmax_mw)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Gen, vftable: Some(vft_gen) });
+    }
+
+    let patterns: Vec<Vec<u8>> = ratings_mw.iter().map(|&r| repr.encode(r)).collect();
+    let telem = salt_telemetry(&mut mem, &mut strings, &patterns, 5, seed)?;
+    tainted.push(telem);
+
+    Ok(EmsInstance {
+        package: EmsPackage::Neplan,
+        memory: mem,
+        rating_addrs,
+        rating_repr: repr,
+        objects,
+        vftables: vec![
+            (ObjectClass::Container, vft_table),
+            (ObjectClass::Bus, vft_bus),
+            (ObjectClass::Gen, vft_gen),
+        ],
+        tainted,
+        root_addr: header,
+    })
+}
+
+pub(super) fn read_ratings(inst: &EmsInstance) -> Result<Vec<f64>, EmsError> {
+    let mem = &inst.memory;
+    let table = mem.read_u32(inst.root_addr + 4)?;
+    let count = mem.read_u32(inst.root_addr + 8)? as usize;
+    if count > 100_000 {
+        return Err(EmsError::CorruptState { what: format!("implausible row count {count}") });
+    }
+    (0..count)
+        .map(|i| {
+            let row = table + (i * ROW_SIZE) as u32;
+            inst.rating_repr.decode(mem, row + OFF_RATING)
+        })
+        .collect()
+}
+
+/// Intra-row type pattern: endpoint indices below the bus count, a status
+/// word of exactly 1, and a heap name pointer — plus the container
+/// membership check through the header's vftable.
+pub(super) fn signature(reference: &EmsInstance) -> Signature {
+    let nbuses = reference
+        .objects
+        .iter()
+        .filter(|o| o.class == ObjectClass::Bus)
+        .count() as u32;
+    let vft_table = reference
+        .vftable_of(ObjectClass::Container)
+        .expect("reference has table vftable");
+    let off = -(OFF_RATING as i64);
+    Signature::new(vec![
+        Predicate::U32LessAt { off: off + OFF_FROM as i64, bound: nbuses },
+        Predicate::U32LessAt { off: off + OFF_TO as i64, bound: nbuses },
+        Predicate::U32At { off: off + OFF_STATUS as i64, value: 1 },
+        Predicate::HeapPtrAt { off: off + OFF_NAME as i64 },
+        Predicate::VectorElement {
+            holder_vftable: vft_table,
+            ptr_off: 4,
+            count_off: 8,
+            elem_size: ROW_SIZE as u32,
+            elem_off: OFF_RATING,
+        },
+    ])
+}

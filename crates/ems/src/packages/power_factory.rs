@@ -1,0 +1,146 @@
+//! PowerFactory-analogue layout: `ElmLne` element objects each pointing to
+//! a `TypLne` type object that owns the thermal rating (`f64` MW at
+//! `+0x8`) — a nested-object indirection pattern.
+
+use crate::forensics::{Predicate, Signature};
+use crate::memory::{AddressSpace, HeapArena};
+use crate::packages::common::{alloc_string, salt_telemetry, TextLayout, HEAP2_BASE, HEAP_BASE};
+use crate::packages::{EmsInstance, EmsPackage, ObjectClass, ObjectRecord, StoredRating};
+use crate::EmsError;
+use ed_powerflow::Network;
+
+const CONTENT_SEED: u64 = 0x5046; // "PF"
+/// `ElmLne` field offsets.
+const ELM_VFPTR: u32 = 0x00;
+const ELM_FROM: u32 = 0x04;
+const ELM_TO: u32 = 0x08;
+const ELM_NAME: u32 = 0x0C;
+const ELM_TYP: u32 = 0x10;
+const ELM_STATUS: u32 = 0x14;
+const ELM_SIZE: usize = 0x18;
+/// `TypLne` field offsets.
+const TYP_VFPTR: u32 = 0x00;
+const TYP_RATING: u32 = 0x08;
+const TYP_X: u32 = 0x10;
+const TYP_SIZE: usize = 0x18;
+
+pub(super) fn build(net: &Network, ratings_mw: &[f64], seed: u64) -> Result<EmsInstance, EmsError> {
+    let mut mem = AddressSpace::new();
+    let mut text = TextLayout::build(&mut mem, 24, CONTENT_SEED);
+    let vft_elm = text.add_vftable(&mut mem, &[0, 1, 2, 3, 4]);
+    let vft_typ = text.add_vftable(&mut mem, &[5, 6, 7]);
+    let vft_bus = text.add_vftable(&mut mem, &[8, 9]);
+    let vft_gen = text.add_vftable(&mut mem, &[10, 11]);
+    let vft_root = text.add_vftable(&mut mem, &[12, 13]);
+
+    let mut heap = HeapArena::create(&mut mem, "heap-objects", HEAP_BASE, 0x8_0000, seed);
+    let mut strings = HeapArena::create(&mut mem, "heap-strings", HEAP2_BASE, 0x4_0000, seed ^ 1);
+
+    let repr = StoredRating::F64 { scale: 1.0 };
+    let mut objects = Vec::new();
+    let mut rating_addrs = Vec::new();
+    let mut tainted = Vec::new();
+
+    // Element pointer array for the root container.
+    let elm_array = heap.alloc(4 * net.num_lines(), 4)?;
+    for (i, line) in net.lines().iter().enumerate() {
+        let typ = heap.alloc(TYP_SIZE, 8)?;
+        mem.write_u32(typ + TYP_VFPTR, vft_typ)?;
+        mem.write(typ + TYP_RATING, &repr.encode(ratings_mw[i]))?;
+        mem.write_f64(typ + TYP_X, line.reactance_pu)?;
+        objects.push(ObjectRecord { addr: typ, class: ObjectClass::Container, vftable: Some(vft_typ) });
+
+        let elm = heap.alloc(ELM_SIZE, 8)?;
+        mem.write_u32(elm + ELM_VFPTR, vft_elm)?;
+        mem.write_u32(elm + ELM_FROM, line.from.0 as u32)?;
+        mem.write_u32(elm + ELM_TO, line.to.0 as u32)?;
+        let name = alloc_string(&mut mem, &mut strings, &format!("lne_{i}"))?;
+        mem.write_u32(elm + ELM_NAME, name)?;
+        mem.write_u32(elm + ELM_TYP, typ)?;
+        mem.write_u32(elm + ELM_STATUS, 1)?;
+        objects.push(ObjectRecord { addr: elm, class: ObjectClass::Line, vftable: Some(vft_elm) });
+        mem.write_u32(elm_array + 4 * i as u32, elm)?;
+
+        rating_addrs.push(typ + TYP_RATING);
+        tainted.push((typ + TYP_RATING, typ + TYP_RATING + 8));
+    }
+    for (i, bus) in net.buses().iter().enumerate() {
+        let a = heap.alloc(0x10, 8)?;
+        mem.write_u32(a, vft_bus)?;
+        mem.write_u32(a + 4, i as u32)?;
+        mem.write_f32(a + 8, bus.demand_mw as f32)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Bus, vftable: Some(vft_bus) });
+    }
+    for g in net.gens() {
+        let a = heap.alloc(0x10, 8)?;
+        mem.write_u32(a, vft_gen)?;
+        mem.write_u32(a + 4, g.bus.0 as u32)?;
+        mem.write_f32(a + 8, g.pmax_mw as f32)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Gen, vftable: Some(vft_gen) });
+    }
+    let root = heap.alloc(0x10, 8)?;
+    mem.write_u32(root, vft_root)?;
+    mem.write_u32(root + 4, elm_array)?;
+    mem.write_u32(root + 8, net.num_lines() as u32)?;
+    objects.push(ObjectRecord { addr: root, class: ObjectClass::Container, vftable: Some(vft_root) });
+
+    let patterns: Vec<Vec<u8>> = ratings_mw.iter().map(|&r| repr.encode(r)).collect();
+    let telem = salt_telemetry(&mut mem, &mut strings, &patterns, 5, seed)?;
+    tainted.push(telem);
+
+    Ok(EmsInstance {
+        package: EmsPackage::PowerFactory,
+        memory: mem,
+        rating_addrs,
+        rating_repr: repr,
+        objects,
+        vftables: vec![
+            (ObjectClass::Line, vft_elm),
+            (ObjectClass::Container, vft_typ),
+            (ObjectClass::Container, vft_root),
+            (ObjectClass::Bus, vft_bus),
+            (ObjectClass::Gen, vft_gen),
+        ],
+        tainted,
+        root_addr: root,
+    })
+}
+
+pub(super) fn read_ratings(inst: &EmsInstance) -> Result<Vec<f64>, EmsError> {
+    let mem = &inst.memory;
+    let vft_elm = inst.vftable_of(ObjectClass::Line).expect("ElmLne vftable");
+    let array = mem.read_u32(inst.root_addr + 4)?;
+    let count = mem.read_u32(inst.root_addr + 8)? as usize;
+    if count > 100_000 {
+        return Err(EmsError::CorruptState { what: format!("implausible line count {count}") });
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let elm = mem.read_u32(array + 4 * i as u32)?;
+        if mem.read_u32(elm + ELM_VFPTR)? != vft_elm {
+            return Err(EmsError::CorruptState { what: format!("{elm:#010x} is not an ElmLne") });
+        }
+        let typ = mem.read_u32(elm + ELM_TYP)?;
+        out.push(inst.rating_repr.decode(mem, typ + TYP_RATING)?);
+    }
+    Ok(out)
+}
+
+/// Code-pointer pattern on the owning `TypLne` object: the vfptr eight
+/// bytes below the candidate leads (entry 0) to a function with the known
+/// prologue.
+pub(super) fn signature(reference: &EmsInstance) -> Signature {
+    let mem = &reference.memory;
+    let vft_typ = reference
+        .vftable_of(ObjectClass::Container)
+        .expect("TypLne vftable registered");
+    let f = mem.read_u32(vft_typ).expect("entry 0");
+    let b = mem.read(f, 4).expect("function body");
+    let prologue = [b[0], b[1], b[2], b[3]];
+    let off = -(TYP_RATING as i64);
+    Signature::new(vec![
+        Predicate::TextPtrAt { off },
+        Predicate::VftableAt { vfptr_off: off, vftable: vft_typ },
+        Predicate::VftablePrologue { vfptr_off: off, entry: 0, prologue },
+    ])
+}

@@ -1,0 +1,154 @@
+//! PowerTools-analogue layout: a MATPOWER-style branch matrix of `f64`
+//! rows (`fbus tbus r x b rateA rateB rateC ratio angle status angmin
+//! angmax`), exactly the image shown in the paper's Figure 8c. The rating
+//! is column 5 (`rateA`, byte offset `0x28` within a row).
+
+use crate::forensics::{Predicate, Signature};
+use crate::memory::{AddressSpace, HeapArena};
+use crate::packages::common::{salt_telemetry, TextLayout, HEAP2_BASE, HEAP_BASE};
+use crate::packages::{EmsInstance, EmsPackage, ObjectClass, ObjectRecord, StoredRating};
+use crate::EmsError;
+use ed_powerflow::Network;
+
+const CONTENT_SEED: u64 = 0x5054; // "PT"
+const NCOLS: usize = 13;
+const ROW_BYTES: usize = NCOLS * 8;
+const COL_RATE_A: u32 = 5;
+const OFF_RATING: u32 = COL_RATE_A * 8; // 0x28
+const COL_RATIO: u32 = 8;
+const COL_STATUS: u32 = 10;
+
+pub(super) fn build(net: &Network, ratings_mw: &[f64], seed: u64) -> Result<EmsInstance, EmsError> {
+    let mut mem = AddressSpace::new();
+    let mut text = TextLayout::build(&mut mem, 24, CONTENT_SEED);
+    let vft_model = text.add_vftable(&mut mem, &[0, 1, 2]);
+    let vft_line = text.add_vftable(&mut mem, &[3, 4]);
+    let vft_bus = text.add_vftable(&mut mem, &[5, 6]);
+    let vft_gen = text.add_vftable(&mut mem, &[7, 8]);
+
+    let mut heap = HeapArena::create(&mut mem, "heap-objects", HEAP_BASE, 0x8_0000, seed);
+    let mut aux = HeapArena::create(&mut mem, "heap-aux", HEAP2_BASE, 0x4_0000, seed ^ 1);
+
+    let repr = StoredRating::F64 { scale: 1.0 };
+    let mut objects = Vec::new();
+    let mut rating_addrs = Vec::new();
+    let mut tainted = Vec::new();
+
+    // The branch matrix (1-based bus ids, as MATPOWER uses).
+    let matrix = heap.alloc(ROW_BYTES * net.num_lines(), 8)?;
+    for (i, line) in net.lines().iter().enumerate() {
+        let row = matrix + (i * ROW_BYTES) as u32;
+        let cols = [
+            (line.from.0 + 1) as f64,
+            (line.to.0 + 1) as f64,
+            line.resistance_pu,
+            line.reactance_pu,
+            line.charging_pu,
+            ratings_mw[i],
+            9999.0,
+            9999.0,
+            0.0, // ratio
+            0.0, // angle
+            1.0, // status
+            -30.0,
+            30.0,
+        ];
+        for (c, v) in cols.iter().enumerate() {
+            mem.write_f64(row + (c * 8) as u32, *v)?;
+        }
+        rating_addrs.push(row + OFF_RATING);
+        tainted.push((row + OFF_RATING, row + OFF_RATING + 8));
+    }
+    // Model root.
+    let model = heap.alloc(0x14, 8)?;
+    mem.write_u32(model, vft_model)?;
+    mem.write_u32(model + 4, matrix)?;
+    mem.write_u32(model + 8, net.num_lines() as u32)?;
+    mem.write_u32(model + 0xC, NCOLS as u32)?;
+    objects.push(ObjectRecord { addr: model, class: ObjectClass::Container, vftable: Some(vft_model) });
+
+    // Wrapper objects around each entity (C++ handles over the raw data).
+    for i in 0..net.num_lines() {
+        let a = heap.alloc(0xC, 8)?;
+        mem.write_u32(a, vft_line)?;
+        mem.write_u32(a + 4, matrix + (i * ROW_BYTES) as u32)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Line, vftable: Some(vft_line) });
+    }
+    for i in 0..net.num_buses() {
+        let a = heap.alloc(0xC, 8)?;
+        mem.write_u32(a, vft_bus)?;
+        mem.write_u32(a + 4, i as u32)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Bus, vftable: Some(vft_bus) });
+    }
+    for g in net.gens() {
+        let a = heap.alloc(0xC, 8)?;
+        mem.write_u32(a, vft_gen)?;
+        mem.write_u32(a + 4, g.bus.0 as u32)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Gen, vftable: Some(vft_gen) });
+    }
+
+    let patterns: Vec<Vec<u8>> = ratings_mw.iter().map(|&r| repr.encode(r)).collect();
+    let telem = salt_telemetry(&mut mem, &mut aux, &patterns, 5, seed)?;
+    tainted.push(telem);
+
+    Ok(EmsInstance {
+        package: EmsPackage::PowerTools,
+        memory: mem,
+        rating_addrs,
+        rating_repr: repr,
+        objects,
+        vftables: vec![
+            (ObjectClass::Container, vft_model),
+            (ObjectClass::Line, vft_line),
+            (ObjectClass::Bus, vft_bus),
+            (ObjectClass::Gen, vft_gen),
+        ],
+        tainted,
+        root_addr: model,
+    })
+}
+
+pub(super) fn read_ratings(inst: &EmsInstance) -> Result<Vec<f64>, EmsError> {
+    let mem = &inst.memory;
+    let matrix = mem.read_u32(inst.root_addr + 4)?;
+    let rows = mem.read_u32(inst.root_addr + 8)? as usize;
+    let ncols = mem.read_u32(inst.root_addr + 0xC)? as usize;
+    if ncols != NCOLS || rows > 100_000 {
+        return Err(EmsError::CorruptState {
+            what: format!("implausible matrix {rows}x{ncols}"),
+        });
+    }
+    (0..rows)
+        .map(|i| {
+            let row = matrix + (i * ROW_BYTES) as u32;
+            inst.rating_repr.decode(mem, row + OFF_RATING)
+        })
+        .collect()
+}
+
+/// Row-shape pattern: integral 1-based endpoint ids, zero tap ratio,
+/// status exactly 1.0, plus membership in the model's matrix.
+pub(super) fn signature(reference: &EmsInstance) -> Signature {
+    let nbuses = reference
+        .objects
+        .iter()
+        .filter(|o| o.class == ObjectClass::Bus)
+        .count() as f64;
+    let vft_model = reference
+        .vftable_of(ObjectClass::Container)
+        .expect("model vftable registered");
+    let off = -(OFF_RATING as i64);
+    Signature::new(vec![
+        Predicate::IntegralF64At { off, lo: 1.0, hi: nbuses },
+        Predicate::IntegralF64At { off: off + 8, lo: 1.0, hi: nbuses },
+        Predicate::F64At { off: off + (COL_RATIO * 8) as i64, value: 0.0 },
+        Predicate::F64At { off: off + (COL_STATUS * 8) as i64, value: 1.0 },
+        Predicate::VectorElement {
+            holder_vftable: vft_model,
+            ptr_off: 4,
+            count_off: 8,
+            elem_size: ROW_BYTES as u32,
+            elem_off: OFF_RATING,
+        },
+    ])
+}

@@ -1,0 +1,162 @@
+//! PowerWorld-analogue layout: a circular doubly-linked list of `TTRLine`
+//! objects with the line rating stored as an `f32` (per unit) at offset
+//! `0x24` — exactly the structure the paper reverse-engineered (Fig. 7).
+
+use crate::forensics::{Predicate, Signature};
+use crate::memory::{AddressSpace, HeapArena};
+use crate::packages::common::{alloc_string, salt_telemetry, TextLayout, HEAP2_BASE, HEAP_BASE};
+use crate::packages::{EmsInstance, EmsPackage, ObjectClass, ObjectRecord, StoredRating};
+use crate::EmsError;
+use ed_powerflow::Network;
+
+const CONTENT_SEED: u64 = 0x5057; // "PW"
+/// `TTRLine` field offsets.
+const OFF_VFPTR: u32 = 0x00;
+const OFF_PREV: u32 = 0x04;
+const OFF_NEXT: u32 = 0x08;
+const OFF_NAME: u32 = 0x0C;
+const OFF_FROM: u32 = 0x10;
+const OFF_TO: u32 = 0x14;
+const OFF_STATUS: u32 = 0x18;
+const OFF_RATING: u32 = 0x24;
+const LINE_SIZE: usize = 0x28;
+
+pub(super) fn build(net: &Network, ratings_mw: &[f64], seed: u64) -> Result<EmsInstance, EmsError> {
+    let mut mem = AddressSpace::new();
+    let mut text = TextLayout::build(&mut mem, 24, CONTENT_SEED);
+    let vft_line = text.add_vftable(&mut mem, &[0, 1, 2, 3, 4, 5, 6, 7]);
+    let vft_bus = text.add_vftable(&mut mem, &[8, 9, 10, 11]);
+    let vft_gen = text.add_vftable(&mut mem, &[12, 13, 14, 15]);
+    let vft_sim = text.add_vftable(&mut mem, &[16, 17, 18, 19]);
+
+    let mut heap = HeapArena::create(&mut mem, "heap-objects", HEAP_BASE, 0x8_0000, seed);
+    let mut strings = HeapArena::create(&mut mem, "heap-strings", HEAP2_BASE, 0x4_0000, seed ^ 1);
+
+    let base = net.base_mva();
+    let repr = StoredRating::F32 { scale: 1.0 / base };
+    let mut objects = Vec::new();
+    let mut rating_addrs = Vec::new();
+    let mut tainted = Vec::new();
+
+    // Line objects.
+    let mut line_addrs = Vec::with_capacity(net.num_lines());
+    for _ in 0..net.num_lines() {
+        line_addrs.push(heap.alloc(LINE_SIZE, 8)?);
+    }
+    for (i, line) in net.lines().iter().enumerate() {
+        let a = line_addrs[i];
+        let n = net.num_lines();
+        let prev = line_addrs[(i + n - 1) % n];
+        let next = line_addrs[(i + 1) % n];
+        mem.write_u32(a + OFF_VFPTR, vft_line)?;
+        mem.write_u32(a + OFF_PREV, prev)?;
+        mem.write_u32(a + OFF_NEXT, next)?;
+        let name = alloc_string(&mut mem, &mut strings, &format!("L{}-{}", line.from.0, line.to.0))?;
+        mem.write_u32(a + OFF_NAME, name)?;
+        mem.write_u32(a + OFF_FROM, line.from.0 as u32)?;
+        mem.write_u32(a + OFF_TO, line.to.0 as u32)?;
+        mem.write_u32(a + OFF_STATUS, 1)?;
+        mem.write_f32(a + 0x20, line.reactance_pu as f32)?;
+        mem.write(a + OFF_RATING, &repr.encode(ratings_mw[i]))?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Line, vftable: Some(vft_line) });
+        rating_addrs.push(a + OFF_RATING);
+        tainted.push((a + OFF_RATING, a + OFF_RATING + 4));
+    }
+    // Bus and generator objects (for the Table IV census).
+    for (i, bus) in net.buses().iter().enumerate() {
+        let a = heap.alloc(0x18, 8)?;
+        mem.write_u32(a, vft_bus)?;
+        mem.write_u32(a + 4, i as u32)?;
+        let name = alloc_string(&mut mem, &mut strings, &bus.name)?;
+        mem.write_u32(a + 8, name)?;
+        mem.write_f32(a + 0xC, bus.demand_mw as f32)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Bus, vftable: Some(vft_bus) });
+    }
+    for g in net.gens() {
+        let a = heap.alloc(0x20, 8)?;
+        mem.write_u32(a, vft_gen)?;
+        mem.write_u32(a + 4, g.bus.0 as u32)?;
+        mem.write_f32(a + 8, g.pmin_mw as f32)?;
+        mem.write_f32(a + 0xC, g.pmax_mw as f32)?;
+        mem.write_f32(a + 0x10, g.cost.b as f32)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Gen, vftable: Some(vft_gen) });
+    }
+    // Simulation root.
+    let sim = heap.alloc(0x14, 8)?;
+    mem.write_u32(sim, vft_sim)?;
+    mem.write_u32(sim + 4, line_addrs[0])?;
+    mem.write_u32(sim + 8, net.num_lines() as u32)?;
+    objects.push(ObjectRecord { addr: sim, class: ObjectClass::Container, vftable: Some(vft_sim) });
+
+    // Telemetry decoys (stale copies of the same f32 values).
+    let patterns: Vec<Vec<u8>> = ratings_mw.iter().map(|&r| repr.encode(r)).collect();
+    let telem = salt_telemetry(&mut mem, &mut strings, &patterns, 6, seed)?;
+    tainted.push(telem);
+
+    Ok(EmsInstance {
+        package: EmsPackage::PowerWorld,
+        memory: mem,
+        rating_addrs,
+        rating_repr: repr,
+        objects,
+        vftables: vec![
+            (ObjectClass::Line, vft_line),
+            (ObjectClass::Bus, vft_bus),
+            (ObjectClass::Gen, vft_gen),
+            (ObjectClass::Container, vft_sim),
+        ],
+        tainted,
+        root_addr: sim,
+    })
+}
+
+pub(super) fn read_ratings(inst: &EmsInstance) -> Result<Vec<f64>, EmsError> {
+    let mem = &inst.memory;
+    let vft_line = inst
+        .vftable_of(ObjectClass::Line)
+        .expect("PowerWorld lines are polymorphic");
+    let head = mem.read_u32(inst.root_addr + 4)?;
+    let count = mem.read_u32(inst.root_addr + 8)? as usize;
+    if count > 100_000 {
+        return Err(EmsError::CorruptState { what: format!("implausible line count {count}") });
+    }
+    let mut ratings = Vec::with_capacity(count);
+    let mut node = head;
+    for _ in 0..count {
+        if mem.read_u32(node + OFF_VFPTR)? != vft_line {
+            return Err(EmsError::CorruptState {
+                what: format!("node {node:#010x} is not a TTRLine"),
+            });
+        }
+        ratings.push(inst.rating_repr.decode(mem, node + OFF_RATING)?);
+        node = mem.read_u32(node + OFF_NEXT)?;
+    }
+    Ok(ratings)
+}
+
+/// The paper's PowerWorld signature: rating candidates sit at `+0x24` of a
+/// `TTRLine` node whose vftable's third slot points at a function with the
+/// known prologue, whose `prev`/`next` pointers close a list cycle, and
+/// whose status word is 1 with a heap name pointer — all address-relative.
+pub(super) fn signature(reference: &EmsInstance) -> Signature {
+    let mem = &reference.memory;
+    let vft = reference
+        .vftable_of(ObjectClass::Line)
+        .expect("reference has line vftable");
+    // Offline phase: read the prologue of vftable entry 2 from the binary.
+    let f = mem.read_u32(vft + 8).expect("vftable entry 2");
+    let b = mem.read(f, 4).expect("function body");
+    let prologue = [b[0], b[1], b[2], b[3]];
+    let off = -(OFF_RATING as i64);
+    Signature::new(vec![
+        Predicate::TextPtrAt { off },
+        Predicate::VftablePrologue { vfptr_off: off, entry: 2, prologue },
+        Predicate::ListCycle {
+            node_off: off,
+            prev_off: OFF_PREV as i64,
+            next_off: OFF_NEXT as i64,
+        },
+        Predicate::U32At { off: off + OFF_STATUS as i64, value: 1 },
+        Predicate::HeapPtrAt { off: off + OFF_NAME as i64 },
+    ])
+}

@@ -1,0 +1,127 @@
+//! SmartGridToolbox-analogue layout: structure-of-arrays — a `Network`
+//! object owning parallel vectors (`ratings: f64[]`, `from: u32[]`,
+//! `to: u32[]`), with per-component handle objects for buses/gens/lines.
+
+use crate::forensics::{Predicate, Signature};
+use crate::memory::{AddressSpace, HeapArena};
+use crate::packages::common::{salt_telemetry, TextLayout, HEAP2_BASE, HEAP_BASE};
+use crate::packages::{EmsInstance, EmsPackage, ObjectClass, ObjectRecord, StoredRating};
+use crate::EmsError;
+use ed_powerflow::Network;
+
+const CONTENT_SEED: u64 = 0x5347; // "SG"
+/// `SgtNetwork` field offsets.
+const NET_VFPTR: u32 = 0x00;
+const NET_RATINGS: u32 = 0x04;
+const NET_COUNT: u32 = 0x08;
+const NET_FROM: u32 = 0x0C;
+const NET_TO: u32 = 0x10;
+
+pub(super) fn build(net: &Network, ratings_mw: &[f64], seed: u64) -> Result<EmsInstance, EmsError> {
+    let mut mem = AddressSpace::new();
+    let mut text = TextLayout::build(&mut mem, 24, CONTENT_SEED);
+    let vft_net = text.add_vftable(&mut mem, &[0, 1, 2, 3]);
+    let vft_line = text.add_vftable(&mut mem, &[4, 5]);
+    let vft_bus = text.add_vftable(&mut mem, &[6, 7]);
+    let vft_gen = text.add_vftable(&mut mem, &[8, 9]);
+
+    let mut heap = HeapArena::create(&mut mem, "heap-objects", HEAP_BASE, 0x8_0000, seed);
+    let mut aux = HeapArena::create(&mut mem, "heap-aux", HEAP2_BASE, 0x4_0000, seed ^ 1);
+
+    let repr = StoredRating::F64 { scale: 1.0 };
+    let mut objects = Vec::new();
+    let mut tainted = Vec::new();
+
+    let n = net.num_lines();
+    let ratings_vec = heap.alloc(8 * n, 8)?;
+    let from_vec = heap.alloc(4 * n, 4)?;
+    let to_vec = heap.alloc(4 * n, 4)?;
+    let mut rating_addrs = Vec::with_capacity(n);
+    for (i, line) in net.lines().iter().enumerate() {
+        let ra = ratings_vec + 8 * i as u32;
+        mem.write(ra, &repr.encode(ratings_mw[i]))?;
+        mem.write_u32(from_vec + 4 * i as u32, line.from.0 as u32)?;
+        mem.write_u32(to_vec + 4 * i as u32, line.to.0 as u32)?;
+        rating_addrs.push(ra);
+    }
+    tainted.push((ratings_vec, ratings_vec + 8 * n as u32));
+
+    let root = heap.alloc(0x14, 8)?;
+    mem.write_u32(root + NET_VFPTR, vft_net)?;
+    mem.write_u32(root + NET_RATINGS, ratings_vec)?;
+    mem.write_u32(root + NET_COUNT, n as u32)?;
+    mem.write_u32(root + NET_FROM, from_vec)?;
+    mem.write_u32(root + NET_TO, to_vec)?;
+    objects.push(ObjectRecord { addr: root, class: ObjectClass::Container, vftable: Some(vft_net) });
+
+    // Handle objects per component.
+    for i in 0..n {
+        let a = heap.alloc(0xC, 8)?;
+        mem.write_u32(a, vft_line)?;
+        mem.write_u32(a + 4, i as u32)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Line, vftable: Some(vft_line) });
+    }
+    for (i, bus) in net.buses().iter().enumerate() {
+        let a = heap.alloc(0x10, 8)?;
+        mem.write_u32(a, vft_bus)?;
+        mem.write_u32(a + 4, i as u32)?;
+        mem.write_f64(a + 8, bus.demand_mw)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Bus, vftable: Some(vft_bus) });
+    }
+    for g in net.gens() {
+        let a = heap.alloc(0x10, 8)?;
+        mem.write_u32(a, vft_gen)?;
+        mem.write_u32(a + 4, g.bus.0 as u32)?;
+        mem.write_f64(a + 8, g.pmax_mw)?;
+        objects.push(ObjectRecord { addr: a, class: ObjectClass::Gen, vftable: Some(vft_gen) });
+    }
+
+    let patterns: Vec<Vec<u8>> = ratings_mw.iter().map(|&r| repr.encode(r)).collect();
+    let telem = salt_telemetry(&mut mem, &mut aux, &patterns, 5, seed)?;
+    tainted.push(telem);
+
+    Ok(EmsInstance {
+        package: EmsPackage::SmartGridToolbox,
+        memory: mem,
+        rating_addrs,
+        rating_repr: repr,
+        objects,
+        vftables: vec![
+            (ObjectClass::Container, vft_net),
+            (ObjectClass::Line, vft_line),
+            (ObjectClass::Bus, vft_bus),
+            (ObjectClass::Gen, vft_gen),
+        ],
+        tainted,
+        root_addr: root,
+    })
+}
+
+pub(super) fn read_ratings(inst: &EmsInstance) -> Result<Vec<f64>, EmsError> {
+    let mem = &inst.memory;
+    let ratings = mem.read_u32(inst.root_addr + NET_RATINGS)?;
+    let count = mem.read_u32(inst.root_addr + NET_COUNT)? as usize;
+    if count > 100_000 {
+        return Err(EmsError::CorruptState { what: format!("implausible count {count}") });
+    }
+    (0..count)
+        .map(|i| inst.rating_repr.decode(mem, ratings + 8 * i as u32))
+        .collect()
+}
+
+/// Pure data-pointer pattern: the candidate must be an element of the
+/// ratings vector registered in the (vftable-identified) `SgtNetwork`
+/// container — found by recursive pointer traversal, like the paper's
+/// directed-graph search over allocated objects.
+pub(super) fn signature(reference: &EmsInstance) -> Signature {
+    let vft_net = reference
+        .vftable_of(ObjectClass::Container)
+        .expect("network vftable registered");
+    Signature::new(vec![Predicate::VectorElement {
+        holder_vftable: vft_net,
+        ptr_off: NET_RATINGS as i64,
+        count_off: NET_COUNT as i64,
+        elem_size: 8,
+        elem_off: 0,
+    }])
+}

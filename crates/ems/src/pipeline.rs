@@ -1,0 +1,171 @@
+//! The end-to-end attack pipeline (Figures 1, 6 and the Section VI-B case
+//! study): optimal attack generation → memory corruption → corrupted
+//! dispatch → unsafe physical state.
+
+use crate::exploit::{CorruptionRecord, Exploit};
+use crate::memory::hexdump;
+use crate::packages::EmsPackage;
+use crate::EmsError;
+use ed_core::attack::{optimal_attack, AttackConfig};
+use ed_core::dispatch::Dispatch;
+use ed_powerflow::Network;
+
+/// Full record of one end-to-end attack run.
+#[derive(Debug, Clone)]
+pub struct CaseStudyReport {
+    /// Package attacked.
+    pub package: EmsPackage,
+    /// Dispatch the EMS produced *before* corruption.
+    pub pre_dispatch: Dispatch,
+    /// Dispatch the EMS produced *after* corruption.
+    pub post_dispatch: Dispatch,
+    /// Per-line corruption records (scan/signature statistics).
+    pub corruptions: Vec<CorruptionRecord>,
+    /// Percentage utilization of each line's *true* rating before the
+    /// attack (the pie charts of Fig. 8a).
+    pub pre_utilization_pct: Vec<f64>,
+    /// The same after the attack (Fig. 8b) — entries above 100 are the
+    /// unsafe overloads.
+    pub post_utilization_pct: Vec<f64>,
+    /// Hexdump around the first corrupted parameter, before corruption.
+    pub memory_before: String,
+    /// Hexdump around the first corrupted parameter, after corruption.
+    pub memory_after: String,
+}
+
+impl CaseStudyReport {
+    /// Lines whose true rating is violated post-attack.
+    pub fn violated_lines(&self) -> Vec<usize> {
+        self.post_utilization_pct
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &u)| (u > 100.0).then_some(i))
+            .collect()
+    }
+}
+
+/// Runs the whole pipeline on one EMS package:
+///
+/// 1. boot the EMS with the true ratings in memory and run its ED loop
+///    (pre-attack state);
+/// 2. solve the bilevel program for the adversary-optimal `u^a`;
+/// 3. locate and overwrite the in-memory DLR values via the package's
+///    structural signature;
+/// 4. let the EMS re-run its ED loop on the corrupted memory, and measure
+///    the resulting flows against the *true* ratings.
+///
+/// # Errors
+///
+/// Propagates attack-generation, identification, and dispatch failures.
+pub fn run_case_study(
+    package: EmsPackage,
+    net: &Network,
+    config: &AttackConfig,
+    seed: u64,
+) -> Result<CaseStudyReport, EmsError> {
+    // Boot the victim EMS with the true DLR values in its memory.
+    let true_ratings = config.true_ratings_vector(net);
+    let mut victim = package.build(net, &true_ratings, seed)?;
+    let pre_dispatch = victim.run_ed(net)?;
+
+    // Offline phase: signature from a separate reference build.
+    let reference = package.build(net, &true_ratings, seed ^ 0xDEAD)?;
+    let exploit = Exploit::new(package.rating_signature(&reference)).tainted_only();
+
+    // Attack generation (Sections II-III).
+    let attack = optimal_attack(net, config)?;
+
+    let dump_at = victim.rating_addrs[config.dlr_lines[0].0];
+    let memory_before = hexdump(&victim.memory, dump_at.saturating_sub(0x10), 0x30);
+
+    // Memory corruption (Section VI).
+    let mut corruptions = Vec::new();
+    for (k, line) in config.dlr_lines.iter().enumerate() {
+        let old = config.u_d[k];
+        let new = attack.ua_mw[k];
+        if (old - new).abs() < 1e-9 {
+            continue;
+        }
+        corruptions.push(exploit.corrupt(&mut victim, line.0, old, new)?);
+    }
+    let memory_after = hexdump(&victim.memory, dump_at.saturating_sub(0x10), 0x30);
+
+    // The EMS control loop runs again on corrupted memory.
+    let post_dispatch = victim.run_ed(net)?;
+
+    let util = |d: &Dispatch| -> Vec<f64> {
+        d.flows_mw
+            .iter()
+            .zip(&true_ratings)
+            .map(|(&f, &u)| 100.0 * f.abs() / u)
+            .collect()
+    };
+    Ok(CaseStudyReport {
+        package,
+        pre_utilization_pct: util(&pre_dispatch),
+        post_utilization_pct: util(&post_dispatch),
+        pre_dispatch,
+        post_dispatch,
+        corruptions,
+        memory_before,
+        memory_after,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ed_powerflow::LineId;
+
+    fn config() -> AttackConfig {
+        AttackConfig::new(vec![LineId(1), LineId(2)])
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![150.0, 150.0])
+    }
+
+    /// The Section VI-B case study on the PowerWorld analogue: pre-attack
+    /// the system is safe; post-attack a true rating is violated.
+    #[test]
+    fn powerworld_case_study() {
+        let net = ed_cases::three_bus();
+        let report = run_case_study(EmsPackage::PowerWorld, &net, &config(), 11).unwrap();
+        assert!(
+            report.pre_utilization_pct.iter().all(|&u| u <= 100.0 + 1e-6),
+            "pre-attack must be safe: {:?}",
+            report.pre_utilization_pct
+        );
+        assert!(
+            !report.violated_lines().is_empty(),
+            "post-attack must violate a true rating: {:?}",
+            report.post_utilization_pct
+        );
+        assert!(!report.corruptions.is_empty());
+        assert_ne!(report.memory_before, report.memory_after);
+    }
+
+    /// "In terms of the attack implementation approach, the attacks
+    /// against PowerWorld and powertools were identical."
+    #[test]
+    fn powertools_case_study_identical_outcome() {
+        let net = ed_cases::three_bus();
+        let pw = run_case_study(EmsPackage::PowerWorld, &net, &config(), 3).unwrap();
+        let pt = run_case_study(EmsPackage::PowerTools, &net, &config(), 3).unwrap();
+        for (a, b) in pw.post_dispatch.p_mw.iter().zip(&pt.post_dispatch.p_mw) {
+            assert!((a - b).abs() < 1e-6, "dispatches must agree");
+        }
+        assert_eq!(pw.violated_lines(), pt.violated_lines());
+    }
+
+    #[test]
+    fn all_packages_complete_pipeline() {
+        let net = ed_cases::three_bus();
+        for pkg in EmsPackage::all() {
+            let report = run_case_study(pkg, &net, &config(), 21).unwrap();
+            assert!(
+                !report.violated_lines().is_empty(),
+                "{}: attack must succeed",
+                pkg.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests of the EMS memory substrate and exploit: signature
+//! transfer across arbitrary heap layouts and rating values.
+
+use ed_ems::exploit::Exploit;
+use ed_ems::EmsPackage;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any seed pair and any distinct rating triple, signatures built
+    /// on one run locate the exact parameters on another, and corruption
+    /// round-trips through the package's own traversal.
+    #[test]
+    fn exploit_roundtrip_any_seed(
+        ref_seed in 0u64..1_000_000,
+        victim_seed in 0u64..1_000_000,
+        r0 in 110.0f64..400.0,
+        dr1 in 1.0f64..50.0,
+        dr2 in 51.0f64..120.0,
+        pkg_idx in 0usize..5,
+    ) {
+        let net = ed_cases::three_bus();
+        // Distinct values so each line is uniquely identified by value.
+        let ratings = [r0, r0 + dr1, r0 + dr2];
+        let pkg = EmsPackage::all()[pkg_idx];
+        let reference = pkg.build(&net, &ratings, ref_seed).unwrap();
+        let exploit = Exploit::new(pkg.rating_signature(&reference));
+        let mut victim = pkg.build(&net, &ratings, victim_seed).unwrap();
+        for line in 0..3 {
+            let (addr, hits, survivors) =
+                exploit.locate(&victim, line, ratings[line]).unwrap();
+            prop_assert_eq!(addr, victim.rating_addrs[line], "{}", pkg.name());
+            prop_assert!(hits >= survivors);
+            prop_assert_eq!(survivors, 1);
+        }
+        // Corrupt line 1 and confirm the EMS's own traversal sees it.
+        let rec = exploit.corrupt(&mut victim, 1, ratings[1], 123.0).unwrap();
+        prop_assert_eq!(rec.addr, victim.rating_addrs[1]);
+        let back = victim.read_ratings_mw().unwrap();
+        prop_assert!((back[1] - 123.0).abs() < 1e-2);
+        prop_assert!((back[0] - ratings[0]).abs() < 1e-2);
+        prop_assert!((back[2] - ratings[2]).abs() < 1e-2);
+    }
+
+    /// Memory write/read round-trips for arbitrary values and addresses
+    /// within a mapped segment.
+    #[test]
+    fn address_space_roundtrip(
+        offset in 0u32..0xF0,
+        value in proptest::num::f64::NORMAL,
+    ) {
+        use ed_ems::memory::{AddressSpace, Perm};
+        let mut m = AddressSpace::new();
+        m.map("heap", 0x1000, 0x100, Perm::ReadWrite);
+        let addr = 0x1000 + (offset & !7);
+        m.write_f64(addr, value).unwrap();
+        prop_assert_eq!(m.read_f64(addr).unwrap().to_bits(), value.to_bits());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for linear-algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dense linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// The matrix is singular (or numerically singular) to working precision.
+    Singular {
+        /// Pivot column at which factorization broke down.
+        column: usize,
+    },
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was found.
+        found: String,
+    },
+    /// The operation requires a square matrix but the operand is rectangular.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { column } => {
+                write!(f, "matrix is singular at pivot column {column}")
+            }
+            LinalgError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, found {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}

@@ -1,0 +1,46 @@
+//! Dense linear-algebra substrate for the `ed-security` workspace.
+//!
+//! The power-flow and optimization crates in this workspace need a small but
+//! reliable set of dense numerical kernels:
+//!
+//! - [`Matrix`] — a row-major dense `f64` matrix with the usual arithmetic,
+//!   slicing and assembly helpers.
+//! - [`Lu`] — LU factorization with partial pivoting, used for linear solves
+//!   in the Newton–Raphson AC power flow, PTDF computation, and the
+//!   active-set QP solver.
+//! - [`Complex`] — complex arithmetic for AC admittance matrices.
+//!
+//! Everything here is implemented from scratch (no external linear-algebra
+//! crates) and sized for the problems in this workspace: networks with up to
+//! a few hundred buses, and optimization bases with up to a few thousand
+//! rows. All kernels are `O(n^3)` dense algorithms with partial pivoting for
+//! stability.
+//!
+//! # Example
+//!
+//! ```
+//! use ed_linalg::{Matrix, Lu};
+//!
+//! # fn main() -> Result<(), ed_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let lu = Lu::factor(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod error;
+mod lu;
+mod matrix;
+mod vector;
+
+pub use complex::Complex;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use vector::{axpy, dot, norm_inf, norm_two, scale, sub};

@@ -1,0 +1,81 @@
+//! Property-based tests for the dense linear-algebra kernels.
+
+use ed_linalg::{Lu, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a diagonally-dominated (hence nonsingular, well-conditioned)
+/// n x n matrix with entries in [-1, 1].
+fn dominated_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data).expect("sized correctly");
+        for i in 0..n {
+            let boost = n as f64 + 1.0;
+            let d = m[(i, i)];
+            m[(i, i)] = d + boost * d.signum().max(0.5);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LU solve leaves a tiny residual: ||Ax - b||_inf small.
+    #[test]
+    fn lu_solve_residual((a, b) in dominated_matrix(8).prop_flat_map(|a| {
+        (Just(a), proptest::collection::vec(-10.0f64..10.0, 8))
+    })) {
+        let lu = Lu::factor(&a).expect("dominated matrices are nonsingular");
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8, "residual too large: {l} vs {r}");
+        }
+    }
+
+    /// Transpose solve agrees with solving the explicitly transposed matrix.
+    #[test]
+    fn transpose_solve_consistent((a, b) in dominated_matrix(6).prop_flat_map(|a| {
+        (Just(a), proptest::collection::vec(-5.0f64..5.0, 6))
+    })) {
+        let lu = Lu::factor(&a).unwrap();
+        let x1 = lu.solve_transpose(&b).unwrap();
+        let lu_t = Lu::factor(&a.transpose()).unwrap();
+        let x2 = lu_t.solve(&b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            prop_assert!((p - q).abs() < 1e-7);
+        }
+    }
+
+    /// det(A) * det(A^{-1}) == 1.
+    #[test]
+    fn determinant_inverse_product(a in dominated_matrix(5)) {
+        let lu = Lu::factor(&a).unwrap();
+        let inv = lu.inverse().unwrap();
+        let lu_inv = Lu::factor(&inv).unwrap();
+        let prod = lu.det() * lu_inv.det();
+        prop_assert!((prod - 1.0).abs() < 1e-6, "det product {prod}");
+    }
+
+    /// (AB)^T == B^T A^T.
+    #[test]
+    fn transpose_of_product((a, b) in (dominated_matrix(5), dominated_matrix(5))) {
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        let diff = &ab_t - &bt_at;
+        prop_assert!(diff.norm_inf() < 1e-9);
+    }
+
+    /// Matrix-vector and matrix-matrix products agree on single columns.
+    #[test]
+    fn matvec_matches_matmul((a, v) in dominated_matrix(6).prop_flat_map(|a| {
+        (Just(a), proptest::collection::vec(-3.0f64..3.0, 6))
+    })) {
+        let col = Matrix::from_vec(6, 1, v.clone()).unwrap();
+        let via_mm = a.matmul(&col).unwrap();
+        let via_mv = a.matvec(&v).unwrap();
+        for i in 0..6 {
+            prop_assert!((via_mm[(i, 0)] - via_mv[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type shared by all solvers in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the LP/QP/MILP/MPEC solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimError {
+    /// The problem has no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration limit was reached before convergence.
+    IterationLimit {
+        /// Limit that was hit.
+        limit: usize,
+    },
+    /// Branch-and-bound exhausted its node budget without proving optimality.
+    NodeLimit {
+        /// Node budget that was hit.
+        limit: usize,
+        /// Best feasible objective found, if any.
+        incumbent: Option<f64>,
+        /// Best proven bound at exhaustion.
+        bound: f64,
+    },
+    /// A numerical failure (singular basis / KKT system) that persisted
+    /// after recovery attempts.
+    Numerical {
+        /// Description of what failed.
+        what: String,
+    },
+    /// The model is malformed (e.g. a variable index out of range, or
+    /// lower bound above upper bound).
+    InvalidModel {
+        /// Description of the inconsistency.
+        what: String,
+    },
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::Infeasible => write!(f, "problem is infeasible"),
+            OptimError::Unbounded => write!(f, "objective is unbounded"),
+            OptimError::IterationLimit { limit } => {
+                write!(f, "iteration limit of {limit} reached")
+            }
+            OptimError::NodeLimit { limit, incumbent, bound } => write!(
+                f,
+                "node limit of {limit} reached (incumbent {incumbent:?}, bound {bound})"
+            ),
+            OptimError::Numerical { what } => write!(f, "numerical failure: {what}"),
+            OptimError::InvalidModel { what } => write!(f, "invalid model: {what}"),
+        }
+    }
+}
+
+impl Error for OptimError {}
+
+impl From<ed_linalg::LinalgError> for OptimError {
+    fn from(e: ed_linalg::LinalgError) -> Self {
+        OptimError::Numerical { what: e.to_string() }
+    }
+}

@@ -1,0 +1,48 @@
+//! Mathematical-programming substrate for the `ed-security` workspace.
+//!
+//! The DSN'17 economic-dispatch attack pipeline needs four solver families,
+//! all implemented here from scratch on top of [`ed_linalg`]:
+//!
+//! - [`lp`] — linear programming via a bounded-variable two-phase revised
+//!   simplex method with a dense basis inverse and periodic refactorization.
+//!   Used for economic dispatch with linear generation costs and as the
+//!   relaxation engine inside the MILP/MPEC branch-and-bound solvers.
+//! - [`qp`] — convex quadratic programming via a primal active-set method.
+//!   Used for economic dispatch with the paper's convex quadratic costs
+//!   (Eq. 3).
+//! - [`milp`] — mixed-integer linear programming via LP-based branch and
+//!   bound. Used for the paper-faithful big-M KKT reformulation of the
+//!   bilevel attack problem (Eq. 16–17).
+//! - [`mpec`] — linear programs with complementarity constraints, solved by
+//!   branching directly on complementarity pairs instead of big-M binaries.
+//!   This is the scalable alternative used for the 118-bus experiments.
+//!
+//! # Example: a tiny LP
+//!
+//! ```
+//! use ed_optim::lp::{LpProblem, Row};
+//!
+//! # fn main() -> Result<(), ed_optim::OptimError> {
+//! // max x + y  s.t.  x + 2y <= 4, 3x + y <= 6, x,y >= 0
+//! let mut lp = LpProblem::maximize();
+//! let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+//! let y = lp.add_var(0.0, f64::INFINITY, 1.0);
+//! lp.add_row(Row::le(4.0).coef(x, 1.0).coef(y, 2.0));
+//! lp.add_row(Row::le(6.0).coef(x, 3.0).coef(y, 1.0));
+//! let sol = lp.solve()?;
+//! assert!((sol.objective - 2.8).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod lp;
+pub mod milp;
+pub mod mpec;
+pub mod qp;
+
+pub use error::OptimError;
+

@@ -1,0 +1,14 @@
+//! Linear programming: problem builder and a bounded-variable two-phase
+//! revised simplex solver.
+//!
+//! The solver handles general bounds `l <= x <= u` (including infinite and
+//! fixed bounds), `<=`/`>=`/`==` rows, minimization and maximization, and
+//! reports primal values, row duals, reduced costs, and a basis summary.
+//!
+//! See [`LpProblem`] for the entry point.
+
+mod problem;
+mod simplex;
+
+pub use problem::{LpProblem, LpSolution, LpStatus, Row, RowId, RowSense, Sense, VarId};
+pub use simplex::{Pricing, SimplexOptions};

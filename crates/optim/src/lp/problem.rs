@@ -1,0 +1,387 @@
+//! LP model builder and solution types.
+
+use crate::lp::simplex::{self, SimplexOptions};
+use crate::OptimError;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Min,
+    /// Maximize the objective.
+    Max,
+}
+
+/// Relational sense of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSense {
+    /// `a'x <= rhs`
+    Le,
+    /// `a'x >= rhs`
+    Ge,
+    /// `a'x == rhs`
+    Eq,
+}
+
+/// Opaque handle to a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Zero-based column index of the variable.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque handle to a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub(crate) usize);
+
+impl RowId {
+    /// Zero-based row index of the constraint.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A constraint row under construction, used with [`LpProblem::add_row`].
+///
+/// # Example
+///
+/// ```
+/// use ed_optim::lp::{LpProblem, Row};
+///
+/// let mut lp = LpProblem::minimize();
+/// let x = lp.add_var(0.0, 1.0, 1.0);
+/// let y = lp.add_var(0.0, 1.0, 1.0);
+/// lp.add_row(Row::ge(1.0).coef(x, 1.0).coef(y, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub(crate) sense: RowSense,
+    pub(crate) rhs: f64,
+    pub(crate) coeffs: Vec<(VarId, f64)>,
+}
+
+impl Row {
+    /// Starts a `<= rhs` row.
+    pub fn le(rhs: f64) -> Row {
+        Row { sense: RowSense::Le, rhs, coeffs: Vec::new() }
+    }
+
+    /// Starts a `>= rhs` row.
+    pub fn ge(rhs: f64) -> Row {
+        Row { sense: RowSense::Ge, rhs, coeffs: Vec::new() }
+    }
+
+    /// Starts an `== rhs` row.
+    pub fn eq(rhs: f64) -> Row {
+        Row { sense: RowSense::Eq, rhs, coeffs: Vec::new() }
+    }
+
+    /// Adds (accumulates) a coefficient for `var`.
+    pub fn coef(mut self, var: VarId, value: f64) -> Row {
+        if value != 0.0 {
+            self.coeffs.push((var, value));
+        }
+        self
+    }
+
+    /// Adds many coefficients at once.
+    pub fn coefs<I: IntoIterator<Item = (VarId, f64)>>(mut self, iter: I) -> Row {
+        for (v, c) in iter {
+            if c != 0.0 {
+                self.coeffs.push((v, c));
+            }
+        }
+        self
+    }
+}
+
+/// Termination status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+}
+
+/// Solution of an LP.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status (currently always [`LpStatus::Optimal`]; infeasible
+    /// and unbounded outcomes are reported through [`OptimError`]).
+    pub status: LpStatus,
+    /// Optimal objective value in the problem's own sense.
+    pub objective: f64,
+    /// Primal values for the structural variables, indexed by [`VarId`].
+    pub x: Vec<f64>,
+    /// Row duals `y` indexed by [`RowId`].
+    ///
+    /// Convention: internally every row is written `a'x + s = rhs`, and
+    /// `duals[i]` is the simplex multiplier of that equality **for the
+    /// minimization form** of the problem. For a maximization problem the
+    /// sign is flipped so that duals refer to the stated objective. For an
+    /// `Eq` row this is the ordinary Lagrange multiplier.
+    pub duals: Vec<f64>,
+    /// Reduced costs of the structural variables (minimization form,
+    /// sign-flipped for maximization problems like `duals`).
+    pub reduced_costs: Vec<f64>,
+    /// Total simplex iterations across both phases.
+    pub iterations: usize,
+}
+
+/// A linear program with bounded variables.
+///
+/// Build with [`LpProblem::minimize`]/[`LpProblem::maximize`], add variables
+/// and rows, then call [`LpProblem::solve`].
+///
+/// # Example
+///
+/// ```
+/// use ed_optim::lp::{LpProblem, Row};
+///
+/// # fn main() -> Result<(), ed_optim::OptimError> {
+/// // Economic-dispatch-flavored toy: two generators serve 300 MW,
+/// // generator 1 twice as expensive as generator 2.
+/// let mut lp = LpProblem::minimize();
+/// let p1 = lp.add_var(0.0, 300.0, 2.0);
+/// let p2 = lp.add_var(0.0, 200.0, 1.0);
+/// lp.add_row(Row::eq(300.0).coef(p1, 1.0).coef(p2, 1.0));
+/// let sol = lp.solve()?;
+/// assert_eq!(sol.x, vec![100.0, 200.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    pub(crate) sense: Sense,
+    pub(crate) lb: Vec<f64>,
+    pub(crate) ub: Vec<f64>,
+    pub(crate) obj: Vec<f64>,
+    pub(crate) rows: Vec<Row>,
+}
+
+impl LpProblem {
+    /// Creates an empty minimization problem.
+    pub fn minimize() -> LpProblem {
+        LpProblem { sense: Sense::Min, lb: Vec::new(), ub: Vec::new(), obj: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Creates an empty maximization problem.
+    pub fn maximize() -> LpProblem {
+        LpProblem { sense: Sense::Max, lb: Vec::new(), ub: Vec::new(), obj: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Adds a variable with bounds `[lb, ub]` and objective coefficient `obj`.
+    ///
+    /// Use `f64::NEG_INFINITY` / `f64::INFINITY` for free bounds.
+    pub fn add_var(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
+        self.lb.push(lb);
+        self.ub.push(ub);
+        self.obj.push(obj);
+        VarId(self.lb.len() - 1)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.lb.len()
+    }
+
+    /// Handles of all variables, in creation order.
+    pub fn var_ids(&self) -> Vec<VarId> {
+        (0..self.num_vars()).map(VarId).collect()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds a constraint row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row references a variable that was not created by this
+    /// problem (index out of range).
+    pub fn add_row(&mut self, row: Row) -> RowId {
+        for &(v, _) in &row.coeffs {
+            assert!(v.0 < self.num_vars(), "row references unknown variable {v:?}");
+        }
+        self.rows.push(row);
+        RowId(self.rows.len() - 1)
+    }
+
+    /// Overwrites the bounds of `var`.
+    pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
+        self.lb[var.0] = lb;
+        self.ub[var.0] = ub;
+    }
+
+    /// Current bounds of `var`.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        (self.lb[var.0], self.ub[var.0])
+    }
+
+    /// Overwrites the objective coefficient of `var`.
+    pub fn set_objective_coef(&mut self, var: VarId, obj: f64) {
+        self.obj[var.0] = obj;
+    }
+
+    /// Clears the objective (all coefficients to zero).
+    pub fn clear_objective(&mut self) {
+        self.obj.iter_mut().for_each(|c| *c = 0.0);
+    }
+
+    /// Changes the optimization sense.
+    pub fn set_sense(&mut self, sense: Sense) {
+        self.sense = sense;
+    }
+
+    /// Validates model consistency (bounds ordered, finite rhs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidModel`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), OptimError> {
+        for (i, (&l, &u)) in self.lb.iter().zip(&self.ub).enumerate() {
+            if l > u {
+                return Err(OptimError::InvalidModel {
+                    what: format!("variable {i} has lb {l} > ub {u}"),
+                });
+            }
+            if l.is_nan() || u.is_nan() {
+                return Err(OptimError::InvalidModel { what: format!("variable {i} has NaN bound") });
+            }
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if !row.rhs.is_finite() {
+                return Err(OptimError::InvalidModel { what: format!("row {i} has non-finite rhs") });
+            }
+            for &(_, c) in &row.coeffs {
+                if !c.is_finite() {
+                    return Err(OptimError::InvalidModel {
+                        what: format!("row {i} has non-finite coefficient"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves with default options.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptimError::Infeasible`] if no feasible point exists.
+    /// - [`OptimError::Unbounded`] if the objective is unbounded.
+    /// - [`OptimError::IterationLimit`] / [`OptimError::Numerical`] on solver
+    ///   trouble.
+    pub fn solve(&self) -> Result<LpSolution, OptimError> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solves with explicit simplex options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LpProblem::solve`].
+    pub fn solve_with(&self, options: &SimplexOptions) -> Result<LpSolution, OptimError> {
+        self.validate()?;
+        simplex::solve(self, options)
+    }
+
+    /// Evaluates the objective at a point (in the problem's own sense).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars());
+        self.obj.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Row activity `a_i'x` for each row at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn row_activities(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.num_vars());
+        self.rows
+            .iter()
+            .map(|r| r.coeffs.iter().map(|&(v, c)| c * x[v.0]).sum())
+            .collect()
+    }
+
+    /// Maximum constraint/bound violation of a point (0 means feasible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn infeasibility(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0_f64;
+        for (i, &xi) in x.iter().enumerate() {
+            worst = worst.max(self.lb[i] - xi).max(xi - self.ub[i]);
+        }
+        for (row, act) in self.rows.iter().zip(self.row_activities(x)) {
+            let v = match row.sense {
+                RowSense::Le => act - row.rhs,
+                RowSense::Ge => row.rhs - act,
+                RowSense::Eq => (act - row.rhs).abs(),
+            };
+            worst = worst.max(v);
+        }
+        worst.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 1.0, 2.0);
+        let y = lp.add_var(-1.0, 1.0, -1.0);
+        let r = lp.add_row(Row::le(3.0).coef(x, 1.0).coef(y, 2.0));
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_rows(), 1);
+        assert_eq!(r.index(), 0);
+        assert_eq!(lp.bounds(y), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn validate_catches_bad_bounds() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(1.0, 0.0, 0.0);
+        let _ = x;
+        assert!(matches!(lp.validate(), Err(OptimError::InvalidModel { .. })));
+    }
+
+    #[test]
+    fn infeasibility_measures_violation() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_row(Row::ge(5.0).coef(x, 1.0));
+        assert_eq!(lp.infeasibility(&[7.0]), 0.0);
+        assert_eq!(lp.infeasibility(&[3.0]), 2.0);
+        assert_eq!(lp.infeasibility(&[-1.0]), 6.0);
+    }
+
+    #[test]
+    fn zero_coefficients_dropped() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        let row = Row::eq(0.0).coef(x, 0.0);
+        assert!(row.coeffs.is_empty());
+        lp.add_row(row);
+    }
+}

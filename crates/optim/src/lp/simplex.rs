@@ -1,0 +1,769 @@
+//! Bounded-variable two-phase revised simplex with a dense basis inverse.
+//!
+//! Implementation notes:
+//!
+//! - Every row `a'x (<=|>=|==) rhs` is rewritten `a'x + s = rhs` with slack
+//!   bounds encoding the sense (`[0,inf)`, `(-inf,0]`, `[0,0]`).
+//! - Phase 1 introduces one artificial column per row and minimizes their
+//!   sum; phase 2 re-prices with the true objective after artificials are
+//!   driven out (or pinned at zero on redundant rows).
+//! - The basis inverse is kept explicitly and updated with elementary row
+//!   operations each pivot; it is refactored from scratch (dense LU) every
+//!   [`SimplexOptions::refactor_interval`] pivots to bound drift, and the
+//!   basic solution is recomputed at the same cadence.
+//! - Dantzig pricing by default, with an automatic switch to Bland's rule
+//!   after a run of degenerate pivots to guarantee termination.
+
+use crate::lp::problem::{LpProblem, LpSolution, LpStatus, RowSense, Sense};
+use crate::OptimError;
+use ed_linalg::{Lu, Matrix};
+
+/// Pricing rule for selecting the entering variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Most negative reduced cost (fast in practice).
+    #[default]
+    Dantzig,
+    /// Smallest eligible index (anti-cycling; slower).
+    Bland,
+}
+
+/// Options controlling the simplex method.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Maximum total pivots across both phases.
+    pub max_iterations: usize,
+    /// Pivots between basis refactorizations.
+    pub refactor_interval: usize,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Primal feasibility tolerance (also phase-1 acceptance).
+    pub feas_tol: f64,
+    /// Pricing rule to start with (may switch to Bland on degeneracy).
+    pub pricing: Pricing,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 50_000,
+            refactor_interval: 128,
+            opt_tol: 1e-9,
+            feas_tol: 1e-7,
+            pricing: Pricing::Dantzig,
+        }
+    }
+}
+
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    /// Free nonbasic variable resting at zero.
+    FreeZero,
+}
+
+/// Number of consecutive degenerate pivots before switching to Bland's rule.
+const DEGENERATE_SWITCH: usize = 60;
+/// Pivot magnitude floor for the ratio test and basis updates.
+const PIVOT_TOL: f64 = 1e-10;
+
+struct Tableau {
+    m: usize,
+    /// Total columns: structural + slacks + artificials.
+    ncols: usize,
+    n_structural: usize,
+    cols: Vec<Vec<(usize, f64)>>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// Phase-2 cost (minimization form).
+    cost: Vec<f64>,
+    b: Vec<f64>,
+    x: Vec<f64>,
+    state: Vec<VarState>,
+    basis: Vec<usize>,
+    binv: Matrix,
+    iterations: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LpProblem) -> Tableau {
+        let m = lp.num_rows();
+        let n = lp.num_vars();
+        let ncols = n + 2 * m;
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+        let mut lb = vec![0.0; ncols];
+        let mut ub = vec![0.0; ncols];
+        let mut cost = vec![0.0; ncols];
+        let mut b = vec![0.0; m];
+
+        let sign = match lp.sense {
+            Sense::Min => 1.0,
+            Sense::Max => -1.0,
+        };
+        for j in 0..n {
+            lb[j] = lp.lb[j];
+            ub[j] = lp.ub[j];
+            cost[j] = sign * lp.obj[j];
+        }
+        for (i, row) in lp.rows.iter().enumerate() {
+            b[i] = row.rhs;
+            for &(v, c) in &row.coeffs {
+                cols[v.0].push((i, c));
+            }
+            // Slack column.
+            let s = n + i;
+            cols[s].push((i, 1.0));
+            match row.sense {
+                RowSense::Le => {
+                    lb[s] = 0.0;
+                    ub[s] = f64::INFINITY;
+                }
+                RowSense::Ge => {
+                    lb[s] = f64::NEG_INFINITY;
+                    ub[s] = 0.0;
+                }
+                RowSense::Eq => {
+                    lb[s] = 0.0;
+                    ub[s] = 0.0;
+                }
+            }
+            // Artificial column entries are filled in `install_artificials`.
+        }
+        // Coalesce duplicate row entries per column (Row::coef may repeat vars).
+        for col in cols.iter_mut().take(n) {
+            col.sort_by_key(|&(i, _)| i);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(col.len());
+            for &(i, c) in col.iter() {
+                match merged.last_mut() {
+                    Some((li, lc)) if *li == i => *lc += c,
+                    _ => merged.push((i, c)),
+                }
+            }
+            merged.retain(|&(_, c)| c != 0.0);
+            *col = merged;
+        }
+
+        Tableau {
+            m,
+            ncols,
+            n_structural: n,
+            cols,
+            lb,
+            ub,
+            cost,
+            b,
+            x: vec![0.0; ncols],
+            state: vec![VarState::AtLower; ncols],
+            basis: Vec::new(),
+            binv: Matrix::identity(m),
+            iterations: 0,
+        }
+    }
+
+    fn initial_nonbasic(&self, j: usize) -> (VarState, f64) {
+        let (l, u) = (self.lb[j], self.ub[j]);
+        if l.is_finite() {
+            (VarState::AtLower, l)
+        } else if u.is_finite() {
+            (VarState::AtUpper, u)
+        } else {
+            (VarState::FreeZero, 0.0)
+        }
+    }
+
+    /// Sets all structural+slack columns nonbasic at their preferred bound
+    /// and installs artificial columns as the starting basis.
+    fn install_artificials(&mut self) {
+        let n = self.n_structural;
+        let m = self.m;
+        for j in 0..(n + m) {
+            let (st, v) = self.initial_nonbasic(j);
+            self.state[j] = st;
+            self.x[j] = v;
+        }
+        // Residual r = b - A x_N over structural + slack columns.
+        let mut r = self.b.clone();
+        for j in 0..(n + m) {
+            let xj = self.x[j];
+            if xj != 0.0 {
+                for &(i, c) in &self.cols[j] {
+                    r[i] -= c * xj;
+                }
+            }
+        }
+        self.basis = Vec::with_capacity(m);
+        self.binv = Matrix::identity(m);
+        for i in 0..m {
+            let a = n + m + i;
+            let sign = if r[i] >= 0.0 { 1.0 } else { -1.0 };
+            self.cols[a] = vec![(i, sign)];
+            self.lb[a] = 0.0;
+            self.ub[a] = f64::INFINITY;
+            self.x[a] = r[i].abs();
+            self.state[a] = VarState::Basic(i);
+            self.basis.push(a);
+            self.binv[(i, i)] = sign; // diag(sign)^{-1} = diag(sign)
+        }
+    }
+
+    fn is_artificial(&self, j: usize) -> bool {
+        j >= self.n_structural + self.m
+    }
+
+    /// `B^{-1} A_j` for a (sparse) column.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        for &(i, c) in &self.cols[j] {
+            if c != 0.0 {
+                for k in 0..self.m {
+                    w[k] += c * self.binv[(k, i)];
+                }
+            }
+        }
+        w
+    }
+
+    /// Simplex multipliers `y = (B^{-1})^T c_B` for the given cost vector.
+    fn duals(&self, cost: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (k, &bk) in self.basis.iter().enumerate() {
+            let cb = cost[bk];
+            if cb != 0.0 {
+                for i in 0..self.m {
+                    y[i] += cb * self.binv[(k, i)];
+                }
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, cost: &[f64], y: &[f64]) -> f64 {
+        let mut d = cost[j];
+        for &(i, c) in &self.cols[j] {
+            d -= y[i] * c;
+        }
+        d
+    }
+
+    /// Recomputes the basis inverse and basic values from scratch.
+    fn refactor(&mut self) -> Result<(), OptimError> {
+        if self.m == 0 {
+            return Ok(());
+        }
+        let mut bmat = Matrix::zeros(self.m, self.m);
+        for (k, &j) in self.basis.iter().enumerate() {
+            for &(i, c) in &self.cols[j] {
+                bmat[(i, k)] = c;
+            }
+        }
+        let lu = Lu::factor(&bmat).map_err(|e| OptimError::Numerical {
+            what: format!("basis refactorization failed: {e}"),
+        })?;
+        // binv rows k over columns i: binv = B^{-1}; but our storage uses
+        // binv[(k, i)] = (B^{-1})_{k i}.
+        let inv = lu.inverse()?;
+        self.binv = inv;
+        // Recompute x_B = B^{-1}(b - N x_N).
+        let mut rhs = self.b.clone();
+        for j in 0..self.ncols {
+            if matches!(self.state[j], VarState::Basic(_)) {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj != 0.0 {
+                for &(i, c) in &self.cols[j] {
+                    rhs[i] -= c * xj;
+                }
+            }
+        }
+        for k in 0..self.m {
+            let mut v = 0.0;
+            for i in 0..self.m {
+                v += self.binv[(k, i)] * rhs[i];
+            }
+            self.x[self.basis[k]] = v;
+        }
+        Ok(())
+    }
+
+    /// Rank-one update of the basis inverse after column `q` replaces the
+    /// basic variable at position `r`, given `w = B^{-1} A_q`.
+    fn update_binv(&mut self, r: usize, w: &[f64]) {
+        let wr = w[r];
+        for i in 0..self.m {
+            let factor = self.binv[(r, i)] / wr;
+            self.binv[(r, i)] = factor;
+        }
+        for k in 0..self.m {
+            if k == r {
+                continue;
+            }
+            let wk = w[k];
+            if wk != 0.0 {
+                for i in 0..self.m {
+                    let br = self.binv[(r, i)];
+                    self.binv[(k, i)] -= wk * br;
+                }
+            }
+        }
+    }
+
+    /// Runs the simplex loop on cost vector `cost` (minimization).
+    ///
+    /// `allow_unbounded == false` (phase 1) treats an unbounded ray as a
+    /// numerical error since the phase-1 objective is bounded below by 0.
+    fn optimize(
+        &mut self,
+        cost: &[f64],
+        options: &SimplexOptions,
+        allow_unbounded: bool,
+    ) -> Result<(), OptimError> {
+        let mut pricing = options.pricing;
+        let mut degenerate_run = 0usize;
+        let mut since_refactor = 0usize;
+
+        loop {
+            if self.iterations >= options.max_iterations {
+                return Err(OptimError::IterationLimit { limit: options.max_iterations });
+            }
+            if since_refactor >= options.refactor_interval {
+                self.refactor()?;
+                since_refactor = 0;
+            }
+
+            let y = self.duals(cost);
+
+            // Entering variable selection.
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, sigma)
+            for j in 0..self.ncols {
+                let (sigma, eligible) = match self.state[j] {
+                    VarState::Basic(_) => continue,
+                    VarState::AtLower => {
+                        if self.ub[j] <= self.lb[j] {
+                            continue; // fixed variable
+                        }
+                        (1.0, true)
+                    }
+                    VarState::AtUpper => {
+                        if self.ub[j] <= self.lb[j] {
+                            continue;
+                        }
+                        (-1.0, true)
+                    }
+                    VarState::FreeZero => (0.0, true),
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.reduced_cost(j, cost, &y);
+                let (ok, sig, mag) = if self.state[j] == VarState::FreeZero {
+                    if d < -options.opt_tol {
+                        (true, 1.0, -d)
+                    } else if d > options.opt_tol {
+                        (true, -1.0, d)
+                    } else {
+                        (false, 0.0, 0.0)
+                    }
+                } else if sigma > 0.0 {
+                    (d < -options.opt_tol, 1.0, -d)
+                } else {
+                    (d > options.opt_tol, -1.0, d)
+                };
+                if ok {
+                    match pricing {
+                        Pricing::Bland => {
+                            entering = Some((j, mag, sig));
+                            break;
+                        }
+                        Pricing::Dantzig => {
+                            if entering.map_or(true, |(_, best, _)| mag > best) {
+                                entering = Some((j, mag, sig));
+                            }
+                        }
+                    }
+                }
+            }
+
+            let Some((q, _, sigma)) = entering else {
+                return Ok(()); // optimal
+            };
+
+            let w = self.ftran(q);
+
+            // Ratio test.
+            let flip_dist = if self.lb[q].is_finite() && self.ub[q].is_finite() {
+                self.ub[q] - self.lb[q]
+            } else {
+                f64::INFINITY
+            };
+            let mut t_best = flip_dist;
+            let mut leave: Option<(usize, VarState)> = None; // (basic position, bound hit)
+            let mut best_pivot = 0.0_f64;
+            for k in 0..self.m {
+                let delta = sigma * w[k];
+                let bi = self.basis[k];
+                if delta > PIVOT_TOL {
+                    // Basic value decreases toward its lower bound.
+                    if self.lb[bi].is_finite() {
+                        let t = (self.x[bi] - self.lb[bi]) / delta;
+                        if t < t_best - 1e-12
+                            || (t < t_best + 1e-12 && delta.abs() > best_pivot)
+                        {
+                            t_best = t.max(0.0);
+                            leave = Some((k, VarState::AtLower));
+                            best_pivot = delta.abs();
+                        }
+                    }
+                } else if delta < -PIVOT_TOL {
+                    // Basic value increases toward its upper bound.
+                    if self.ub[bi].is_finite() {
+                        let t = (self.x[bi] - self.ub[bi]) / delta;
+                        if t < t_best - 1e-12
+                            || (t < t_best + 1e-12 && delta.abs() > best_pivot)
+                        {
+                            t_best = t.max(0.0);
+                            leave = Some((k, VarState::AtUpper));
+                            best_pivot = delta.abs();
+                        }
+                    }
+                }
+            }
+
+            if t_best.is_infinite() {
+                return if allow_unbounded {
+                    Err(OptimError::Unbounded)
+                } else {
+                    Err(OptimError::Numerical {
+                        what: "phase-1 objective reported unbounded".to_string(),
+                    })
+                };
+            }
+
+            // Apply the step.
+            self.x[q] += sigma * t_best;
+            for k in 0..self.m {
+                let bi = self.basis[k];
+                self.x[bi] -= sigma * t_best * w[k];
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: q moves across to its opposite bound.
+                    self.state[q] = match self.state[q] {
+                        VarState::AtLower => VarState::AtUpper,
+                        VarState::AtUpper => VarState::AtLower,
+                        other => other,
+                    };
+                    // Snap exactly to the bound.
+                    self.x[q] = match self.state[q] {
+                        VarState::AtLower => self.lb[q],
+                        VarState::AtUpper => self.ub[q],
+                        _ => self.x[q],
+                    };
+                }
+                Some((r, hit)) => {
+                    let leaving = self.basis[r];
+                    self.state[leaving] = hit;
+                    self.x[leaving] = match hit {
+                        VarState::AtLower => self.lb[leaving],
+                        VarState::AtUpper => self.ub[leaving],
+                        _ => unreachable!("leaving variable must rest on a bound"),
+                    };
+                    self.update_binv(r, &w);
+                    self.basis[r] = q;
+                    self.state[q] = VarState::Basic(r);
+                    since_refactor += 1;
+                }
+            }
+
+            self.iterations += 1;
+            if t_best < 1e-10 {
+                degenerate_run += 1;
+                if degenerate_run >= DEGENERATE_SWITCH {
+                    pricing = Pricing::Bland;
+                }
+            } else {
+                degenerate_run = 0;
+                pricing = options.pricing;
+            }
+        }
+    }
+
+    /// After phase 1: pivot basic artificials out where possible, pin all
+    /// artificials to `[0,0]`.
+    fn drive_out_artificials(&mut self) {
+        for r in 0..self.m {
+            let bv = self.basis[r];
+            if !self.is_artificial(bv) {
+                continue;
+            }
+            // Find a non-artificial nonbasic column with a usable pivot in row r.
+            let limit = self.n_structural + self.m;
+            let mut replacement: Option<(usize, Vec<f64>)> = None;
+            for j in 0..limit {
+                if matches!(self.state[j], VarState::Basic(_)) {
+                    continue;
+                }
+                let w = self.ftran(j);
+                if w[r].abs() > 1e-8 {
+                    replacement = Some((j, w));
+                    break;
+                }
+            }
+            if let Some((j, w)) = replacement {
+                // Degenerate pivot: the artificial sits at zero, so the swap
+                // does not move the solution.
+                self.update_binv(r, &w);
+                self.state[bv] = VarState::AtLower;
+                self.x[bv] = 0.0;
+                self.basis[r] = j;
+                self.state[j] = VarState::Basic(r);
+            }
+        }
+        for a in (self.n_structural + self.m)..self.ncols {
+            self.lb[a] = 0.0;
+            self.ub[a] = 0.0;
+            if !matches!(self.state[a], VarState::Basic(_)) {
+                self.x[a] = 0.0;
+                self.state[a] = VarState::AtLower;
+            }
+        }
+    }
+}
+
+/// Solves an [`LpProblem`] (called via [`LpProblem::solve_with`]).
+pub(crate) fn solve(lp: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, OptimError> {
+    let mut t = Tableau::build(lp);
+    t.install_artificials();
+
+    // Phase 1: minimize the sum of artificials.
+    let mut phase1_cost = vec![0.0; t.ncols];
+    for a in (t.n_structural + t.m)..t.ncols {
+        phase1_cost[a] = 1.0;
+    }
+    // Skip phase 1 entirely when the artificial start is already feasible
+    // (all residuals zero), which happens for problems with zero rows.
+    let artificial_sum: f64 = ((t.n_structural + t.m)..t.ncols).map(|a| t.x[a]).sum();
+    if artificial_sum > 0.0 {
+        t.optimize(&phase1_cost, options, false)?;
+        let infeas: f64 = ((t.n_structural + t.m)..t.ncols).map(|a| t.x[a].max(0.0)).sum();
+        if infeas > options.feas_tol {
+            return Err(OptimError::Infeasible);
+        }
+    }
+    t.drive_out_artificials();
+
+    // Phase 2.
+    let cost = t.cost.clone();
+    t.optimize(&cost, options, true)?;
+    t.refactor()?;
+
+    // Assemble the solution.
+    let n = t.n_structural;
+    let x: Vec<f64> = t.x[..n].to_vec();
+    let y_min = t.duals(&cost);
+    let sign = match lp.sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    let duals: Vec<f64> = y_min.iter().map(|v| sign * v).collect();
+    let reduced: Vec<f64> = (0..n)
+        .map(|j| sign * t.reduced_cost(j, &cost, &y_min))
+        .collect();
+    let objective = lp.objective_value(&x);
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        duals,
+        reduced_costs: reduced,
+        iterations: t.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lp::{LpProblem, Pricing, Row, SimplexOptions};
+    use crate::OptimError;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-7
+    }
+
+    #[test]
+    fn simple_max() {
+        // max 3x + 2y st x + y <= 4, x + 3y <= 6, x,y >= 0 -> x=4,y=0, obj 12
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var(0.0, f64::INFINITY, 3.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 2.0);
+        lp.add_row(Row::le(4.0).coef(x, 1.0).coef(y, 1.0));
+        lp.add_row(Row::le(6.0).coef(x, 1.0).coef(y, 3.0));
+        let s = lp.solve().unwrap();
+        assert!(close(s.objective, 12.0), "obj={}", s.objective);
+        assert!(close(s.x[0], 4.0) && close(s.x[1], 0.0));
+    }
+
+    #[test]
+    fn equality_and_bounds() {
+        // min 2p1 + p2 st p1 + p2 = 300, 0<=p1<=300, 0<=p2<=200
+        let mut lp = LpProblem::minimize();
+        let p1 = lp.add_var(0.0, 300.0, 2.0);
+        let p2 = lp.add_var(0.0, 200.0, 1.0);
+        lp.add_row(Row::eq(300.0).coef(p1, 1.0).coef(p2, 1.0));
+        let s = lp.solve().unwrap();
+        assert!(close(s.x[0], 100.0) && close(s.x[1], 200.0));
+        assert!(close(s.objective, 400.0));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_row(Row::ge(2.0).coef(x, 1.0));
+        assert!(matches!(lp.solve(), Err(OptimError::Infeasible)));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 0.0);
+        lp.add_row(Row::ge(0.0).coef(x, 1.0).coef(y, -1.0));
+        assert!(matches!(lp.solve(), Err(OptimError::Unbounded)));
+    }
+
+    #[test]
+    fn free_variables() {
+        // min |style| problem with free variable: min x st x >= -5 handled via row
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        lp.add_row(Row::ge(-5.0).coef(x, 1.0));
+        let s = lp.solve().unwrap();
+        assert!(close(s.x[0], -5.0));
+    }
+
+    #[test]
+    fn negative_rhs() {
+        // min x st -x <= -3  (i.e. x >= 3)
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_row(Row::le(-3.0).coef(x, -1.0));
+        let s = lp.solve().unwrap();
+        assert!(close(s.x[0], 3.0));
+    }
+
+    #[test]
+    fn bound_flip_path() {
+        // max x + y with x,y in [0, 1] and x + y <= 10: both flip to upper bound.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        let y = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_row(Row::le(10.0).coef(x, 1.0).coef(y, 1.0));
+        let s = lp.solve().unwrap();
+        assert!(close(s.objective, 2.0));
+    }
+
+    #[test]
+    fn fixed_variables_respected() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(2.0, 2.0, 1.0);
+        let y = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_row(Row::ge(5.0).coef(x, 1.0).coef(y, 1.0));
+        let s = lp.solve().unwrap();
+        assert!(close(s.x[0], 2.0));
+        assert!(close(s.x[1], 3.0));
+    }
+
+    #[test]
+    fn duals_equality_shadow_price() {
+        // min 2p1 + p2 st p1 + p2 = 300, p2 <= 200: marginal unit comes from
+        // p1 at cost 2 -> dual of balance = 2.
+        let mut lp = LpProblem::minimize();
+        let p1 = lp.add_var(0.0, 300.0, 2.0);
+        let p2 = lp.add_var(0.0, 200.0, 1.0);
+        lp.add_row(Row::eq(300.0).coef(p1, 1.0).coef(p2, 1.0));
+        let s = lp.solve().unwrap();
+        assert!(close(s.duals[0], 2.0), "dual={}", s.duals[0]);
+    }
+
+    #[test]
+    fn zero_rows_puts_vars_at_best_bound() {
+        let mut lp = LpProblem::minimize();
+        let _x = lp.add_var(-1.0, 5.0, 1.0);
+        let _y = lp.add_var(-2.0, 3.0, -1.0);
+        let s = lp.solve().unwrap();
+        assert!(close(s.x[0], -1.0) && close(s.x[1], 3.0));
+    }
+
+    #[test]
+    fn bland_pricing_agrees_with_dantzig() {
+        // Beale's classic cycling example (min form); optimum -0.05 at
+        // x = (1/25, 0, 1, 0).
+        let build = || {
+            let mut lp = LpProblem::minimize();
+            let x1 = lp.add_var(0.0, f64::INFINITY, -0.75);
+            let x2 = lp.add_var(0.0, f64::INFINITY, 150.0);
+            let x3 = lp.add_var(0.0, f64::INFINITY, -0.02);
+            let x4 = lp.add_var(0.0, f64::INFINITY, 6.0);
+            lp.add_row(Row::le(0.0).coef(x1, 0.25).coef(x2, -60.0).coef(x3, -0.04).coef(x4, 9.0));
+            lp.add_row(Row::le(0.0).coef(x1, 0.5).coef(x2, -90.0).coef(x3, -0.02).coef(x4, 3.0));
+            lp.add_row(Row::le(1.0).coef(x3, 1.0));
+            lp
+        };
+        let a = build().solve().unwrap().objective;
+        let mut opts = SimplexOptions::default();
+        opts.pricing = Pricing::Bland;
+        let b = build().solve_with(&opts).unwrap().objective;
+        assert!(close(a, b), "{a} vs {b}");
+        assert!(close(a, -0.05), "expected Beale optimum -0.05, got {a}");
+    }
+
+    #[test]
+    fn redundant_rows_ok() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        let y = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_row(Row::eq(4.0).coef(x, 1.0).coef(y, 1.0));
+        lp.add_row(Row::eq(8.0).coef(x, 2.0).coef(y, 2.0)); // redundant duplicate
+        let s = lp.solve().unwrap();
+        assert!(close(s.x[0] + s.x[1], 4.0));
+    }
+
+    #[test]
+    fn larger_transportation_problem() {
+        // 3 plants x 4 markets transportation LP with known optimum.
+        let supply = [35.0, 50.0, 40.0];
+        let demand = [45.0, 20.0, 30.0, 30.0];
+        let cost = [
+            [8.0, 6.0, 10.0, 9.0],
+            [9.0, 12.0, 13.0, 7.0],
+            [14.0, 9.0, 16.0, 5.0],
+        ];
+        let mut lp = LpProblem::minimize();
+        let mut v = vec![];
+        for i in 0..3 {
+            for j in 0..4 {
+                v.push(lp.add_var(0.0, f64::INFINITY, cost[i][j]));
+            }
+        }
+        for i in 0..3 {
+            let mut row = Row::le(supply[i]);
+            for j in 0..4 {
+                row = row.coef(v[i * 4 + j], 1.0);
+            }
+            lp.add_row(row);
+        }
+        for j in 0..4 {
+            let mut row = Row::ge(demand[j]);
+            for i in 0..3 {
+                row = row.coef(v[i * 4 + j], 1.0);
+            }
+            lp.add_row(row);
+        }
+        let s = lp.solve().unwrap();
+        assert!(close(s.objective, 1020.0), "obj={}", s.objective);
+    }
+}

@@ -1,0 +1,307 @@
+//! Depth-first branch and bound over simplex relaxations.
+
+use crate::lp::{LpProblem, Sense, SimplexOptions, VarId};
+use crate::milp::problem::{MilpProblem, MilpSolution};
+use crate::OptimError;
+
+/// Options for the MILP branch-and-bound solver.
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Maximum branch-and-bound nodes.
+    pub max_nodes: usize,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Absolute gap at which the search stops early.
+    pub gap_abs: f64,
+    /// Simplex options for node relaxations.
+    pub simplex: SimplexOptions,
+    /// Optional known feasible objective (in the problem's own sense) used
+    /// to prune from the start — e.g. from a problem-specific heuristic.
+    pub incumbent_hint: Option<f64>,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        MilpOptions {
+            max_nodes: 100_000,
+            int_tol: 1e-6,
+            gap_abs: 1e-6,
+            simplex: SimplexOptions::default(),
+            incumbent_hint: None,
+        }
+    }
+}
+
+/// A bound override `(var, lb, ub)` along the path from the root.
+type Override = (VarId, f64, f64);
+
+struct Node {
+    overrides: Vec<Override>,
+    /// Parent relaxation bound in *internal* (minimization) units.
+    bound: f64,
+}
+
+/// Converts an objective in the problem sense to internal min units.
+fn to_internal(sense: Sense, obj: f64) -> f64 {
+    match sense {
+        Sense::Min => obj,
+        Sense::Max => -obj,
+    }
+}
+
+fn from_internal(sense: Sense, obj: f64) -> f64 {
+    to_internal(sense, obj)
+}
+
+pub(crate) fn solve(milp: &MilpProblem, options: &MilpOptions) -> Result<MilpSolution, OptimError> {
+    let sense = milp.lp.sense();
+    let mut lp: LpProblem = milp.lp.clone();
+    for &v in &milp.integers {
+        let (l, u) = lp.bounds(v);
+        if !l.is_finite() || !u.is_finite() {
+            return Err(OptimError::InvalidModel {
+                what: format!("integer variable {v:?} must have finite bounds"),
+            });
+        }
+    }
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (x, internal obj)
+    let mut incumbent_cut = options
+        .incumbent_hint
+        .map(|h| to_internal(sense, h))
+        .unwrap_or(f64::INFINITY);
+    let mut nodes = 0usize;
+    let mut lp_iterations = 0usize;
+    let mut stack = vec![Node { overrides: Vec::new(), bound: f64::NEG_INFINITY }];
+
+    while let Some(node) = stack.pop() {
+        // Bound-based pruning against the incumbent (or hint).
+        if node.bound >= incumbent_cut - options.gap_abs {
+            continue;
+        }
+        if nodes >= options.max_nodes {
+            // Push the node back so the remaining frontier is reflected in
+            // the reported bound.
+            stack.push(node);
+            break;
+        }
+        nodes += 1;
+
+        // Apply the node's bound overrides.
+        let saved: Vec<Override> = node
+            .overrides
+            .iter()
+            .map(|&(v, _, _)| {
+                let (l, u) = lp.bounds(v);
+                (v, l, u)
+            })
+            .collect();
+        for &(v, l, u) in &node.overrides {
+            lp.set_bounds(v, l, u);
+        }
+        let result = lp.solve_with(&options.simplex);
+        for &(v, l, u) in &saved {
+            lp.set_bounds(v, l, u);
+        }
+
+        let sol = match result {
+            Ok(s) => s,
+            Err(OptimError::Infeasible) => continue,
+            Err(OptimError::Unbounded) => {
+                // An unbounded relaxation at any node means the MILP cannot
+                // be certified; surface it.
+                return Err(OptimError::Unbounded);
+            }
+            Err(e) => return Err(e),
+        };
+        lp_iterations += sol.iterations;
+        let node_obj = to_internal(sense, sol.objective);
+        if node_obj >= incumbent_cut - options.gap_abs {
+            continue;
+        }
+
+        // Most-fractional branching.
+        let mut branch: Option<(VarId, f64, f64)> = None; // (var, value, fractionality)
+        for &v in &milp.integers {
+            let val = sol.x[v.index()];
+            let frac = (val - val.round()).abs();
+            if frac > options.int_tol {
+                let dist = (val - val.floor()).min(val.ceil() - val);
+                if branch.map_or(true, |(_, _, best)| dist > best) {
+                    branch = Some((v, val, dist));
+                }
+            }
+        }
+
+        match branch {
+            None => {
+                // Integer feasible: new incumbent.
+                incumbent_cut = node_obj;
+                incumbent = Some((sol.x, node_obj));
+            }
+            Some((v, val, _)) => {
+                let (l, u) = {
+                    let mut l = lp.bounds(v).0;
+                    let mut u = lp.bounds(v).1;
+                    for &(ov, ol, ou) in &node.overrides {
+                        if ov == v {
+                            l = ol;
+                            u = ou;
+                        }
+                    }
+                    (l, u)
+                };
+                let floor = val.floor();
+                let ceil = val.ceil();
+                // A child whose clamped bounds cross is infeasible and is
+                // simply not created.
+                let down = (floor >= l).then(|| {
+                    let mut o = node.overrides.clone();
+                    o.push((v, l, floor));
+                    Node { overrides: o, bound: node_obj }
+                });
+                let up = (ceil <= u).then(|| {
+                    let mut o = node.overrides.clone();
+                    o.push((v, ceil, u));
+                    Node { overrides: o, bound: node_obj }
+                });
+                // Explore the branch nearest the fractional value first
+                // (pushed last so it pops first).
+                let (first, second) = if val - floor <= ceil - val {
+                    (down, up)
+                } else {
+                    (up, down)
+                };
+                if let Some(n) = second {
+                    stack.push(n);
+                }
+                if let Some(n) = first {
+                    stack.push(n);
+                }
+            }
+        }
+    }
+
+    // Frontier bound: the best (lowest) bound among unexplored subtrees.
+    let frontier_bound = stack
+        .iter()
+        .map(|n| n.bound)
+        .fold(f64::INFINITY, f64::min)
+        .min(incumbent_cut);
+
+    match incumbent {
+        Some((x, internal_obj)) => {
+            let proved = stack.is_empty() || frontier_bound >= incumbent_cut - options.gap_abs;
+            Ok(MilpSolution {
+                objective: from_internal(sense, internal_obj),
+                best_bound: from_internal(
+                    sense,
+                    if proved { internal_obj } else { frontier_bound },
+                ),
+                x,
+                proved_optimal: proved,
+                nodes,
+                lp_iterations,
+            })
+        }
+        None => {
+            if stack.is_empty() {
+                Err(OptimError::Infeasible)
+            } else {
+                Err(OptimError::NodeLimit {
+                    limit: options.max_nodes,
+                    incumbent: None,
+                    bound: from_internal(sense, frontier_bound),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lp::{LpProblem, Row};
+    use crate::milp::{MilpOptions, MilpProblem};
+    use crate::OptimError;
+
+    #[test]
+    fn knapsack_binary() {
+        // max 5a + 4b + 3c st 2a + 3b + c <= 4, binary -> a + c = 8.
+        let mut lp = LpProblem::maximize();
+        let a = lp.add_var(0.0, 1.0, 5.0);
+        let b = lp.add_var(0.0, 1.0, 4.0);
+        let c = lp.add_var(0.0, 1.0, 3.0);
+        lp.add_row(Row::le(4.0).coef(a, 2.0).coef(b, 3.0).coef(c, 1.0));
+        let sol = MilpProblem::new(lp, vec![a, b, c]).solve().unwrap();
+        assert!((sol.objective - 8.0).abs() < 1e-6, "obj={}", sol.objective);
+        assert!(sol.proved_optimal);
+        assert!((sol.x[0] - 1.0).abs() < 1e-6);
+        assert!(sol.x[1].abs() < 1e-6);
+        assert!((sol.x[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn general_integer_rounding_matters() {
+        // max x + y st 2x + y <= 5.5, x + 2y <= 5.5, integer.
+        // LP optimum ~ (1.833, 1.833); best integer point: (2,1) or (1,2) -> 3.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        let y = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_row(Row::le(5.5).coef(x, 2.0).coef(y, 1.0));
+        lp.add_row(Row::le(5.5).coef(x, 1.0).coef(y, 2.0));
+        let sol = MilpProblem::new(lp, vec![x, y]).solve().unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6, "obj={}", sol.objective);
+    }
+
+    #[test]
+    fn integer_infeasible() {
+        // 0.4 <= x <= 0.6, x integer -> infeasible.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.4, 0.6, 1.0);
+        let milp = MilpProblem::new(lp, vec![x]);
+        assert!(matches!(milp.solve(), Err(OptimError::Infeasible)));
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 3x + 2y st x + y >= 2.5, x integer, y continuous in [0,1].
+        // Best: y = 1, x = 1.5 -> not integer; x = 2, y = 0.5 -> 7.0;
+        // x = 1 needs y = 1.5 > ub. So obj = 3*2 + 2*0.5 = 7.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 10.0, 3.0);
+        let y = lp.add_var(0.0, 1.0, 2.0);
+        lp.add_row(Row::ge(2.5).coef(x, 1.0).coef(y, 1.0));
+        let sol = MilpProblem::new(lp, vec![x]).solve().unwrap();
+        assert!((sol.objective - 7.0).abs() < 1e-6, "obj={}", sol.objective);
+    }
+
+    #[test]
+    fn incumbent_hint_prunes_but_preserves_optimum() {
+        let mut lp = LpProblem::maximize();
+        let a = lp.add_var(0.0, 1.0, 5.0);
+        let b = lp.add_var(0.0, 1.0, 4.0);
+        let c = lp.add_var(0.0, 1.0, 3.0);
+        lp.add_row(Row::le(4.0).coef(a, 2.0).coef(b, 3.0).coef(c, 1.0));
+        let milp = MilpProblem::new(lp, vec![a, b, c]);
+        let mut opts = MilpOptions::default();
+        opts.incumbent_hint = Some(7.0); // valid lower bound on the max
+        let sol = milp.solve_with(&opts).unwrap();
+        assert!((sol.objective - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_without_incumbent_errors() {
+        let mut lp = LpProblem::maximize();
+        let mut vars = vec![];
+        for _ in 0..12 {
+            vars.push(lp.add_var(0.0, 1.0, 1.0));
+        }
+        let row = vars.iter().fold(Row::le(5.5), |r, &v| r.coef(v, 1.0));
+        lp.add_row(row);
+        let milp = MilpProblem::new(lp, vars);
+        let mut opts = MilpOptions::default();
+        opts.max_nodes = 1; // root only; root is fractional
+        let res = milp.solve_with(&opts);
+        assert!(matches!(res, Err(OptimError::NodeLimit { .. })), "{res:?}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Mixed-integer linear programming by LP-based branch and bound.
+//!
+//! This is the solver behind the paper-faithful big-M reformulation of the
+//! bilevel attack problem (Eq. 16–17 of the DSN'17 paper): the KKT
+//! complementary-slackness conditions become binary indicator variables, and
+//! the resulting MILP is solved here by depth-first branch and bound over
+//! simplex relaxations.
+//!
+//! # Example
+//!
+//! ```
+//! use ed_optim::lp::{LpProblem, Row};
+//! use ed_optim::milp::MilpProblem;
+//!
+//! # fn main() -> Result<(), ed_optim::OptimError> {
+//! // Knapsack: max 5a + 4b + 3c, 2a + 3b + c <= 4, binary.
+//! let mut lp = LpProblem::maximize();
+//! let a = lp.add_var(0.0, 1.0, 5.0);
+//! let b = lp.add_var(0.0, 1.0, 4.0);
+//! let c = lp.add_var(0.0, 1.0, 3.0);
+//! lp.add_row(Row::le(4.0).coef(a, 2.0).coef(b, 3.0).coef(c, 1.0));
+//! let milp = MilpProblem::new(lp, vec![a, b, c]);
+//! let sol = milp.solve()?;
+//! assert_eq!(sol.objective.round() as i64, 8); // take a and c
+//! # Ok(())
+//! # }
+//! ```
+
+mod branch_bound;
+mod problem;
+
+pub use branch_bound::MilpOptions;
+pub use problem::{MilpProblem, MilpSolution};

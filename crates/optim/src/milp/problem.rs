@@ -1,0 +1,85 @@
+//! MILP model and solution types.
+
+use crate::lp::{LpProblem, VarId};
+use crate::milp::branch_bound::{self, MilpOptions};
+use crate::OptimError;
+
+/// A mixed-integer linear program: an [`LpProblem`] plus a set of variables
+/// restricted to integer values.
+///
+/// Integrality is enforced by branch and bound; the listed variables should
+/// have finite bounds (binaries use `[0, 1]`).
+#[derive(Debug, Clone)]
+pub struct MilpProblem {
+    pub(crate) lp: LpProblem,
+    pub(crate) integers: Vec<VarId>,
+}
+
+/// Solution of a MILP.
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    /// Best integer-feasible point found.
+    pub x: Vec<f64>,
+    /// Objective at `x` (in the problem's own sense).
+    pub objective: f64,
+    /// `true` if optimality was proved (tree exhausted within limits).
+    pub proved_optimal: bool,
+    /// Best relaxation bound at termination (equals `objective` when
+    /// `proved_optimal`).
+    pub best_bound: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Total simplex iterations across all node relaxations.
+    pub lp_iterations: usize,
+}
+
+impl MilpSolution {
+    /// Absolute optimality gap `|objective - best_bound|`.
+    pub fn gap(&self) -> f64 {
+        (self.objective - self.best_bound).abs()
+    }
+}
+
+impl MilpProblem {
+    /// Wraps an LP with integrality requirements on `integers`.
+    pub fn new(lp: LpProblem, integers: Vec<VarId>) -> MilpProblem {
+        MilpProblem { lp, integers }
+    }
+
+    /// The underlying LP relaxation.
+    pub fn lp(&self) -> &LpProblem {
+        &self.lp
+    }
+
+    /// Mutable access to the underlying LP (e.g. to adjust the objective
+    /// between solves, as Algorithm 1 of the paper does per DLR line).
+    pub fn lp_mut(&mut self) -> &mut LpProblem {
+        &mut self.lp
+    }
+
+    /// The integer-restricted variables.
+    pub fn integers(&self) -> &[VarId] {
+        &self.integers
+    }
+
+    /// Solves with default options.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptimError::Infeasible`] if no integer-feasible point exists.
+    /// - [`OptimError::Unbounded`] if a relaxation is unbounded.
+    /// - [`OptimError::NodeLimit`] if the node budget is exhausted before
+    ///   any integer-feasible point was found.
+    pub fn solve(&self) -> Result<MilpSolution, OptimError> {
+        self.solve_with(&MilpOptions::default())
+    }
+
+    /// Solves with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MilpProblem::solve`].
+    pub fn solve_with(&self, options: &MilpOptions) -> Result<MilpSolution, OptimError> {
+        branch_bound::solve(self, options)
+    }
+}

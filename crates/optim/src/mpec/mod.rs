@@ -1,0 +1,355 @@
+//! Linear programs with complementarity constraints (LPCC / "MPEC"),
+//! solved by branching on complementarity pairs.
+//!
+//! This is the scalable alternative to the big-M MILP reformulation of the
+//! bilevel attack problem. Instead of one binary indicator per KKT
+//! complementary-slackness condition (which requires a large, numerically
+//! delicate big-M constant), we branch *directly* on each violated pair:
+//! either the multiplier is zero or the constraint slack is zero. Relaxations
+//! stay tight and no big-M enters the model.
+//!
+//! A problem is an [`crate::lp::LpProblem`] plus a list of pairs
+//! `(a, b)` of nonnegative variables required to satisfy `x_a * x_b = 0`.
+//!
+//! # Example
+//!
+//! ```
+//! use ed_optim::lp::{LpProblem, Row};
+//! use ed_optim::mpec::MpecProblem;
+//!
+//! # fn main() -> Result<(), ed_optim::OptimError> {
+//! // max x + y with x + y <= 3, 0 <= x,y <= 2, and x ⟂ y.
+//! let mut lp = LpProblem::maximize();
+//! let x = lp.add_var(0.0, 2.0, 1.0);
+//! let y = lp.add_var(0.0, 2.0, 1.0);
+//! lp.add_row(Row::le(3.0).coef(x, 1.0).coef(y, 1.0));
+//! let mpec = MpecProblem::new(lp, vec![(x, y)]);
+//! let sol = mpec.solve()?;
+//! assert!((sol.objective - 2.0).abs() < 1e-7); // one of them pinned to 0
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::lp::{LpProblem, Sense, SimplexOptions, VarId};
+use crate::OptimError;
+
+/// Options for the complementarity branch-and-bound solver.
+#[derive(Debug, Clone)]
+pub struct MpecOptions {
+    /// Maximum branch-and-bound nodes.
+    pub max_nodes: usize,
+    /// A pair is considered satisfied when `x_a * x_b <= comp_tol`
+    /// (after scaling by the larger of the two values and 1).
+    pub comp_tol: f64,
+    /// Absolute objective gap at which search stops.
+    pub gap_abs: f64,
+    /// Simplex options for node relaxations.
+    pub simplex: SimplexOptions,
+    /// Optional known feasible objective (problem sense) used for pruning.
+    pub incumbent_hint: Option<f64>,
+}
+
+impl Default for MpecOptions {
+    fn default() -> Self {
+        MpecOptions {
+            max_nodes: 20_000,
+            comp_tol: 1e-7,
+            gap_abs: 1e-7,
+            simplex: SimplexOptions::default(),
+            incumbent_hint: None,
+        }
+    }
+}
+
+/// Solution of an MPEC solve.
+#[derive(Debug, Clone)]
+pub struct MpecSolution {
+    /// Best complementarity-feasible point found.
+    pub x: Vec<f64>,
+    /// Objective at `x` (problem sense).
+    pub objective: f64,
+    /// `true` if the tree was exhausted (global optimum proved).
+    pub proved_optimal: bool,
+    /// Best relaxation bound at termination.
+    pub best_bound: f64,
+    /// Nodes explored.
+    pub nodes: usize,
+    /// Total simplex iterations.
+    pub lp_iterations: usize,
+}
+
+impl MpecSolution {
+    /// Absolute optimality gap.
+    pub fn gap(&self) -> f64 {
+        (self.objective - self.best_bound).abs()
+    }
+}
+
+/// An LP with complementarity constraints between pairs of nonnegative
+/// variables.
+#[derive(Debug, Clone)]
+pub struct MpecProblem {
+    lp: LpProblem,
+    pairs: Vec<(VarId, VarId)>,
+}
+
+fn to_internal(sense: Sense, obj: f64) -> f64 {
+    match sense {
+        Sense::Min => obj,
+        Sense::Max => -obj,
+    }
+}
+
+impl MpecProblem {
+    /// Wraps an LP with complementarity pairs `x_a * x_b = 0`.
+    ///
+    /// Both variables of each pair are expected to have lower bound `>= 0`.
+    pub fn new(lp: LpProblem, pairs: Vec<(VarId, VarId)>) -> MpecProblem {
+        MpecProblem { lp, pairs }
+    }
+
+    /// The underlying LP relaxation.
+    pub fn lp(&self) -> &LpProblem {
+        &self.lp
+    }
+
+    /// Mutable access to the underlying LP.
+    pub fn lp_mut(&mut self) -> &mut LpProblem {
+        &mut self.lp
+    }
+
+    /// The complementarity pairs.
+    pub fn pairs(&self) -> &[(VarId, VarId)] {
+        &self.pairs
+    }
+
+    /// Maximum scaled complementarity violation of a point.
+    fn violation(&self, x: &[f64], tol_scale: f64) -> Option<(usize, f64)> {
+        let mut worst: Option<(usize, f64)> = None;
+        for (i, &(a, b)) in self.pairs.iter().enumerate() {
+            let va = x[a.index()].max(0.0);
+            let vb = x[b.index()].max(0.0);
+            let prod = va * vb / va.max(vb).max(tol_scale);
+            if prod > worst.map_or(0.0, |(_, w)| w) {
+                worst = Some((i, prod));
+            }
+        }
+        worst
+    }
+
+    /// Solves with default options.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptimError::Infeasible`] if no complementarity-feasible point
+    ///   exists.
+    /// - [`OptimError::Unbounded`] if a relaxation is unbounded.
+    /// - [`OptimError::NodeLimit`] if the node budget is exhausted before any
+    ///   feasible point was found.
+    pub fn solve(&self) -> Result<MpecSolution, OptimError> {
+        self.solve_with(&MpecOptions::default())
+    }
+
+    /// Solves with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MpecProblem::solve`].
+    pub fn solve_with(&self, options: &MpecOptions) -> Result<MpecSolution, OptimError> {
+        let sense = self.lp.sense();
+        for &(a, b) in &self.pairs {
+            for v in [a, b] {
+                let (l, u) = self.lp.bounds(v);
+                if l > 0.0 || u < 0.0 {
+                    return Err(OptimError::InvalidModel {
+                        what: format!(
+                            "complementarity variable {v:?} must admit 0 (bounds [{l}, {u}])"
+                        ),
+                    });
+                }
+            }
+        }
+        let mut lp = self.lp.clone();
+
+        struct Node {
+            /// Variables forced to zero (their ub is set to 0).
+            fixed: Vec<VarId>,
+            bound: f64,
+        }
+
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        let mut incumbent_cut = options
+            .incumbent_hint
+            .map(|h| to_internal(sense, h))
+            .unwrap_or(f64::INFINITY);
+        let mut nodes = 0usize;
+        let mut lp_iterations = 0usize;
+        let mut stack = vec![Node { fixed: Vec::new(), bound: f64::NEG_INFINITY }];
+
+        while let Some(node) = stack.pop() {
+            if node.bound >= incumbent_cut - options.gap_abs {
+                continue;
+            }
+            if nodes >= options.max_nodes {
+                stack.push(node);
+                break;
+            }
+            nodes += 1;
+
+            let saved: Vec<(VarId, f64, f64)> = node
+                .fixed
+                .iter()
+                .map(|&v| {
+                    let (l, u) = lp.bounds(v);
+                    (v, l, u)
+                })
+                .collect();
+            for &v in &node.fixed {
+                lp.set_bounds(v, 0.0, 0.0);
+            }
+            let result = lp.solve_with(&options.simplex);
+            for &(v, l, u) in &saved {
+                lp.set_bounds(v, l, u);
+            }
+
+            let sol = match result {
+                Ok(s) => s,
+                Err(OptimError::Infeasible) => continue,
+                Err(OptimError::Unbounded) => return Err(OptimError::Unbounded),
+                Err(e) => return Err(e),
+            };
+            lp_iterations += sol.iterations;
+            let node_obj = to_internal(sense, sol.objective);
+            if node_obj >= incumbent_cut - options.gap_abs {
+                continue;
+            }
+
+            match self.violation(&sol.x, 1.0) {
+                Some((pair, viol)) if viol > options.comp_tol => {
+                    let (a, b) = self.pairs[pair];
+                    // Branch: fix the smaller-valued side to zero first
+                    // (pushed last so it pops first).
+                    let mut fix_a = node.fixed.clone();
+                    fix_a.push(a);
+                    let mut fix_b = node.fixed.clone();
+                    fix_b.push(b);
+                    if sol.x[a.index()] <= sol.x[b.index()] {
+                        stack.push(Node { fixed: fix_b, bound: node_obj });
+                        stack.push(Node { fixed: fix_a, bound: node_obj });
+                    } else {
+                        stack.push(Node { fixed: fix_a, bound: node_obj });
+                        stack.push(Node { fixed: fix_b, bound: node_obj });
+                    }
+                }
+                _ => {
+                    incumbent_cut = node_obj;
+                    incumbent = Some((sol.x, node_obj));
+                }
+            }
+        }
+
+        let frontier_bound = stack
+            .iter()
+            .map(|n| n.bound)
+            .fold(f64::INFINITY, f64::min)
+            .min(incumbent_cut);
+
+        match incumbent {
+            Some((x, internal_obj)) => {
+                let proved =
+                    stack.is_empty() || frontier_bound >= incumbent_cut - options.gap_abs;
+                Ok(MpecSolution {
+                    objective: to_internal(sense, internal_obj),
+                    best_bound: to_internal(
+                        sense,
+                        if proved { internal_obj } else { frontier_bound },
+                    ),
+                    x,
+                    proved_optimal: proved,
+                    nodes,
+                    lp_iterations,
+                })
+            }
+            None => {
+                if stack.is_empty() {
+                    Err(OptimError::Infeasible)
+                } else {
+                    Err(OptimError::NodeLimit {
+                        limit: options.max_nodes,
+                        incumbent: None,
+                        bound: to_internal(sense, frontier_bound),
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::{LpProblem, Row};
+
+    #[test]
+    fn simple_complementarity() {
+        // max x + y, x + y <= 3, x,y in [0,2], x ⟂ y -> max single var = 2.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var(0.0, 2.0, 1.0);
+        let y = lp.add_var(0.0, 2.0, 1.0);
+        lp.add_row(Row::le(3.0).coef(x, 1.0).coef(y, 1.0));
+        let sol = MpecProblem::new(lp, vec![(x, y)]).solve().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-7);
+        assert!(sol.proved_optimal);
+        let prod = sol.x[0] * sol.x[1];
+        assert!(prod.abs() < 1e-6, "complementarity violated: {prod}");
+    }
+
+    #[test]
+    fn already_complementary_at_relaxation() {
+        // max x with x <= 1, pair (x, y) where y is cost-free and settles at 0.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        let y = lp.add_var(0.0, 1.0, 0.0);
+        let sol = MpecProblem::new(lp, vec![(x, y)]).solve().unwrap();
+        assert_eq!(sol.nodes, 1);
+        assert!((sol.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_when_both_forced_positive() {
+        // x >= 1 and y >= 1 but x ⟂ y -> infeasible.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 2.0, 0.0);
+        let y = lp.add_var(0.0, 2.0, 0.0);
+        lp.add_row(Row::ge(1.0).coef(x, 1.0));
+        lp.add_row(Row::ge(1.0).coef(y, 1.0));
+        let res = MpecProblem::new(lp, vec![(x, y)]).solve();
+        assert!(matches!(res, Err(OptimError::Infeasible)), "{res:?}");
+    }
+
+    #[test]
+    fn chain_of_pairs() {
+        // max x1 + x2 + x3, x1 ⟂ x2, x2 ⟂ x3, all in [0,1]:
+        // optimum picks x1 = x3 = 1, x2 = 0 -> 2.
+        let mut lp = LpProblem::maximize();
+        let x1 = lp.add_var(0.0, 1.0, 1.0);
+        let x2 = lp.add_var(0.0, 1.0, 1.0);
+        let x3 = lp.add_var(0.0, 1.0, 1.0);
+        let sol = MpecProblem::new(lp, vec![(x1, x2), (x2, x3)]).solve().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-7, "obj={}", sol.objective);
+        assert!(sol.x[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn incumbent_hint_does_not_cut_optimum() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var(0.0, 2.0, 1.0);
+        let y = lp.add_var(0.0, 2.0, 1.0);
+        lp.add_row(Row::le(3.0).coef(x, 1.0).coef(y, 1.0));
+        let mpec = MpecProblem::new(lp, vec![(x, y)]);
+        let mut opts = MpecOptions::default();
+        opts.incumbent_hint = Some(1.5);
+        let sol = mpec.solve_with(&opts).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,338 @@
+//! Primal active-set method for convex QP.
+
+use crate::lp::{LpProblem, Row};
+use crate::qp::problem::{QpProblem, QpSolution};
+use crate::OptimError;
+use ed_linalg::{dot, Lu, Matrix};
+
+/// Options for the QP solvers.
+#[derive(Debug, Clone)]
+pub struct QpOptions {
+    /// Algorithm selection (see [`crate::qp::QpMethod`]).
+    pub method: crate::qp::QpMethod,
+    /// Maximum active-set iterations.
+    pub max_iterations: usize,
+    /// Constraint feasibility / activity tolerance.
+    pub feas_tol: f64,
+    /// Step-size tolerance below which a step is considered zero.
+    pub step_tol: f64,
+    /// Dual regularization added to the KKT system's lower-right block to
+    /// survive (near-)dependent working sets.
+    pub kkt_regularization: f64,
+    /// Interior-point fallback options.
+    pub ipm: crate::qp::IpmOptions,
+}
+
+impl Default for QpOptions {
+    fn default() -> Self {
+        QpOptions {
+            method: crate::qp::QpMethod::Auto,
+            max_iterations: 200,
+            feas_tol: 1e-7,
+            step_tol: 1e-9,
+            kkt_regularization: 1e-12,
+            ipm: crate::qp::IpmOptions::default(),
+        }
+    }
+}
+
+/// Finds a feasible starting point with a phase-1 LP.
+///
+/// The LP minimizes the QP's *linear* cost term instead of zero: the
+/// returned vertex then sits near the region the quadratic optimum lives
+/// in, which keeps the subsequent active-set path short (a zero-objective
+/// start can land at an arbitrary far-away vertex and force thousands of
+/// zigzag steps across a congested polytope).
+fn feasible_start(qp: &QpProblem) -> Result<Vec<f64>, OptimError> {
+    let mut lp = LpProblem::minimize();
+    let vars: Vec<_> = (0..qp.n)
+        .map(|j| lp.add_var(f64::NEG_INFINITY, f64::INFINITY, qp.c[j]))
+        .collect();
+    for (a, &b) in qp.a_eq.iter().zip(&qp.b_eq) {
+        lp.add_row(Row::eq(b).coefs(vars.iter().zip(a).map(|(&v, &c)| (v, c))));
+    }
+    for (a, &b) in qp.a_in.iter().zip(&qp.b_in) {
+        lp.add_row(Row::le(b).coefs(vars.iter().zip(a).map(|(&v, &c)| (v, c))));
+    }
+    match lp.solve() {
+        Ok(sol) => Ok(sol.x),
+        // The linear guide cost may be unbounded where only the quadratic
+        // term caps the objective; any feasible point still serves.
+        Err(OptimError::Unbounded) => {
+            let mut feas = lp.clone();
+            feas.clear_objective();
+            Ok(feas.solve()?.x)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Solves the equality-constrained QP step at `x` for working set `w`.
+///
+/// Returns `(p, eq_duals, w_duals)` where `p` minimizes the quadratic model
+/// subject to `A_eq p = 0` and `a_i' p = 0` for `i` in `w`.
+fn eqp_step(
+    qp: &QpProblem,
+    x: &[f64],
+    w: &[usize],
+    reg: f64,
+) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>), OptimError> {
+    let n = qp.n;
+    let me = qp.a_eq.len();
+    let mw = w.len();
+    let dim = n + me + mw;
+    let mut kkt = Matrix::zeros(dim, dim);
+    for i in 0..n {
+        for j in 0..n {
+            kkt[(i, j)] = qp.h[(i, j)];
+        }
+    }
+    for (r, a) in qp.a_eq.iter().enumerate() {
+        for j in 0..n {
+            kkt[(n + r, j)] = a[j];
+            kkt[(j, n + r)] = a[j];
+        }
+    }
+    for (r, &wi) in w.iter().enumerate() {
+        let a = &qp.a_in[wi];
+        for j in 0..n {
+            kkt[(n + me + r, j)] = a[j];
+            kkt[(j, n + me + r)] = a[j];
+        }
+    }
+    for r in 0..(me + mw) {
+        kkt[(n + r, n + r)] = -reg;
+    }
+    // Gradient g = Hx + c.
+    let hx = qp.h.matvec(x)?;
+    let mut rhs = vec![0.0; dim];
+    for j in 0..n {
+        rhs[j] = -(hx[j] + qp.c[j]);
+    }
+    let lu = Lu::factor(&kkt).map_err(|e| OptimError::Numerical {
+        what: format!("KKT factorization failed (working set size {mw}): {e}"),
+    })?;
+    let sol = lu.solve(&rhs)?;
+    let p = sol[..n].to_vec();
+    let eq_duals = sol[n..n + me].to_vec();
+    let w_duals = sol[n + me..].to_vec();
+    Ok((p, eq_duals, w_duals))
+}
+
+/// Entry point used by [`QpProblem::solve_with`]: runs the active-set
+/// method, retrying with tiny deterministic right-hand-side perturbations
+/// if degeneracy stalls it (heavily-tied vertices can cycle; perturbation
+/// breaks the ties, and the perturbed optimum is within the perturbation
+/// magnitude of the true one).
+pub(crate) fn solve(qp: &QpProblem, options: &QpOptions) -> Result<QpSolution, OptimError> {
+    match solve_once(qp, options) {
+        Ok(sol) => Ok(sol),
+        Err(OptimError::IterationLimit { .. }) | Err(OptimError::Numerical { .. }) => {
+            let scale = 1.0 + ed_linalg::norm_inf(&qp.b_in);
+            let mut last_err = None;
+            for magnitude in [1e-7, 1e-5] {
+                let mut perturbed = qp.clone();
+                // Deterministic per-row jitter (splitmix-style hash).
+                for (i, b) in perturbed.b_in.iter_mut().enumerate() {
+                    let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    let u = ((z >> 11) as f64) / (1u64 << 53) as f64; // [0,1)
+                    *b += magnitude * scale * (0.5 + u);
+                }
+                match solve_once(&perturbed, options) {
+                    Ok(sol) => {
+                        return Ok(QpSolution {
+                            objective: qp.objective_value(&sol.x),
+                            ..sol
+                        })
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            Err(last_err.expect("at least one retry ran"))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn solve_once(qp: &QpProblem, options: &QpOptions) -> Result<QpSolution, OptimError> {
+    let n = qp.n;
+    let mut x = feasible_start(qp)?;
+    debug_assert!(qp.infeasibility(&x) <= 1e-6, "phase-1 start infeasible");
+
+    // Working set: start from the inequality constraints active at the
+    // phase-1 vertex, added greedily (dependent rows are tolerated thanks to
+    // KKT regularization, but we cap the working set at n - me rows).
+    let me = qp.a_eq.len();
+    let mut w: Vec<usize> = Vec::new();
+    for (i, (a, &b)) in qp.a_in.iter().zip(&qp.b_in).enumerate() {
+        if (dot(a, &x) - b).abs() <= options.feas_tol && w.len() + me < n {
+            w.push(i);
+        }
+    }
+
+    let mut iterations = 0usize;
+    // Anti-cycling: a constraint dropped at a degenerate point must not be
+    // re-added until a nonzero step has been taken, otherwise the method
+    // can oscillate between adding and dropping the same row.
+    let mut blocked_readd: Option<usize> = None;
+    loop {
+        if iterations >= options.max_iterations {
+            return Err(OptimError::IterationLimit { limit: options.max_iterations });
+        }
+        iterations += 1;
+
+        let (p, eq_duals, w_duals) = match eqp_step(qp, &x, &w, options.kkt_regularization) {
+            Ok(v) => v,
+            Err(OptimError::Numerical { .. }) if !w.is_empty() => {
+                // Dependent working set: drop the most recently added row
+                // and retry on the next loop iteration.
+                w.pop();
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+
+        if std::env::var_os("ED_QP_TRACE").is_some() && iterations % 50 == 0 {
+            eprintln!(
+                "iter {iterations}: |W|={} obj={:.6}",
+                w.len(),
+                qp.objective_value(&x)
+            );
+        }
+        let p_norm = ed_linalg::norm_inf(&p);
+        if p_norm <= options.step_tol * (1.0 + ed_linalg::norm_inf(&x)) {
+            // Candidate optimum: check working-set multipliers.
+            let mut min_dual = f64::INFINITY;
+            let mut min_idx = None;
+            for (k, &lam) in w_duals.iter().enumerate() {
+                if lam < min_dual {
+                    min_dual = lam;
+                    min_idx = Some(k);
+                }
+            }
+            if min_dual >= -1e-7 || min_idx.is_none() {
+                // Optimal.
+                let mut ineq_duals = vec![0.0; qp.a_in.len()];
+                for (k, &wi) in w.iter().enumerate() {
+                    ineq_duals[wi] = w_duals[k].max(0.0);
+                }
+                let objective = qp.objective_value(&x);
+                return Ok(QpSolution {
+                    x,
+                    objective,
+                    eq_duals,
+                    ineq_duals,
+                    active_set: w,
+                    iterations,
+                });
+            }
+            // Drop the most negative multiplier and continue.
+            let dropped = w.remove(min_idx.expect("checked above"));
+            blocked_readd = Some(dropped);
+            continue;
+        }
+
+        // Ratio test against inactive inequality constraints.
+        let mut alpha = 1.0_f64;
+        let mut blocking = None;
+        for (i, (a, &b)) in qp.a_in.iter().zip(&qp.b_in).enumerate() {
+            if w.contains(&i) || blocked_readd == Some(i) {
+                continue;
+            }
+            let ap = dot(a, &p);
+            if ap > options.feas_tol {
+                let slack = b - dot(a, &x);
+                let t = (slack / ap).max(0.0);
+                if t < alpha {
+                    alpha = t;
+                    blocking = Some(i);
+                }
+            }
+        }
+
+        for (xi, pi) in x.iter_mut().zip(&p) {
+            *xi += alpha * pi;
+        }
+        if alpha > options.step_tol {
+            blocked_readd = None;
+        }
+        if let Some(bi) = blocking {
+            if alpha < 1.0 {
+                w.push(bi);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::qp::QpProblem;
+
+    /// Nocedal & Wright example 16.4: min (x1-1)^2 + (x2-2.5)^2 with five
+    /// inequality constraints; optimum at (1.4, 1.7).
+    #[test]
+    fn nocedal_wright_16_4() {
+        let mut qp = QpProblem::new(2);
+        qp.set_quadratic_diag(&[2.0, 2.0]);
+        qp.set_linear(&[-2.0, -5.0]);
+        qp.add_ineq(&[-1.0, 2.0], 2.0);
+        qp.add_ineq(&[1.0, 2.0], 6.0);
+        qp.add_ineq(&[1.0, -2.0], 2.0);
+        qp.add_ineq(&[-1.0, 0.0], 0.0);
+        qp.add_ineq(&[0.0, -1.0], 0.0);
+        let s = qp.solve().unwrap();
+        assert!((s.x[0] - 1.4).abs() < 1e-7, "x={:?}", s.x);
+        assert!((s.x[1] - 1.7).abs() < 1e-7, "x={:?}", s.x);
+    }
+
+    /// Economic-dispatch shaped QP: two quadratic generators, one balance
+    /// equality, box bounds. Equal marginal cost at optimum.
+    #[test]
+    fn dispatch_shaped() {
+        // C1 = 0.01 p1^2 + 10 p1, C2 = 0.02 p2^2 + 8 p2, p1 + p2 = 200.
+        // Unconstrained equal-lambda: 0.02 p1 + 10 = 0.04 p2 + 8
+        // with p1 + p2 = 200 -> 0.02p1 - 0.04(200 - p1) + 2 = 0
+        // 0.06 p1 = 6 -> p1 = 100, p2 = 100.
+        let mut qp = QpProblem::new(2);
+        qp.set_quadratic_diag(&[0.02, 0.04]);
+        qp.set_linear(&[10.0, 8.0]);
+        qp.add_eq(&[1.0, 1.0], 200.0);
+        qp.add_bounds(0, 0.0, 300.0);
+        qp.add_bounds(1, 0.0, 300.0);
+        let s = qp.solve().unwrap();
+        assert!((s.x[0] - 100.0).abs() < 1e-6, "{:?}", s.x);
+        assert!((s.x[1] - 100.0).abs() < 1e-6, "{:?}", s.x);
+        // Balance dual = -(marginal cost) under Hx + c + A'nu = 0 convention.
+        let lambda = -s.eq_duals[0];
+        assert!((lambda - 12.0).abs() < 1e-6, "lambda={lambda}");
+    }
+
+    /// Binding generator limit forces redistribution.
+    #[test]
+    fn dispatch_with_binding_limit() {
+        let mut qp = QpProblem::new(2);
+        qp.set_quadratic_diag(&[0.02, 0.04]);
+        qp.set_linear(&[10.0, 8.0]);
+        qp.add_eq(&[1.0, 1.0], 200.0);
+        qp.add_bounds(0, 0.0, 80.0); // p1 capped below its unconstrained share
+        qp.add_bounds(1, 0.0, 300.0);
+        let s = qp.solve().unwrap();
+        assert!((s.x[0] - 80.0).abs() < 1e-6, "{:?}", s.x);
+        assert!((s.x[1] - 120.0).abs() < 1e-6, "{:?}", s.x);
+    }
+
+    /// Redundant (duplicate) constraints must not break the solver.
+    #[test]
+    fn tolerates_redundant_rows() {
+        let mut qp = QpProblem::new(2);
+        qp.set_quadratic_diag(&[2.0, 2.0]);
+        qp.set_linear(&[-2.0, -2.0]);
+        qp.add_ineq(&[1.0, 0.0], 0.5);
+        qp.add_ineq(&[1.0, 0.0], 0.5); // duplicate
+        qp.add_ineq(&[2.0, 0.0], 1.0); // scaled duplicate
+        let s = qp.solve().unwrap();
+        assert!((s.x[0] - 0.5).abs() < 1e-7 && (s.x[1] - 1.0).abs() < 1e-7, "{:?}", s.x);
+    }
+}

@@ -1,0 +1,284 @@
+//! Primal-dual interior-point method for convex QP.
+//!
+//! Complements the active-set solver: interior-point iterations are immune
+//! to the combinatorial stalling that active-set methods suffer on heavily
+//! degenerate polytopes (thousands of near-ties at a congested dispatch
+//! vertex), at the price of slightly less crisp active-set identification.
+//! The dispatch layer uses active-set first and falls back here
+//! ([`crate::qp::QpMethod::Auto`]).
+//!
+//! Standard infeasible-start formulation with slacks `s ≥ 0` on the
+//! inequalities, Newton steps on the perturbed KKT system reduced to the
+//! `(x, y)` block, a fraction-to-boundary step rule, and a fixed centering
+//! parameter.
+
+use crate::qp::problem::{QpProblem, QpSolution};
+use crate::OptimError;
+use ed_linalg::{dot, Lu, Matrix};
+
+/// Options for the interior-point solver.
+#[derive(Debug, Clone)]
+pub struct IpmOptions {
+    /// Maximum Newton iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on residuals and the complementarity gap
+    /// (relative to problem scale).
+    pub tol: f64,
+    /// Centering parameter `σ ∈ (0,1)`.
+    pub sigma: f64,
+}
+
+impl Default for IpmOptions {
+    fn default() -> Self {
+        IpmOptions { max_iterations: 120, tol: 1e-9, sigma: 0.15 }
+    }
+}
+
+/// Solves the QP by the interior-point method.
+///
+/// # Errors
+///
+/// - [`OptimError::Infeasible`] if the iteration converges to a
+///   certificate-free stall with large primal residual (practical
+///   infeasibility detection).
+/// - [`OptimError::IterationLimit`] / [`OptimError::Numerical`] otherwise.
+pub(crate) fn solve(qp: &QpProblem, options: &IpmOptions) -> Result<QpSolution, OptimError> {
+    let n = qp.n;
+    let me = qp.a_eq.len();
+    let mi = qp.a_in.len();
+    if mi == 0 && me == 0 {
+        // Unconstrained: Newton step from zero.
+        let lu = Lu::factor(&qp.h).map_err(|_| OptimError::Numerical {
+            what: "unconstrained QP with singular Hessian".into(),
+        })?;
+        let x = lu.solve(&qp.c.iter().map(|c| -c).collect::<Vec<_>>())?;
+        let objective = qp.objective_value(&x);
+        return Ok(QpSolution {
+            x,
+            objective,
+            eq_duals: Vec::new(),
+            ineq_duals: Vec::new(),
+            active_set: Vec::new(),
+            iterations: 1,
+        });
+    }
+
+    let scale = 1.0
+        + qp.b_in.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+        + qp.b_eq.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+
+    // Start: x = 0, y = 0, s = max(b - Ax, 1), λ = 1.
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; me];
+    let mut s: Vec<f64> = qp
+        .a_in
+        .iter()
+        .zip(&qp.b_in)
+        .map(|(a, &b)| (b - dot(a, &x)).max(1.0))
+        .collect();
+    let mut lam = vec![1.0; mi];
+
+    for iter in 0..options.max_iterations {
+        // Residuals.
+        let hx = qp.h.matvec(&x)?;
+        let mut r_d: Vec<f64> = (0..n).map(|j| hx[j] + qp.c[j]).collect();
+        for (a, &yi) in qp.a_eq.iter().zip(&y) {
+            for j in 0..n {
+                r_d[j] += a[j] * yi;
+            }
+        }
+        for (a, &li) in qp.a_in.iter().zip(&lam) {
+            for j in 0..n {
+                r_d[j] += a[j] * li;
+            }
+        }
+        let r_e: Vec<f64> = qp
+            .a_eq
+            .iter()
+            .zip(&qp.b_eq)
+            .map(|(a, &b)| dot(a, &x) - b)
+            .collect();
+        let r_i: Vec<f64> = qp
+            .a_in
+            .iter()
+            .zip(&qp.b_in)
+            .zip(&s)
+            .map(|((a, &b), &si)| dot(a, &x) + si - b)
+            .collect();
+        let gap = if mi > 0 { dot(&s, &lam) / mi as f64 } else { 0.0 };
+
+        let worst = ed_linalg::norm_inf(&r_d)
+            .max(ed_linalg::norm_inf(&r_e))
+            .max(ed_linalg::norm_inf(&r_i))
+            .max(gap);
+        if worst <= options.tol * scale {
+            let active_set: Vec<usize> = (0..mi)
+                .filter(|&i| s[i] <= 1e-6 * scale.max(1.0))
+                .collect();
+            let objective = qp.objective_value(&x);
+            return Ok(QpSolution {
+                x,
+                objective,
+                eq_duals: y,
+                ineq_duals: lam,
+                active_set,
+                iterations: iter + 1,
+            });
+        }
+        // Practical infeasibility: multipliers blowing up with a stubborn
+        // primal residual.
+        let lam_max = lam.iter().cloned().fold(0.0_f64, f64::max);
+        if lam_max > 1e12 {
+            return Err(OptimError::Infeasible);
+        }
+
+        // Reduced Newton system on (Δx, Δy):
+        //   [H + Σ (λ_i/s_i) a_i a_i',  A_e'] [Δx]   [-r_d - Σ a_i (λ_i r_i^c)/s_i]
+        //   [A_e,                        0  ] [Δy] = [-r_e]
+        // where r_i^c folds the complementarity target μσ.
+        let mu_target = options.sigma * gap;
+        let dim = n + me;
+        let mut kkt = Matrix::zeros(dim, dim);
+        for i in 0..n {
+            for j in 0..n {
+                kkt[(i, j)] = qp.h[(i, j)];
+            }
+        }
+        let mut rhs = vec![0.0; dim];
+        for j in 0..n {
+            rhs[j] = -r_d[j];
+        }
+        for i in 0..mi {
+            let w = lam[i] / s[i];
+            let a = &qp.a_in[i];
+            // rank-one update w * a a'
+            for p in 0..n {
+                let ap = a[p];
+                if ap == 0.0 {
+                    continue;
+                }
+                for q in 0..n {
+                    kkt[(p, q)] += w * ap * a[q];
+                }
+                // Complementarity-folded rhs with Δs = -r_i - a'Δx:
+                // Δλ_i = σμ/s_i - λ_i + w_i r_i + w_i a'Δx, so the constant
+                // part (σμ + λ_i r_i)/s_i - λ_i moves to the rhs.
+                rhs[p] -= ap * ((mu_target + lam[i] * r_i[i]) / s[i] - lam[i]);
+            }
+        }
+        for (r, a) in qp.a_eq.iter().enumerate() {
+            for j in 0..n {
+                kkt[(n + r, j)] = a[j];
+                kkt[(j, n + r)] = a[j];
+            }
+            kkt[(n + r, n + r)] = -1e-12; // tiny regularization
+            rhs[n + r] = -r_e[r];
+        }
+        let lu = Lu::factor(&kkt).map_err(|e| OptimError::Numerical {
+            what: format!("IPM KKT factorization failed: {e}"),
+        })?;
+        let delta = lu.solve(&rhs)?;
+        let dx = &delta[..n];
+        let dy = &delta[n..];
+
+        // Recover Δs, Δλ.
+        let mut ds = vec![0.0; mi];
+        let mut dl = vec![0.0; mi];
+        for i in 0..mi {
+            ds[i] = -r_i[i] - dot(&qp.a_in[i], dx);
+            dl[i] = (mu_target - lam[i] * ds[i]) / s[i] - lam[i];
+        }
+
+        // Fraction-to-boundary step.
+        let mut alpha: f64 = 1.0;
+        for i in 0..mi {
+            if ds[i] < 0.0 {
+                alpha = alpha.min(-0.995 * s[i] / ds[i]);
+            }
+            if dl[i] < 0.0 {
+                alpha = alpha.min(-0.995 * lam[i] / dl[i]);
+            }
+        }
+        for j in 0..n {
+            x[j] += alpha * dx[j];
+        }
+        for (yi, d) in y.iter_mut().zip(dy) {
+            *yi += alpha * d;
+        }
+        for i in 0..mi {
+            s[i] += alpha * ds[i];
+            lam[i] += alpha * dl[i];
+        }
+    }
+    Err(OptimError::IterationLimit { limit: options.max_iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qp::{QpMethod, QpOptions, QpProblem};
+
+    fn solve_ipm(qp: &QpProblem) -> QpSolution {
+        solve(qp, &IpmOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn matches_active_set_on_nocedal_example() {
+        let mut qp = QpProblem::new(2);
+        qp.set_quadratic_diag(&[2.0, 2.0]);
+        qp.set_linear(&[-2.0, -5.0]);
+        qp.add_ineq(&[-1.0, 2.0], 2.0);
+        qp.add_ineq(&[1.0, 2.0], 6.0);
+        qp.add_ineq(&[1.0, -2.0], 2.0);
+        qp.add_ineq(&[-1.0, 0.0], 0.0);
+        qp.add_ineq(&[0.0, -1.0], 0.0);
+        let s = solve_ipm(&qp);
+        assert!((s.x[0] - 1.4).abs() < 1e-6, "{:?}", s.x);
+        assert!((s.x[1] - 1.7).abs() < 1e-6, "{:?}", s.x);
+    }
+
+    #[test]
+    fn equality_constrained() {
+        let mut qp = QpProblem::new(2);
+        qp.set_quadratic_diag(&[2.0, 2.0]);
+        qp.add_eq(&[1.0, 1.0], 2.0);
+        let s = solve_ipm(&qp);
+        assert!((s.x[0] - 1.0).abs() < 1e-7 && (s.x[1] - 1.0).abs() < 1e-7);
+        assert!((s.eq_duals[0] + 2.0).abs() < 1e-5, "nu={:?}", s.eq_duals);
+    }
+
+    #[test]
+    fn dispatch_duals_match_active_set() {
+        let mut qp = QpProblem::new(2);
+        qp.set_quadratic_diag(&[0.02, 0.04]);
+        qp.set_linear(&[10.0, 8.0]);
+        qp.add_eq(&[1.0, 1.0], 200.0);
+        qp.add_bounds(0, 0.0, 300.0);
+        qp.add_bounds(1, 0.0, 300.0);
+        let s = solve_ipm(&qp);
+        assert!((s.x[0] - 100.0).abs() < 1e-5, "{:?}", s.x);
+        assert!((-s.eq_duals[0] - 12.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut qp = QpProblem::new(1);
+        qp.set_quadratic_diag(&[2.0]);
+        qp.add_ineq(&[1.0], 0.0);
+        qp.add_ineq(&[-1.0], -1.0);
+        let r = solve(&qp, &IpmOptions::default());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn auto_method_solves_via_fallback_path() {
+        let mut qp = QpProblem::new(2);
+        qp.set_quadratic_diag(&[2.0, 2.0]);
+        qp.set_linear(&[-2.0, -2.0]);
+        qp.add_ineq(&[1.0, 0.0], 0.5);
+        let mut opts = QpOptions::default();
+        opts.method = QpMethod::InteriorPoint;
+        let s = qp.solve_with(&opts).unwrap();
+        assert!((s.x[0] - 0.5).abs() < 1e-6 && (s.x[1] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,40 @@
+//! Convex quadratic programming via a primal active-set method.
+//!
+//! Solves
+//!
+//! ```text
+//! min  0.5 x' H x + c' x
+//! s.t. A_eq x  = b_eq
+//!      A_in x <= b_in
+//! ```
+//!
+//! with `H` symmetric positive semidefinite (positive definite on the null
+//! space of the active constraints — true for economic dispatch with strictly
+//! convex generator costs and a fixed reference angle).
+//!
+//! A feasible starting point is obtained from a phase-1 LP solved with the
+//! crate's simplex method; the active-set loop then alternates
+//! equality-constrained QP steps (dense KKT solves) with blocking-constraint
+//! additions and multiplier-driven deletions.
+
+mod active_set;
+mod ipm;
+mod problem;
+
+pub use active_set::QpOptions;
+pub use ipm::IpmOptions;
+pub use problem::{QpProblem, QpSolution};
+
+/// Which algorithm solves the QP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QpMethod {
+    /// Active set first; fall back to interior point if it stalls on a
+    /// degenerate vertex. The recommended default.
+    #[default]
+    Auto,
+    /// Primal active-set method only (crisp active sets, exact vertices).
+    ActiveSet,
+    /// Primal-dual interior-point method only (robust on degenerate
+    /// problems).
+    InteriorPoint,
+}

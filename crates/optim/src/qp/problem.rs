@@ -1,0 +1,282 @@
+//! QP model and solution types.
+
+use crate::qp::active_set::{self, QpOptions};
+use crate::OptimError;
+use ed_linalg::Matrix;
+
+/// A convex quadratic program `min 0.5 x'Hx + c'x` subject to linear
+/// equalities and inequalities.
+///
+/// Variable bounds are expressed as inequality rows (helpers
+/// [`QpProblem::add_bounds`] build them for you).
+///
+/// # Example
+///
+/// ```
+/// use ed_optim::qp::QpProblem;
+///
+/// # fn main() -> Result<(), ed_optim::OptimError> {
+/// // min (x-1)^2 + (y-2)^2  s.t.  x + y = 2
+/// // => min 0.5 x'(2I)x - 2x - 4y (+const)
+/// let mut qp = QpProblem::new(2);
+/// qp.set_quadratic_diag(&[2.0, 2.0]);
+/// qp.set_linear(&[-2.0, -4.0]);
+/// qp.add_eq(&[1.0, 1.0], 2.0);
+/// let sol = qp.solve()?;
+/// assert!((sol.x[0] - 0.5).abs() < 1e-8);
+/// assert!((sol.x[1] - 1.5).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QpProblem {
+    pub(crate) n: usize,
+    pub(crate) h: Matrix,
+    pub(crate) c: Vec<f64>,
+    pub(crate) a_eq: Vec<Vec<f64>>,
+    pub(crate) b_eq: Vec<f64>,
+    pub(crate) a_in: Vec<Vec<f64>>,
+    pub(crate) b_in: Vec<f64>,
+}
+
+/// Solution of a QP.
+#[derive(Debug, Clone)]
+pub struct QpSolution {
+    /// Optimal point.
+    pub x: Vec<f64>,
+    /// Objective value `0.5 x'Hx + c'x` at the optimum.
+    pub objective: f64,
+    /// Multipliers of the equality rows (sign-free).
+    pub eq_duals: Vec<f64>,
+    /// Multipliers of the inequality rows (`>= 0`, zero when inactive).
+    pub ineq_duals: Vec<f64>,
+    /// Indices of inequality rows active at the optimum.
+    pub active_set: Vec<usize>,
+    /// Active-set iterations performed.
+    pub iterations: usize,
+}
+
+impl QpProblem {
+    /// Creates a QP with `n` variables, zero objective and no constraints.
+    pub fn new(n: usize) -> QpProblem {
+        QpProblem {
+            n,
+            h: Matrix::zeros(n, n),
+            c: vec![0.0; n],
+            a_eq: Vec::new(),
+            b_eq: Vec::new(),
+            a_in: Vec::new(),
+            b_in: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of equality rows.
+    pub fn num_eq(&self) -> usize {
+        self.a_eq.len()
+    }
+
+    /// Number of inequality rows.
+    pub fn num_ineq(&self) -> usize {
+        self.a_in.len()
+    }
+
+    /// Sets the full Hessian `H` (must be `n x n`, symmetric PSD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not `n x n`.
+    pub fn set_quadratic(&mut self, h: Matrix) {
+        assert_eq!((h.rows(), h.cols()), (self.n, self.n), "Hessian shape mismatch");
+        self.h = h;
+    }
+
+    /// Sets a diagonal Hessian from its diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag.len() != n`.
+    pub fn set_quadratic_diag(&mut self, diag: &[f64]) {
+        assert_eq!(diag.len(), self.n, "diagonal length mismatch");
+        self.h = Matrix::from_diag(diag);
+    }
+
+    /// Sets the linear cost vector `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != n`.
+    pub fn set_linear(&mut self, c: &[f64]) {
+        assert_eq!(c.len(), self.n, "linear cost length mismatch");
+        self.c = c.to_vec();
+    }
+
+    /// Adds an equality row `a'x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn add_eq(&mut self, a: &[f64], b: f64) {
+        assert_eq!(a.len(), self.n, "eq row length mismatch");
+        self.a_eq.push(a.to_vec());
+        self.b_eq.push(b);
+    }
+
+    /// Adds an inequality row `a'x <= b` and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn add_ineq(&mut self, a: &[f64], b: f64) -> usize {
+        assert_eq!(a.len(), self.n, "ineq row length mismatch");
+        self.a_in.push(a.to_vec());
+        self.b_in.push(b);
+        self.a_in.len() - 1
+    }
+
+    /// Adds `lb <= x_j <= ub` as (up to) two inequality rows; infinite bounds
+    /// are skipped. Returns the indices of the rows added
+    /// (`(lower_row, upper_row)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= n`.
+    pub fn add_bounds(&mut self, j: usize, lb: f64, ub: f64) -> (Option<usize>, Option<usize>) {
+        assert!(j < self.n, "variable index out of range");
+        let mut lo = None;
+        let mut hi = None;
+        if lb.is_finite() {
+            let mut a = vec![0.0; self.n];
+            a[j] = -1.0;
+            lo = Some(self.add_ineq(&a, -lb));
+        }
+        if ub.is_finite() {
+            let mut a = vec![0.0; self.n];
+            a[j] = 1.0;
+            hi = Some(self.add_ineq(&a, ub));
+        }
+        (lo, hi)
+    }
+
+    /// Objective value at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n);
+        let hx = self.h.matvec(x).expect("shape checked");
+        0.5 * ed_linalg::dot(x, &hx) + ed_linalg::dot(&self.c, x)
+    }
+
+    /// Maximum constraint violation at a point (0 means feasible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn infeasibility(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0_f64;
+        for (a, &b) in self.a_eq.iter().zip(&self.b_eq) {
+            worst = worst.max((ed_linalg::dot(a, x) - b).abs());
+        }
+        for (a, &b) in self.a_in.iter().zip(&self.b_in) {
+            worst = worst.max(ed_linalg::dot(a, x) - b);
+        }
+        worst.max(0.0)
+    }
+
+    /// Solves with default options.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptimError::Infeasible`] if the constraints admit no point.
+    /// - [`OptimError::IterationLimit`] / [`OptimError::Numerical`] on
+    ///   solver trouble (e.g. `H` not PSD on the feasible set).
+    pub fn solve(&self) -> Result<QpSolution, OptimError> {
+        self.solve_with(&QpOptions::default())
+    }
+
+    /// Solves with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QpProblem::solve`].
+    pub fn solve_with(&self, options: &QpOptions) -> Result<QpSolution, OptimError> {
+        use crate::qp::QpMethod;
+        match options.method {
+            QpMethod::ActiveSet => active_set::solve(self, options),
+            QpMethod::InteriorPoint => crate::qp::ipm::solve(self, &options.ipm),
+            QpMethod::Auto => match active_set::solve(self, options) {
+                Ok(sol) => Ok(sol),
+                // Degenerate stalls and numerical breakdowns route to the
+                // interior-point method; genuine infeasibility does not.
+                Err(OptimError::IterationLimit { .. }) | Err(OptimError::Numerical { .. }) => {
+                    crate::qp::ipm::solve(self, &options.ipm)
+                }
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_minimum() {
+        // min (x-3)^2 -> x = 3
+        let mut qp = QpProblem::new(1);
+        qp.set_quadratic_diag(&[2.0]);
+        qp.set_linear(&[-6.0]);
+        let s = qp.solve().unwrap();
+        assert!((s.x[0] - 3.0).abs() < 1e-9);
+        assert_eq!(s.active_set.len(), 0);
+    }
+
+    #[test]
+    fn bound_becomes_active() {
+        // min (x-3)^2 with x <= 1 -> x = 1, multiplier 4
+        let mut qp = QpProblem::new(1);
+        qp.set_quadratic_diag(&[2.0]);
+        qp.set_linear(&[-6.0]);
+        let up = qp.add_ineq(&[1.0], 1.0);
+        let s = qp.solve().unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-8);
+        assert!((s.ineq_duals[up] - 4.0).abs() < 1e-6, "lambda={}", s.ineq_duals[up]);
+    }
+
+    #[test]
+    fn equality_projection() {
+        // min x^2 + y^2 st x + y = 2 -> (1,1), eq dual = -2 (for a'x = b with
+        // stationarity Hx + c + A'nu = 0).
+        let mut qp = QpProblem::new(2);
+        qp.set_quadratic_diag(&[2.0, 2.0]);
+        qp.add_eq(&[1.0, 1.0], 2.0);
+        let s = qp.solve().unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-8 && (s.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let mut qp = QpProblem::new(1);
+        qp.set_quadratic_diag(&[2.0]);
+        qp.add_ineq(&[1.0], 0.0); // x <= 0
+        qp.add_ineq(&[-1.0], -1.0); // x >= 1
+        assert!(matches!(qp.solve(), Err(OptimError::Infeasible)));
+    }
+
+    #[test]
+    fn objective_value_matches() {
+        let mut qp = QpProblem::new(2);
+        qp.set_quadratic_diag(&[2.0, 4.0]);
+        qp.set_linear(&[1.0, -1.0]);
+        let v = qp.objective_value(&[1.0, 2.0]);
+        // 0.5*(2*1 + 4*4) + (1 - 2) = 9 - 1 = 8
+        assert!((v - 8.0).abs() < 1e-12);
+    }
+}

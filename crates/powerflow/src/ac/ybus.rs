@@ -1,0 +1,67 @@
+//! Bus admittance matrix assembly.
+
+use crate::Network;
+use ed_linalg::Complex;
+
+/// Assembles the dense `n x n` complex bus admittance matrix `Y`.
+///
+/// Each line contributes its series admittance `y = 1/(r + jx)` to the
+/// diagonal of both endpoints and `-y` off-diagonal, plus half its charging
+/// susceptance `j b/2` to each endpoint's diagonal.
+pub fn ybus(net: &Network) -> Vec<Vec<Complex>> {
+    let n = net.num_buses();
+    let mut y = vec![vec![Complex::ZERO; n]; n];
+    for line in net.lines() {
+        let ys = Complex::new(line.resistance_pu, line.reactance_pu).inv();
+        let ysh = Complex::new(0.0, line.charging_pu / 2.0);
+        let (i, j) = (line.from.0, line.to.0);
+        y[i][i] += ys + ysh;
+        y[j][j] += ys + ysh;
+        y[i][j] -= ys;
+        y[j][i] -= ys;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BusKind, CostCurve, NetworkBuilder};
+
+    #[test]
+    fn two_bus_ybus() {
+        let mut b = NetworkBuilder::new(100.0);
+        let b1 = b.add_bus("a", BusKind::Slack, 0.0);
+        let b2 = b.add_bus("b", BusKind::Pq, 10.0);
+        let l = b.add_line(b1, b2, 0.01, 0.1, 100.0);
+        b.set_line_charging(l, 0.04);
+        b.add_gen(b1, 0.0, 100.0, CostCurve::linear(1.0));
+        let net = b.build().unwrap();
+        let y = ybus(&net);
+        let ys = Complex::new(0.01, 0.1).inv();
+        let ysh = Complex::new(0.0, 0.02);
+        assert!((y[0][0] - (ys + ysh)).abs() < 1e-12);
+        assert!((y[0][1] + ys).abs() < 1e-12);
+        assert!((y[1][0] + ys).abs() < 1e-12);
+        assert!((y[1][1] - (ys + ysh)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_sums_zero_without_shunts()
+    {
+        let mut b = NetworkBuilder::new(100.0);
+        let b1 = b.add_bus("a", BusKind::Slack, 0.0);
+        let b2 = b.add_bus("b", BusKind::Pq, 10.0);
+        let b3 = b.add_bus("c", BusKind::Pq, 10.0);
+        b.add_line(b1, b2, 0.01, 0.1, 100.0);
+        b.add_line(b2, b3, 0.02, 0.2, 100.0);
+        b.add_line(b1, b3, 0.015, 0.15, 100.0);
+        b.add_gen(b1, 0.0, 100.0, CostCurve::linear(1.0));
+        let net = b.build().unwrap();
+        let y = ybus(&net);
+        for row in &y {
+            let sum: Complex = row.iter().copied().sum();
+            assert!(sum.abs() < 1e-12, "row sum {sum}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! N−1 contingency screening.
+//!
+//! The paper's related-work section contrasts attack-driven analysis with
+//! classical speculative "what-if" contingency screening (Davis & Overbye
+//! style). This module provides that baseline: for every single-line outage,
+//! estimate post-outage flows with LODFs and report rating violations.
+
+use crate::lodf::Lodf;
+use crate::{dc, Network, PowerflowError};
+
+/// A single post-contingency violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The line whose outage was simulated.
+    pub outage: usize,
+    /// The line that becomes overloaded.
+    pub overloaded: usize,
+    /// Post-outage flow on the overloaded line (MW, signed).
+    pub post_flow_mw: f64,
+    /// Rating used for the check (MW).
+    pub rating_mw: f64,
+}
+
+impl Violation {
+    /// Overload severity as a percentage of the rating.
+    pub fn severity_pct(&self) -> f64 {
+        100.0 * (self.post_flow_mw.abs() / self.rating_mw - 1.0)
+    }
+}
+
+/// Report of an N−1 screening pass.
+#[derive(Debug, Clone)]
+pub struct ScreeningReport {
+    /// All violations found, ordered by outage then line.
+    pub violations: Vec<Violation>,
+    /// Outages that would island the network (bridge lines).
+    pub islanding_outages: Vec<usize>,
+    /// Number of outages screened.
+    pub screened: usize,
+}
+
+impl ScreeningReport {
+    /// `true` if the system is N−1 secure (no violations, no islanding).
+    pub fn is_secure(&self) -> bool {
+        self.violations.is_empty() && self.islanding_outages.is_empty()
+    }
+
+    /// The single worst violation by severity, if any.
+    pub fn worst(&self) -> Option<&Violation> {
+        self.violations
+            .iter()
+            .max_by(|a, b| a.severity_pct().total_cmp(&b.severity_pct()))
+    }
+}
+
+/// Screens all single-line outages for a given dispatch against given line
+/// ratings (MW).
+///
+/// # Errors
+///
+/// - Propagates DC solve errors for the base case.
+/// - [`PowerflowError::DimensionMismatch`] if `ratings_mw` has the wrong
+///   length.
+pub fn screen_n_minus_1(
+    net: &Network,
+    dispatch_mw: &[f64],
+    ratings_mw: &[f64],
+) -> Result<ScreeningReport, PowerflowError> {
+    if ratings_mw.len() != net.num_lines() {
+        return Err(PowerflowError::DimensionMismatch {
+            expected: format!("{} ratings", net.num_lines()),
+            found: format!("{}", ratings_mw.len()),
+        });
+    }
+    let inj = net.injections_mw(dispatch_mw);
+    let base = dc::solve(net, &inj)?;
+    let lodf = Lodf::compute(net)?;
+    let mut violations = Vec::new();
+    let mut islanding = Vec::new();
+    for k in 0..net.num_lines() {
+        match lodf.post_outage_flows(&base.flow_mw, k) {
+            None => islanding.push(k),
+            Some(post) => {
+                for (l, (&f, &u)) in post.iter().zip(ratings_mw).enumerate() {
+                    if l != k && f.abs() > u {
+                        violations.push(Violation {
+                            outage: k,
+                            overloaded: l,
+                            post_flow_mw: f,
+                            rating_mw: u,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(ScreeningReport {
+        violations,
+        islanding_outages: islanding,
+        screened: net.num_lines(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BusKind, CostCurve, NetworkBuilder};
+
+    fn triangle(rating: f64) -> Network {
+        let mut b = NetworkBuilder::new(100.0);
+        let b1 = b.add_bus("B1", BusKind::Slack, 0.0);
+        let b2 = b.add_bus("B2", BusKind::Pv, 0.0);
+        let b3 = b.add_bus("B3", BusKind::Pq, 300.0);
+        b.add_line(b1, b2, 0.002, 0.05, rating);
+        b.add_line(b1, b3, 0.002, 0.05, rating);
+        b.add_line(b2, b3, 0.002, 0.05, rating);
+        b.add_gen(b1, 0.0, 300.0, CostCurve::linear(2.0));
+        b.add_gen(b2, 0.0, 300.0, CostCurve::linear(1.0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn triangle_not_n1_secure_at_tight_ratings() {
+        // Post-outage, one line must carry ~all of 300 MW: 160 MVA ratings
+        // cannot be N-1 secure for this dispatch.
+        let net = triangle(160.0);
+        let report =
+            screen_n_minus_1(&net, &[120.0, 180.0], &net.static_ratings_mva()).unwrap();
+        assert!(!report.is_secure());
+        assert!(report.worst().unwrap().severity_pct() > 0.0);
+        assert_eq!(report.screened, 3);
+        assert!(report.islanding_outages.is_empty());
+    }
+
+    #[test]
+    fn generous_ratings_secure() {
+        let net = triangle(1000.0);
+        let report =
+            screen_n_minus_1(&net, &[120.0, 180.0], &net.static_ratings_mva()).unwrap();
+        assert!(report.is_secure(), "{report:?}");
+        assert!(report.worst().is_none());
+    }
+
+    #[test]
+    fn rating_length_checked() {
+        let net = triangle(160.0);
+        assert!(screen_n_minus_1(&net, &[120.0, 180.0], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for network construction and power-flow solves.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by network construction and power-flow analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerflowError {
+    /// The network definition is inconsistent (bad indices, no slack bus,
+    /// non-positive reactance, disconnected graph, ...).
+    InvalidNetwork {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// An input vector has the wrong length for this network.
+    DimensionMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// The DC balance condition (total injection = 0) is violated.
+    Unbalanced {
+        /// Net injection surplus in MW.
+        surplus_mw: f64,
+    },
+    /// The AC Newton–Raphson iteration failed to converge.
+    AcDiverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Final mismatch infinity-norm (per unit).
+        mismatch: f64,
+    },
+    /// An underlying linear-algebra failure (e.g. singular susceptance
+    /// matrix from a disconnected island).
+    Linalg(ed_linalg::LinalgError),
+}
+
+impl fmt::Display for PowerflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerflowError::InvalidNetwork { what } => write!(f, "invalid network: {what}"),
+            PowerflowError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            PowerflowError::Unbalanced { surplus_mw } => {
+                write!(f, "net injection is not balanced (surplus {surplus_mw:.6} MW)")
+            }
+            PowerflowError::AcDiverged { iterations, mismatch } => write!(
+                f,
+                "AC power flow diverged after {iterations} iterations (mismatch {mismatch:.3e} pu)"
+            ),
+            PowerflowError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for PowerflowError {}
+
+impl From<ed_linalg::LinalgError> for PowerflowError {
+    fn from(e: ed_linalg::LinalgError) -> Self {
+        PowerflowError::Linalg(e)
+    }
+}

@@ -1,0 +1,169 @@
+//! Line Outage Distribution Factors (LODF).
+//!
+//! `LODF[l][k]` gives the fraction of line `k`'s pre-outage flow that lands
+//! on line `l` when line `k` trips. Together with a base-case DC flow this
+//! yields fast N−1 screening (see [`crate::contingency`]), the classical
+//! risk-assessment counterpart the paper contrasts its attack against.
+
+use crate::ptdf::Ptdf;
+use crate::{Network, PowerflowError};
+use ed_linalg::Matrix;
+
+/// LODF table.
+#[derive(Debug, Clone)]
+pub struct Lodf {
+    /// `num_lines x num_lines`; entry `(l, k)` is the flow transferred to
+    /// `l` per MW of pre-outage flow on tripped line `k`. Diagonal is -1.
+    matrix: Matrix,
+    /// Lines whose outage would island the network (bridges); their column
+    /// is invalid and flagged here.
+    bridges: Vec<bool>,
+}
+
+impl Lodf {
+    /// Computes LODFs from a PTDF table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PTDF computation errors.
+    pub fn compute(net: &Network) -> Result<Lodf, PowerflowError> {
+        let ptdf = Ptdf::compute(net)?;
+        Ok(Self::from_ptdf(net, &ptdf))
+    }
+
+    /// Computes LODFs from an existing PTDF table.
+    pub fn from_ptdf(net: &Network, ptdf: &Ptdf) -> Lodf {
+        let m = net.num_lines();
+        let mut matrix = Matrix::zeros(m, m);
+        let mut bridges = vec![false; m];
+        for k in 0..m {
+            let line_k = &net.lines()[k];
+            // PTDF of a from->to transfer on line k.
+            let h_kk = ptdf.factor(k, line_k.from.0) - ptdf.factor(k, line_k.to.0);
+            let denom = 1.0 - h_kk;
+            if denom.abs() < 1e-8 {
+                // Radial/bridge line: outage islands the system.
+                bridges[k] = true;
+                continue;
+            }
+            for l in 0..m {
+                if l == k {
+                    matrix[(l, k)] = -1.0;
+                    continue;
+                }
+                let h_lk = ptdf.factor(l, line_k.from.0) - ptdf.factor(l, line_k.to.0);
+                matrix[(l, k)] = h_lk / denom;
+            }
+        }
+        Lodf { matrix, bridges }
+    }
+
+    /// `true` if tripping line `k` would island the network.
+    pub fn is_bridge(&self, k: usize) -> bool {
+        self.bridges[k]
+    }
+
+    /// The distribution factor of outage `k` onto line `l`.
+    pub fn factor(&self, l: usize, k: usize) -> f64 {
+        self.matrix[(l, k)]
+    }
+
+    /// Post-outage flows when line `k` trips, given base-case flows (MW).
+    ///
+    /// Returns `None` if line `k` is a bridge (no post-outage DC solution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_flows_mw.len()` differs from the line count.
+    pub fn post_outage_flows(&self, base_flows_mw: &[f64], k: usize) -> Option<Vec<f64>> {
+        assert_eq!(base_flows_mw.len(), self.matrix.rows(), "flow length mismatch");
+        if self.bridges[k] {
+            return None;
+        }
+        let fk = base_flows_mw[k];
+        Some(
+            base_flows_mw
+                .iter()
+                .enumerate()
+                .map(|(l, &f)| if l == k { 0.0 } else { f + self.factor(l, k) * fk })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dc, BusKind, CostCurve, NetworkBuilder};
+
+    fn triangle() -> Network {
+        let mut b = NetworkBuilder::new(100.0);
+        let b1 = b.add_bus("B1", BusKind::Slack, 0.0);
+        let b2 = b.add_bus("B2", BusKind::Pv, 0.0);
+        let b3 = b.add_bus("B3", BusKind::Pq, 300.0);
+        b.add_line(b1, b2, 0.002, 0.05, 160.0);
+        b.add_line(b1, b3, 0.002, 0.05, 160.0);
+        b.add_line(b2, b3, 0.002, 0.05, 160.0);
+        b.add_gen(b1, 0.0, 300.0, CostCurve::linear(2.0));
+        b.add_gen(b2, 0.0, 300.0, CostCurve::linear(1.0));
+        b.build().unwrap()
+    }
+
+    /// Removing one edge of a triangle forces all of its flow onto the
+    /// two-edge detour; verify against a from-scratch DC solve on the
+    /// reduced network.
+    #[test]
+    fn matches_explicit_outage_resolve() {
+        let net = triangle();
+        let inj = [120.0, 180.0, -300.0];
+        let base = dc::solve(&net, &inj).unwrap().flow_mw;
+        let lodf = Lodf::compute(&net).unwrap();
+        let post = lodf.post_outage_flows(&base, 0).unwrap();
+
+        // Rebuild the network without line 0 and re-solve.
+        let mut b = NetworkBuilder::new(100.0);
+        let b1 = b.add_bus("B1", BusKind::Slack, 0.0);
+        let b2 = b.add_bus("B2", BusKind::Pv, 0.0);
+        let b3 = b.add_bus("B3", BusKind::Pq, 300.0);
+        b.add_line(b1, b3, 0.002, 0.05, 160.0);
+        b.add_line(b2, b3, 0.002, 0.05, 160.0);
+        b.add_gen(b1, 0.0, 300.0, CostCurve::linear(2.0));
+        b.add_gen(b2, 0.0, 300.0, CostCurve::linear(1.0));
+        let reduced = b.build().unwrap();
+        let re = dc::solve(&reduced, &inj).unwrap().flow_mw;
+        assert!((post[1] - re[0]).abs() < 1e-8, "post={post:?} re={re:?}");
+        assert!((post[2] - re[1]).abs() < 1e-8);
+        assert_eq!(post[0], 0.0);
+    }
+
+    #[test]
+    fn bridge_detected() {
+        // A path network: every line is a bridge.
+        let mut b = NetworkBuilder::new(100.0);
+        let b1 = b.add_bus("a", BusKind::Slack, 0.0);
+        let b2 = b.add_bus("b", BusKind::Pq, 50.0);
+        let b3 = b.add_bus("c", BusKind::Pq, 50.0);
+        b.add_line(b1, b2, 0.01, 0.1, 100.0);
+        b.add_line(b2, b3, 0.01, 0.1, 100.0);
+        b.add_gen(b1, 0.0, 200.0, CostCurve::linear(1.0));
+        let net = b.build().unwrap();
+        let lodf = Lodf::compute(&net).unwrap();
+        assert!(lodf.is_bridge(0));
+        assert!(lodf.is_bridge(1));
+        let base = dc::solve(&net, &[100.0, -50.0, -50.0]).unwrap().flow_mw;
+        assert!(lodf.post_outage_flows(&base, 0).is_none());
+    }
+
+    #[test]
+    fn flow_conservation_post_outage() {
+        let net = triangle();
+        let inj = [50.0, 250.0, -300.0];
+        let base = dc::solve(&net, &inj).unwrap().flow_mw;
+        let lodf = Lodf::compute(&net).unwrap();
+        for k in 0..3 {
+            let post = lodf.post_outage_flows(&base, k).unwrap();
+            // Load bus 3 still receives 300 MW: lines 1 (1->3) and 2 (2->3).
+            assert!((post[1] + post[2] - 300.0).abs() < 1e-8, "k={k} post={post:?}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: solve economic dispatch on the paper's 3-bus system, then
+//! compute and evaluate the optimal DLR-manipulation attack.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ed_security::core::attack::{evaluate_attack, optimal_attack, AttackConfig};
+use ed_security::core::dispatch::DcOpf;
+use ed_security::powerflow::LineId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The benchmark system of Section IV-A: two generators serving a
+    //    300 MW load over three identical lines.
+    let net = ed_security::cases::three_bus();
+    println!(
+        "network: {} buses, {} lines, {} generators, {} MW load",
+        net.num_buses(),
+        net.num_lines(),
+        net.num_gens(),
+        net.total_demand_mw()
+    );
+
+    // 2. The operator's honest dispatch at the static 160 MVA ratings.
+    let honest = DcOpf::new(&net).solve()?;
+    println!("\nhonest dispatch (paper: p = (120, 180)):");
+    println!("  p = {:?} MW, cost = {:.0} $/h", honest.p_mw, honest.cost);
+    println!("  flows = {:?} MW (paper: (-20, 140, 160))", honest.flows_mw);
+    println!("  LMPs = {:?} $/MWh", honest.lmp);
+
+    // 3. The attacker manipulates the DLR values of lines {1,3} and {2,3};
+    //    true dynamic ratings are (130, 120) MW — Table I, row 1.
+    let config = AttackConfig::new(vec![LineId(1), LineId(2)])
+        .bounds(100.0, 200.0)
+        .true_ratings(vec![130.0, 120.0]);
+    let attack = optimal_attack(&net, &config)?;
+    println!("\noptimal attack (Table I row 1: u^a = (100, 200), 80 MW over):");
+    println!(
+        "  u^a = {:?} MW against true u^d = {:?} MW",
+        attack.ua_mw, config.u_d
+    );
+    println!(
+        "  violation: {:.1}% of the true rating ({:.0} MW overload) on line {:?}",
+        attack.ucap_pct,
+        attack.overload_mw,
+        attack.target.map(|(l, _)| l.0)
+    );
+
+    // 4. What actually happens when the operator implements the false
+    //    dispatch: DC prediction and AC (nonlinear) measurement.
+    let outcome = evaluate_attack(&net, &config, &attack.ua_mw)?;
+    println!("\nimplemented on the grid:");
+    println!(
+        "  DC violation {:.1}%, AC (apparent-flow) violation {}",
+        outcome.dc_violation_pct,
+        outcome
+            .ac_violation_pct
+            .map_or("n/a".into(), |v| format!("{v:.1}%")),
+    );
+    println!(
+        "  operator's cost estimate {:.0} $/h, actual (loss-inclusive) {}",
+        outcome.dc_cost,
+        outcome.ac_cost.map_or("n/a".into(), |v| format!("{v:.0} $/h")),
+    );
+    Ok(())
+}
