@@ -7,7 +7,8 @@
 //! - Dantzig vs Bland simplex pricing;
 //! - active-set vs interior-point QP.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ed_bench::crit::Criterion;
+use ed_bench::{criterion_group, criterion_main};
 use ed_core::attack::{optimal_attack, AttackConfig, BilevelOptions, BilevelSolver};
 use ed_core::dispatch::{DcOpf, Formulation};
 use ed_optim::lp::{Pricing, SimplexOptions};
@@ -18,7 +19,12 @@ fn cfg(solver: BilevelSolver, use_heuristic: bool) -> AttackConfig {
     AttackConfig::new(ed_cases::three_bus::dlr_lines())
         .bounds(100.0, 200.0)
         .true_ratings(vec![130.0, 120.0])
-        .solver_options(BilevelOptions { solver, node_limit: 100_000, use_heuristic })
+        .solver_options(BilevelOptions {
+            solver,
+            node_limit: 100_000,
+            use_heuristic,
+            ..Default::default()
+        })
 }
 
 fn ablation_bigm_vs_mpec(c: &mut Criterion) {

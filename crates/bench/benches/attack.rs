@@ -2,7 +2,8 @@
 //! subproblems, and the full Algorithm 1 loop (the paper's "scalability of
 //! attack" concern, Section IV-B).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ed_bench::crit::{BenchmarkId, Criterion};
+use ed_bench::{criterion_group, criterion_main};
 use ed_bench::{congested_dlr_lines, dlr_bounds_for};
 use ed_core::attack::{kkt::KktModel, optimal_attack_with, AttackConfig};
 use ed_core::dispatch::DcOpf;

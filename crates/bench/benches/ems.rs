@@ -2,7 +2,8 @@
 //! signature filtering, exploit location, and object classification —
 //! the runtime costs of the paper's online attack phase.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ed_bench::crit::{BenchmarkId, Criterion};
+use ed_bench::{criterion_group, criterion_main};
 use ed_ems::exploit::Exploit;
 use ed_ems::forensics::{classify_objects, scan_bytes};
 use ed_ems::EmsPackage;

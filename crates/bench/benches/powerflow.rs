@@ -1,7 +1,8 @@
 //! Power-flow scaling benchmarks: DC solve, PTDF assembly, AC
 //! Newton–Raphson, and N−1 screening across system sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ed_bench::crit::{BenchmarkId, Criterion};
+use ed_bench::{criterion_group, criterion_main};
 use ed_cases::{synthetic, SyntheticConfig};
 use ed_powerflow::{ac, contingency, dc, lodf::Lodf, ptdf::Ptdf, Network};
 use std::hint::black_box;

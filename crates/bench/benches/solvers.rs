@@ -2,7 +2,8 @@
 //! (active-set and interior-point), MILP branch-and-bound, and MPEC
 //! complementarity branching.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ed_bench::crit::{BenchmarkId, Criterion};
+use ed_bench::{criterion_group, criterion_main};
 use ed_optim::lp::{LpProblem, Row};
 use ed_optim::milp::MilpProblem;
 use ed_optim::mpec::MpecProblem;

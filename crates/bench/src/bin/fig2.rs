@@ -10,7 +10,7 @@ use ed_dlr::{ThermalModel, WeatherSeries};
 
 fn main() {
     let model = ThermalModel::default();
-    let weather = WeatherSeries::diurnal(96, 30.0, 0xF16_2);
+    let weather = WeatherSeries::diurnal(96, 30.0, 0xF162);
     let static_rating = model.static_rating_mva(40.0);
     println!("Figure 2 — static vs dynamic line rating (230 kV Drake-class conductor)");
     println!("static rating (worst-case 40C, 0.61 m/s, full sun): {static_rating:.1} MVA");

@@ -64,8 +64,8 @@ fn main() {
         for p in &points {
             print!("{:.2},{:.0}", p.hour, p.demand_mw);
             let ua = p.u_a.as_ref().expect("successful steps only");
-            for k in 0..dlr_lines.len() {
-                print!(",{:.1},{:.1},{:.1}", p.u_d[k], ua[k], p.dlr_flows_mw[k]);
+            for (k, ua_k) in ua.iter().enumerate().take(dlr_lines.len()) {
+                print!(",{:.1},{:.1},{:.1}", p.u_d[k], ua_k, p.dlr_flows_mw[k]);
             }
             println!();
         }

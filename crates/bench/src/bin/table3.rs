@@ -17,9 +17,9 @@ fn main() {
     let net = ed_cases::six_bus();
     let ratings = net.static_ratings_mva();
     let pkg = EmsPackage::PowerWorld;
-    let reference = pkg.build(&net, &ratings, 0x0FF1_CE).expect("image builds");
+    let reference = pkg.build(&net, &ratings, 0x000F_F1CE).expect("image builds");
     let signature = pkg.rating_signature(&reference);
-    let victim = pkg.build(&net, &ratings, 0xA77A_C8).expect("image builds");
+    let victim = pkg.build(&net, &ratings, 0x00A7_7AC8).expect("image builds");
 
     println!("Table III — target parameter value recognition accuracy (PowerWorld analogue)");
     println!(

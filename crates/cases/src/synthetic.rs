@@ -10,8 +10,7 @@
 //! reproduction harness relies on (see [`crate::ieee118_like`]).
 
 use ed_powerflow::{BusKind, CostCurve, Network, NetworkBuilder, PowerflowError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ed_rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration for [`synthetic`].
 #[derive(Debug, Clone)]
@@ -62,6 +61,15 @@ pub fn synthetic(config: &SyntheticConfig) -> Result<Network, PowerflowError> {
             what: format!("need >= {n} lines for a ring over {n} buses, got {}", config.lines),
         });
     }
+    let max_edges = n * (n - 1) / 2;
+    if config.lines > max_edges {
+        return Err(PowerflowError::InvalidNetwork {
+            what: format!(
+                "{} lines requested but {n} buses admit at most {max_edges} distinct pairs",
+                config.lines
+            ),
+        });
+    }
     if config.gens == 0 || config.gens > n {
         return Err(PowerflowError::InvalidNetwork {
             what: format!("generator count {} out of range 1..={n}", config.gens),
@@ -106,7 +114,11 @@ pub fn synthetic(config: &SyntheticConfig) -> Result<Network, PowerflowError> {
 
     // Ring backbone.
     let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
-    // Chords: random distinct pairs not already present.
+    // Chords: random distinct pairs not already present. Local spans can
+    // run out of fresh pairs on small or dense topologies, so the sampler
+    // is attempt-bounded with a deterministic sweep as the tail filler —
+    // the loop terminates for every configuration that passed validation.
+    let mut rejected = 0usize;
     while edges.len() < config.lines {
         let i = rng.gen_range(0..n);
         // Prefer "local" chords like real grids: span 2..n/3 positions.
@@ -115,6 +127,21 @@ pub fn synthetic(config: &SyntheticConfig) -> Result<Network, PowerflowError> {
         let (lo, hi) = if i < j { (i, j) } else { (j, i) };
         if lo != hi && !edges.contains(&(lo, hi)) && !edges.contains(&(hi, lo)) {
             edges.push((lo, hi));
+            rejected = 0;
+        } else {
+            rejected += 1;
+            if rejected > 20 * n {
+                'fill: for lo in 0..n {
+                    for hi in (lo + 1)..n {
+                        if edges.len() >= config.lines {
+                            break 'fill;
+                        }
+                        if !edges.contains(&(lo, hi)) && !edges.contains(&(hi, lo)) {
+                            edges.push((lo, hi));
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -243,5 +270,40 @@ mod tests {
         assert!(synthetic(&SyntheticConfig { gens: 0, ..Default::default() }).is_err());
         assert!(synthetic(&SyntheticConfig { buses: 5, lines: 6, gens: 9, ..Default::default() })
             .is_err());
+        // More lines than distinct bus pairs can never be built.
+        assert!(synthetic(&SyntheticConfig { buses: 6, lines: 16, gens: 2, ..Default::default() })
+            .is_err());
+    }
+
+    #[test]
+    fn complete_graph_density_terminates() {
+        // 6 buses admit exactly 15 pairs; the local-span sampler alone
+        // cannot reach that density (it would spin forever), so this pins
+        // the deterministic tail filler.
+        let net = synthetic(&SyntheticConfig {
+            buses: 6,
+            lines: 15,
+            gens: 2,
+            total_demand_mw: 300.0,
+            capacity_margin: 1.4,
+            seed: 3,
+        })
+        .unwrap();
+        assert_eq!(net.num_lines(), 15);
+        let mut pairs: Vec<(usize, usize)> = net
+            .lines()
+            .iter()
+            .map(|l| {
+                let (a, b) = (l.from.0, l.to.0);
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 15, "every line must be a distinct bus pair");
     }
 }

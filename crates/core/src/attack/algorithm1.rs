@@ -5,12 +5,25 @@
 //! the best violation. The corner/greedy heuristic seeds each subproblem
 //! with a valid incumbent so the branch-and-bound can prune from the start.
 
-use crate::attack::bilevel::{solve_subproblem, SubproblemSolution};
+use crate::attack::bilevel::{solve_subproblem, SubproblemAttempt, SubproblemSolution};
 use crate::attack::heuristic::{corner_heuristic, greedy_heuristic};
 use crate::attack::kkt::KktModel;
 use crate::attack::{AttackConfig, ViolationMetric};
 use crate::CoreError;
+use ed_optim::budget::BudgetTripped;
 use ed_powerflow::{LineId, Network};
+
+/// Why a subproblem's exact solve did not complete. The sweep is isolated:
+/// a degraded subproblem keeps its heuristic (or partial) incumbent and the
+/// remaining `2·|E_D| − 1` subproblems still run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubproblemFault {
+    /// The sweep-wide [`ed_optim::budget::SolveBudget`] tripped during (or
+    /// before) this subproblem.
+    Budget(BudgetTripped),
+    /// The solver failed numerically (singular basis, cycling, …).
+    Numerical(String),
+}
 
 /// Result of one (line, direction) subproblem in Algorithm 1's loop.
 #[derive(Debug, Clone)]
@@ -26,6 +39,9 @@ pub struct SubproblemOutcome {
     pub proved_optimal: bool,
     /// Branch-and-bound nodes spent.
     pub nodes: usize,
+    /// Why the exact solve degraded, if it did. `None` means the subproblem
+    /// completed normally.
+    pub fault: Option<SubproblemFault>,
 }
 
 /// The optimal attack found by Algorithm 1.
@@ -48,6 +64,14 @@ pub struct AttackResult {
     pub subproblems: Vec<SubproblemOutcome>,
     /// Total branch-and-bound nodes across all subproblems.
     pub total_nodes: usize,
+}
+
+impl AttackResult {
+    /// Subproblems whose exact solve degraded (budget trip or numerical
+    /// fault); their reported values are heuristic/partial incumbents.
+    pub fn degraded_subproblems(&self) -> usize {
+        self.subproblems.iter().filter(|s| s.fault.is_some()).count()
+    }
 }
 
 /// Runs Algorithm 1 with the options embedded in the config.
@@ -84,7 +108,9 @@ pub fn optimal_attack_with(
         return Err(CoreError::DispatchInfeasible);
     }
 
-    let mut best: Option<(f64, f64, Vec<f64>, Vec<f64>, (LineId, i8))> = None;
+    // (violation, overload MW, u^a, dispatch, (line, direction)).
+    type Best = (f64, f64, Vec<f64>, Vec<f64>, (LineId, i8));
+    let mut best: Option<Best> = None;
     // Seed with the heuristic's best candidate.
     for (k, &line) in config.dlr_lines.iter().enumerate() {
         for (d, dir) in [(0usize, 1i8), (1usize, -1i8)] {
@@ -93,7 +119,7 @@ pub fn optimal_attack_with(
                 continue;
             }
             let violation = metric_value(config.metric, f, config.u_d[k]);
-            if best.as_ref().map_or(true, |(v, ..)| violation > *v) {
+            if best.as_ref().is_none_or(|(v, ..)| violation > *v) {
                 best = Some((
                     violation,
                     f - config.u_d[k],
@@ -120,19 +146,40 @@ pub fn optimal_attack_with(
                     ViolationMetric::PercentOfTrue => -100.0,
                     ViolationMetric::AbsoluteMw => -config.u_d[k],
                 };
+                // The heuristic's violation for this (line, direction) —
+                // the floor every degraded path falls back to.
+                let heuristic_flow = heuristic.best_flow[k][if dir > 0.0 { 0 } else { 1 }];
+                let heuristic_violation = if heuristic_flow.is_finite() {
+                    metric_value(config.metric, heuristic_flow, config.u_d[k])
+                } else {
+                    f64::NEG_INFINITY
+                };
+
+                // Deadline already gone: don't even build the subproblem.
+                // The outcome list still gets its entry, flagged.
+                if let Some(tripped) = config.options.budget.wall_tripped() {
+                    subproblems.push(SubproblemOutcome {
+                        line,
+                        direction: dir as i8,
+                        violation: heuristic_violation,
+                        proved_optimal: false,
+                        nodes: 0,
+                        fault: Some(SubproblemFault::Budget(tripped)),
+                    });
+                    continue;
+                }
+
                 model.set_flow_objective(line, dir, scale);
                 let hint = if config.options.use_heuristic {
                     // best_flow[k][d] already stores max(dir·f) over the
                     // heuristic candidates, i.e. the solver objective
                     // value (before scaling) that candidate achieves.
-                    let f = heuristic.best_flow[k][if dir > 0.0 { 0 } else { 1 }];
-                    f.is_finite().then(|| scale * f)
+                    heuristic_flow.is_finite().then_some(scale * heuristic_flow)
                 } else {
                     None
                 };
-                let solved = solve_subproblem(&model, line, &config.options, hint)?;
-                match solved {
-                    Some(SubproblemSolution {
+                match solve_subproblem(&model, line, &config.options, hint) {
+                    SubproblemAttempt::Solved(SubproblemSolution {
                         objective,
                         ua_mw,
                         flow_mw,
@@ -148,8 +195,9 @@ pub fn optimal_attack_with(
                             violation,
                             proved_optimal,
                             nodes,
+                            fault: None,
                         });
-                        if best.as_ref().map_or(true, |(v, ..)| violation > *v) {
+                        if best.as_ref().is_none_or(|(v, ..)| violation > *v) {
                             best = Some((
                                 violation,
                                 dir * flow_mw - config.u_d[k],
@@ -159,20 +207,60 @@ pub fn optimal_attack_with(
                             ));
                         }
                     }
-                    None => {
+                    SubproblemAttempt::Pruned => {
                         // Nothing better than the heuristic incumbent for this
                         // subproblem; record the heuristic value.
-                        let f = heuristic.best_flow[k][if dir > 0.0 { 0 } else { 1 }];
                         subproblems.push(SubproblemOutcome {
                             line,
                             direction: dir as i8,
-                            violation: if f.is_finite() {
-                                metric_value(config.metric, f, config.u_d[k])
-                            } else {
-                                f64::NEG_INFINITY
-                            },
+                            violation: heuristic_violation,
                             proved_optimal: true,
                             nodes: 0,
+                            fault: None,
+                        });
+                    }
+                    SubproblemAttempt::Budget(tripped, incumbent) => {
+                        // Budget trip: keep the better of the solver's
+                        // partial incumbent and the heuristic floor.
+                        let (violation, nodes) = match &incumbent {
+                            Some(sol) => {
+                                ((sol.objective + offset).max(heuristic_violation), sol.nodes)
+                            }
+                            None => (heuristic_violation, 0),
+                        };
+                        total_nodes += nodes;
+                        subproblems.push(SubproblemOutcome {
+                            line,
+                            direction: dir as i8,
+                            violation,
+                            proved_optimal: false,
+                            nodes,
+                            fault: Some(SubproblemFault::Budget(tripped)),
+                        });
+                        if let Some(sol) = incumbent {
+                            let v = sol.objective + offset;
+                            if best.as_ref().is_none_or(|(b, ..)| v > *b) {
+                                best = Some((
+                                    v,
+                                    dir * sol.flow_mw - config.u_d[k],
+                                    sol.ua_mw,
+                                    sol.dispatch_mw,
+                                    (line, dir as i8),
+                                ));
+                            }
+                        }
+                    }
+                    SubproblemAttempt::Faulted(e) => {
+                        // Numerical failure is isolated to this subproblem;
+                        // the heuristic incumbent stands and the sweep
+                        // continues.
+                        subproblems.push(SubproblemOutcome {
+                            line,
+                            direction: dir as i8,
+                            violation: heuristic_violation,
+                            proved_optimal: false,
+                            nodes: 0,
+                            fault: Some(SubproblemFault::Numerical(e.to_string())),
                         });
                     }
                 }
@@ -257,7 +345,7 @@ mod tests {
         config.options = BilevelOptions {
             solver: BilevelSolver::BigM { big_m: 1e5 },
             node_limit: 50_000,
-            use_heuristic: true,
+            ..Default::default()
         };
         let bigm = optimal_attack(&net, &config).unwrap();
         config.options.solver = BilevelSolver::Mpec;

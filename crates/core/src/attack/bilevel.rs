@@ -2,7 +2,7 @@
 //! branching (MPEC).
 
 use crate::attack::kkt::KktModel;
-use crate::CoreError;
+use ed_optim::budget::{BudgetTripped, SolveBudget, SolveOutcome};
 use ed_optim::lp::{Row, VarId};
 use ed_optim::milp::{MilpOptions, MilpProblem};
 use ed_optim::mpec::{MpecOptions, MpecProblem};
@@ -11,6 +11,7 @@ use ed_powerflow::LineId;
 
 /// Which reformulation of complementary slackness to use.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub enum BilevelSolver {
     /// The paper's approach: binary `μ_i` with `λ_i ≤ M μ_i` and
     /// `s_i ≤ M (1 − μ_i)` (Eq. 16d), solved as a MILP. `big_m` is the
@@ -21,14 +22,10 @@ pub enum BilevelSolver {
     },
     /// Branch directly on violated pairs `λ_i · s_i > 0`; no big-M enters
     /// the model. Scales better and is the default for large networks.
+    #[default]
     Mpec,
 }
 
-impl Default for BilevelSolver {
-    fn default() -> Self {
-        BilevelSolver::Mpec
-    }
-}
 
 /// Budgets and solver selection for the bilevel subproblems.
 #[derive(Debug, Clone)]
@@ -40,6 +37,11 @@ pub struct BilevelOptions {
     /// Seed the search with the corner/greedy heuristic's value as an
     /// incumbent bound (prunes aggressively; never cuts the optimum).
     pub use_heuristic: bool,
+    /// Cooperative solve budget *shared across the whole Algorithm 1 sweep*
+    /// (the deadline is an absolute instant, so every subproblem sees the
+    /// same one). A tripped subproblem degrades to its incumbent instead of
+    /// aborting the sweep.
+    pub budget: SolveBudget,
 }
 
 impl Default for BilevelOptions {
@@ -48,6 +50,7 @@ impl Default for BilevelOptions {
             solver: BilevelSolver::Mpec,
             node_limit: 20_000,
             use_heuristic: true,
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -70,41 +73,68 @@ pub struct SubproblemSolution {
     pub nodes: usize,
 }
 
+/// What one subproblem attempt produced. Faults and budget trips are data,
+/// not errors — Algorithm 1 isolates them per (line, direction) and keeps
+/// sweeping.
+#[derive(Debug, Clone)]
+pub(crate) enum SubproblemAttempt {
+    /// The solver finished (tree exhausted or node-limit-pruned with an
+    /// incumbent).
+    Solved(SubproblemSolution),
+    /// Infeasible, or nothing strictly better than the incumbent hint
+    /// exists — the heuristic value stands and is optimal for this
+    /// subproblem.
+    Pruned,
+    /// The shared budget tripped. Carries the best incumbent found before
+    /// the trip, if the search had one.
+    Budget(BudgetTripped, Option<SubproblemSolution>),
+    /// The solver failed numerically; the sweep falls back to the
+    /// heuristic incumbent for this subproblem.
+    Faulted(OptimError),
+}
+
 /// Solves one subproblem on a prepared KKT model whose objective has been
 /// set via [`KktModel::set_flow_objective`].
 ///
 /// `incumbent_hint`, when given, must be a *valid achievable* objective
-/// value (e.g. from the corner heuristic); the search then returns `None`
-/// if nothing strictly better exists.
+/// value (e.g. from the corner heuristic); the search then reports
+/// [`SubproblemAttempt::Pruned`] if nothing strictly better exists.
 ///
-/// # Errors
-///
-/// Propagates unexpected solver failures; an infeasible or fully pruned
-/// search returns `Ok(None)`.
+/// Never returns an error: solver failures are folded into
+/// [`SubproblemAttempt::Faulted`] so the caller can isolate them.
 pub(crate) fn solve_subproblem(
     model: &KktModel,
     target: LineId,
     options: &BilevelOptions,
     incumbent_hint: Option<f64>,
-) -> Result<Option<SubproblemSolution>, CoreError> {
-    match options.solver {
+) -> SubproblemAttempt {
+    let package = |x: &[f64], objective: f64, proved_optimal: bool, nodes: usize| {
+        SubproblemSolution {
+            objective,
+            ua_mw: model.ua_at(x),
+            flow_mw: model.flow_at(x, target),
+            dispatch_mw: model.dispatch_at(x),
+            proved_optimal,
+            nodes,
+        }
+    };
+    let outcome = match options.solver {
         BilevelSolver::Mpec => {
             let mpec = MpecProblem::new(model.lp.clone(), model.pairs.clone());
-            let mut opts = MpecOptions::default();
-            opts.max_nodes = options.node_limit;
-            opts.incumbent_hint = incumbent_hint;
-            match mpec.solve_with(&opts) {
-                Ok(sol) => Ok(Some(SubproblemSolution {
-                    objective: sol.objective,
-                    ua_mw: model.ua_at(&sol.x),
-                    flow_mw: model.flow_at(&sol.x, target),
-                    dispatch_mw: model.dispatch_at(&sol.x),
-                    proved_optimal: sol.proved_optimal,
-                    nodes: sol.nodes,
-                })),
-                Err(OptimError::Infeasible) | Err(OptimError::NodeLimit { .. }) => Ok(None),
-                Err(e) => Err(e.into()),
-            }
+            let opts = MpecOptions {
+                max_nodes: options.node_limit,
+                incumbent_hint,
+                ..Default::default()
+            };
+            mpec.solve_budgeted(&opts, &options.budget).map(|o| match o {
+                SolveOutcome::Solved(sol) => SolveOutcome::Solved(package(
+                    &sol.x,
+                    sol.objective,
+                    sol.proved_optimal,
+                    sol.nodes,
+                )),
+                SolveOutcome::Partial(p) => SolveOutcome::Partial(p),
+            })
         }
         BilevelSolver::BigM { big_m } => {
             let mut lp = model.lp.clone();
@@ -117,21 +147,34 @@ pub(crate) fn solve_subproblem(
                 binaries.push(mu);
             }
             let milp = MilpProblem::new(lp, binaries);
-            let mut opts = MilpOptions::default();
-            opts.max_nodes = options.node_limit;
-            opts.incumbent_hint = incumbent_hint;
-            match milp.solve_with(&opts) {
-                Ok(sol) => Ok(Some(SubproblemSolution {
-                    objective: sol.objective,
-                    ua_mw: model.ua_at(&sol.x),
-                    flow_mw: model.flow_at(&sol.x, target),
-                    dispatch_mw: model.dispatch_at(&sol.x),
-                    proved_optimal: sol.proved_optimal,
-                    nodes: sol.nodes,
-                })),
-                Err(OptimError::Infeasible) | Err(OptimError::NodeLimit { .. }) => Ok(None),
-                Err(e) => Err(e.into()),
-            }
+            let opts = MilpOptions {
+                max_nodes: options.node_limit,
+                incumbent_hint,
+                ..Default::default()
+            };
+            milp.solve_budgeted(&opts, &options.budget).map(|o| match o {
+                SolveOutcome::Solved(sol) => SolveOutcome::Solved(package(
+                    &sol.x,
+                    sol.objective,
+                    sol.proved_optimal,
+                    sol.nodes,
+                )),
+                SolveOutcome::Partial(p) => SolveOutcome::Partial(p),
+            })
         }
+    };
+    match outcome {
+        Ok(SolveOutcome::Solved(sol)) => SubproblemAttempt::Solved(sol),
+        Ok(SolveOutcome::Partial(p)) => {
+            let incumbent = match (&p.x, p.objective) {
+                (Some(x), Some(obj)) => Some(package(x, obj, false, p.nodes)),
+                _ => None,
+            };
+            SubproblemAttempt::Budget(p.tripped, incumbent)
+        }
+        Err(OptimError::Infeasible) | Err(OptimError::NodeLimit { .. }) => {
+            SubproblemAttempt::Pruned
+        }
+        Err(e) => SubproblemAttempt::Faulted(e),
     }
 }

@@ -231,7 +231,7 @@ mod tests {
         // 17 fake lines exceed the enumeration cap (validation of ids comes
         // after the size check would fail them anyway, so use valid ids).
         let mut lines = ed_cases::three_bus::dlr_lines();
-        lines.extend(std::iter::repeat(ed_powerflow::LineId(0)).take(15));
+        lines.extend(std::iter::repeat_n(ed_powerflow::LineId(0), 15));
         let config = AttackConfig::new(lines)
             .bounds(100.0, 200.0)
             .true_ratings(vec![120.0; 17]);

@@ -23,7 +23,9 @@ mod evaluate;
 mod heuristic;
 pub mod kkt;
 
-pub use algorithm1::{optimal_attack, optimal_attack_with, AttackResult, SubproblemOutcome};
+pub use algorithm1::{
+    optimal_attack, optimal_attack_with, AttackResult, SubproblemFault, SubproblemOutcome,
+};
 pub use bilevel::{BilevelOptions, BilevelSolver, SubproblemSolution};
 pub use evaluate::{evaluate_attack, run_timeline, AttackOutcome, TimelinePoint};
 pub use heuristic::{corner_heuristic, greedy_heuristic, HeuristicResult};

@@ -21,7 +21,7 @@ pub enum Formulation {
 }
 
 impl Formulation {
-    fn resolve(self, net: &Network) -> Formulation {
+    pub(crate) fn resolve(self, net: &Network) -> Formulation {
         match self {
             Formulation::Auto => {
                 if net.num_buses() >= 20 && net.num_buses() > net.num_gens() {
@@ -123,6 +123,11 @@ impl<'a> DcOpf<'a> {
         self
     }
 
+    /// The network the problem is posed on.
+    pub fn network(&self) -> &'a Network {
+        self.net
+    }
+
     /// The effective demand vector.
     pub fn demand_mw(&self) -> &[f64] {
         &self.demand_mw
@@ -133,7 +138,7 @@ impl<'a> DcOpf<'a> {
         &self.ratings_mw
     }
 
-    fn validate(&self) -> Result<(), CoreError> {
+    pub(crate) fn validate(&self) -> Result<(), CoreError> {
         if self.demand_mw.len() != self.net.num_buses() {
             return Err(CoreError::InvalidInput {
                 what: format!(
@@ -155,6 +160,11 @@ impl<'a> DcOpf<'a> {
         if let Some(u) = self.ratings_mw.iter().find(|u| **u <= 0.0 || !u.is_finite()) {
             return Err(CoreError::InvalidInput {
                 what: format!("line rating {u} must be positive and finite"),
+            });
+        }
+        if let Some(d) = self.demand_mw.iter().find(|d| !d.is_finite()) {
+            return Err(CoreError::InvalidInput {
+                what: format!("bus demand {d} must be finite"),
             });
         }
         Ok(())
@@ -193,8 +203,9 @@ impl<'a> DcOpf<'a> {
     }
 
     /// Builds the full [`Dispatch`] (flows, angles, cost) from generator
-    /// outputs and LMPs.
-    fn package(&self, (p_mw, lmp): (Vec<f64>, Vec<f64>)) -> Result<Dispatch, CoreError> {
+    /// outputs and LMPs. Also used by the resilient ladder to package
+    /// degraded incumbents.
+    pub(crate) fn package(&self, (p_mw, lmp): (Vec<f64>, Vec<f64>)) -> Result<Dispatch, CoreError> {
         // Injections against the *overridden* demand.
         let mut inj: Vec<f64> = self.demand_mw.iter().map(|d| -d).collect();
         for (g, &p) in self.net.gens().iter().zip(&p_mw) {

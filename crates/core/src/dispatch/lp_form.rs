@@ -1,8 +1,20 @@
-//! LP formulations of DC-OPF (used when any generator has a linear cost).
+//! LP formulations of DC-OPF (used when any generator has a linear cost,
+//! and as the cost-linearized fallback rung of the resilient dispatcher).
 
 use crate::CoreError;
-use ed_optim::lp::{LpProblem, Row};
+use ed_optim::budget::{SolveBudget, SolveOutcome};
+use ed_optim::lp::{LpProblem, Row, SimplexOptions};
 use ed_powerflow::{ptdf::Ptdf, Network};
+
+/// Per-generator objective coefficient: the generator's own linear cost, or
+/// an explicit override (the resilient ladder passes marginal costs
+/// linearized at the midpoint of each generator's range).
+fn lin_cost_of(net: &Network, lin_cost: Option<&[f64]>, gi: usize) -> f64 {
+    match lin_cost {
+        Some(c) => c[gi],
+        None => net.gens()[gi].cost.b,
+    }
+}
 
 /// Angle formulation: variables `(p, θ)`, per-bus balance equalities, flow
 /// inequalities. Returns `(p_mw, lmp)`.
@@ -11,6 +23,21 @@ pub(crate) fn solve_angle(
     demand_mw: &[f64],
     ratings_mw: &[f64],
 ) -> Result<(Vec<f64>, Vec<f64>), CoreError> {
+    match solve_angle_budgeted(net, demand_mw, ratings_mw, None, &SolveBudget::unlimited())? {
+        SolveOutcome::Solved(v) => Ok(v),
+        SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
+    }
+}
+
+/// Angle formulation with optional linear-cost override and a cooperative
+/// budget. Partial results carry `x` truncated to the generator block.
+pub(crate) fn solve_angle_budgeted(
+    net: &Network,
+    demand_mw: &[f64],
+    ratings_mw: &[f64],
+    lin_cost: Option<&[f64]>,
+    budget: &SolveBudget,
+) -> super::BudgetedSolve {
     let nb = net.num_buses();
     let ng = net.num_gens();
     let base = net.base_mva();
@@ -19,7 +46,8 @@ pub(crate) fn solve_angle(
     let p_vars: Vec<_> = net
         .gens()
         .iter()
-        .map(|g| lp.add_var(g.pmin_mw, g.pmax_mw, g.cost.b))
+        .enumerate()
+        .map(|(gi, g)| lp.add_var(g.pmin_mw, g.pmax_mw, lin_cost_of(net, lin_cost, gi)))
         .collect();
     let t_vars: Vec<_> = (0..nb)
         .map(|_| lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0))
@@ -54,10 +82,17 @@ pub(crate) fn solve_angle(
         lp.add_row(Row::le(ratings_mw[l]).coef(t_vars[f], -w).coef(t_vars[t], w));
     }
 
-    let sol = lp.solve()?;
-    let p_mw = sol.x[..ng].to_vec();
-    let lmp = balance_rows.iter().map(|r| sol.duals[r.index()]).collect();
-    Ok((p_mw, lmp))
+    match lp.solve_budgeted(&SimplexOptions::default(), budget)? {
+        SolveOutcome::Solved(sol) => {
+            let p_mw = sol.x[..ng].to_vec();
+            let lmp = balance_rows.iter().map(|r| sol.duals[r.index()]).collect();
+            Ok(SolveOutcome::Solved((p_mw, lmp)))
+        }
+        SolveOutcome::Partial(mut p) => {
+            p.x = p.x.map(|x| x[..ng].to_vec());
+            Ok(SolveOutcome::Partial(p))
+        }
+    }
 }
 
 /// PTDF formulation: variables `p` only. Returns `(p_mw, lmp)`.
@@ -66,13 +101,29 @@ pub(crate) fn solve_ptdf(
     demand_mw: &[f64],
     ratings_mw: &[f64],
 ) -> Result<(Vec<f64>, Vec<f64>), CoreError> {
+    match solve_ptdf_budgeted(net, demand_mw, ratings_mw, None, &SolveBudget::unlimited())? {
+        SolveOutcome::Solved(v) => Ok(v),
+        SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
+    }
+}
+
+/// PTDF formulation with optional linear-cost override and a cooperative
+/// budget (see [`solve_angle_budgeted`]).
+pub(crate) fn solve_ptdf_budgeted(
+    net: &Network,
+    demand_mw: &[f64],
+    ratings_mw: &[f64],
+    lin_cost: Option<&[f64]>,
+    budget: &SolveBudget,
+) -> super::BudgetedSolve {
     let ng = net.num_gens();
     let ptdf = Ptdf::compute(net)?;
     let mut lp = LpProblem::minimize();
     let p_vars: Vec<_> = net
         .gens()
         .iter()
-        .map(|g| lp.add_var(g.pmin_mw, g.pmax_mw, g.cost.b))
+        .enumerate()
+        .map(|(gi, g)| lp.add_var(g.pmin_mw, g.pmax_mw, lin_cost_of(net, lin_cost, gi)))
         .collect();
 
     let total_demand: f64 = demand_mw.iter().sum();
@@ -120,26 +171,33 @@ pub(crate) fn solve_ptdf(
         }
     }
 
-    let sol = lp.solve()?;
-    let p_mw = sol.x[..ng].to_vec();
+    match lp.solve_budgeted(&SimplexOptions::default(), budget)? {
+        SolveOutcome::Solved(sol) => {
+            let p_mw = sol.x[..ng].to_vec();
 
-    // LMP_i = λ_energy + Σ_l (y_fwd_l − y_bwd_l) · PTDF[l][i], from the
-    // dependence of each row's rhs on d_i.
-    let y0 = sol.duals[energy.index()];
-    let lmp = (0..net.num_buses())
-        .map(|i| {
-            let mut v = y0;
-            for l in 0..net.num_lines() {
-                let h = ptdf.factor(l, i);
-                if let Some(r) = fwd_rows[l] {
-                    v += sol.duals[r.index()] * h;
-                }
-                if let Some(r) = bwd_rows[l] {
-                    v -= sol.duals[r.index()] * h;
-                }
-            }
-            v
-        })
-        .collect();
-    Ok((p_mw, lmp))
+            // LMP_i = λ_energy + Σ_l (y_fwd_l − y_bwd_l) · PTDF[l][i], from the
+            // dependence of each row's rhs on d_i.
+            let y0 = sol.duals[energy.index()];
+            let lmp = (0..net.num_buses())
+                .map(|i| {
+                    let mut v = y0;
+                    for l in 0..net.num_lines() {
+                        let h = ptdf.factor(l, i);
+                        if let Some(r) = fwd_rows[l] {
+                            v += sol.duals[r.index()] * h;
+                        }
+                        if let Some(r) = bwd_rows[l] {
+                            v -= sol.duals[r.index()] * h;
+                        }
+                    }
+                    v
+                })
+                .collect();
+            Ok(SolveOutcome::Solved((p_mw, lmp)))
+        }
+        SolveOutcome::Partial(mut p) => {
+            p.x = p.x.map(|x| x[..ng].to_vec());
+            Ok(SolveOutcome::Partial(p))
+        }
+    }
 }

@@ -12,6 +12,15 @@ mod dcopf;
 mod loss;
 mod lp_form;
 mod qp_form;
+mod resilient;
 
 pub use dcopf::{DcOpf, Dispatch, Formulation};
 pub use loss::loss_adjusted_dispatch;
+pub use resilient::{
+    Degradation, DegradationReason, DispatchRung, ResilientDispatch, ResilientDispatcher,
+};
+
+/// Raw budgeted solver output shared by the LP and QP forms: the
+/// `(generation, nodal price)` vectors, or a typed partial/error.
+pub(crate) type BudgetedSolve =
+    Result<ed_optim::budget::SolveOutcome<(Vec<f64>, Vec<f64>)>, crate::CoreError>;

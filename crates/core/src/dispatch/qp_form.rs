@@ -2,8 +2,13 @@
 //! convex, as in the paper's 118-node experiments).
 
 use crate::CoreError;
-use ed_optim::qp::QpProblem;
+use ed_optim::budget::{SolveBudget, SolveOutcome};
+use ed_optim::qp::{QpMethod, QpOptions, QpProblem};
 use ed_powerflow::{ptdf::Ptdf, Network};
+
+fn options_for(method: QpMethod) -> QpOptions {
+    QpOptions { method, ..QpOptions::default() }
+}
 
 /// Angle formulation with variables `(p, θ)`. Returns `(p_mw, lmp)`.
 pub(crate) fn solve_angle(
@@ -11,6 +16,23 @@ pub(crate) fn solve_angle(
     demand_mw: &[f64],
     ratings_mw: &[f64],
 ) -> Result<(Vec<f64>, Vec<f64>), CoreError> {
+    match solve_angle_budgeted(net, demand_mw, ratings_mw, QpMethod::Auto, &SolveBudget::unlimited())? {
+        SolveOutcome::Solved(v) => Ok(v),
+        SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
+    }
+}
+
+/// Angle formulation under an explicit method and budget. A budget trip
+/// with a feasible active-set iterate yields a partial whose `x` is already
+/// truncated to the generator block (a usable `p_mw`); LMPs require duals
+/// and are unavailable on the partial path.
+pub(crate) fn solve_angle_budgeted(
+    net: &Network,
+    demand_mw: &[f64],
+    ratings_mw: &[f64],
+    method: QpMethod,
+    budget: &SolveBudget,
+) -> super::BudgetedSolve {
     let nb = net.num_buses();
     let ng = net.num_gens();
     let base = net.base_mva();
@@ -65,11 +87,18 @@ pub(crate) fn solve_angle(
         qp.add_ineq(&neg, ratings_mw[l]);
     }
 
-    let sol = qp.solve()?;
-    let p_mw = sol.x[..ng].to_vec();
-    // With L = f + ν g_eq, LMP_i = dC*/dd_i = -ν_i.
-    let lmp = balance_rows.iter().map(|&i| -sol.eq_duals[i]).collect();
-    Ok((p_mw, lmp))
+    match qp.solve_budgeted(&options_for(method), budget)? {
+        SolveOutcome::Solved(sol) => {
+            let p_mw = sol.x[..ng].to_vec();
+            // With L = f + ν g_eq, LMP_i = dC*/dd_i = -ν_i.
+            let lmp = balance_rows.iter().map(|&i| -sol.eq_duals[i]).collect();
+            Ok(SolveOutcome::Solved((p_mw, lmp)))
+        }
+        SolveOutcome::Partial(mut p) => {
+            p.x = p.x.map(|x| x[..ng].to_vec());
+            Ok(SolveOutcome::Partial(p))
+        }
+    }
 }
 
 /// PTDF formulation with variables `p` only. Returns `(p_mw, lmp)`.
@@ -78,6 +107,22 @@ pub(crate) fn solve_ptdf(
     demand_mw: &[f64],
     ratings_mw: &[f64],
 ) -> Result<(Vec<f64>, Vec<f64>), CoreError> {
+    match solve_ptdf_budgeted(net, demand_mw, ratings_mw, QpMethod::Auto, &SolveBudget::unlimited())? {
+        SolveOutcome::Solved(v) => Ok(v),
+        SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
+    }
+}
+
+/// PTDF formulation under an explicit method and budget (see
+/// [`solve_angle_budgeted`] for partial-result semantics; here `x` is the
+/// generator vector already).
+pub(crate) fn solve_ptdf_budgeted(
+    net: &Network,
+    demand_mw: &[f64],
+    ratings_mw: &[f64],
+    method: QpMethod,
+    budget: &SolveBudget,
+) -> super::BudgetedSolve {
     let ng = net.num_gens();
     let ptdf = Ptdf::compute(net)?;
     let mut qp = QpProblem::new(ng);
@@ -123,26 +168,33 @@ pub(crate) fn solve_ptdf(
         }
     }
 
-    let sol = qp.solve()?;
-    let p_mw = sol.x[..ng].to_vec();
-    // dC*/dd_i = -ν_energy - Σ_l λ_fwd PTDF[l][i] + Σ_l λ_bwd PTDF[l][i].
-    let nu = sol.eq_duals[0];
-    let lmp = (0..net.num_buses())
-        .map(|i| {
-            let mut v = -nu;
-            for l in 0..net.num_lines() {
-                let h = ptdf.factor(l, i);
-                if let Some(row) = fwd[l] {
-                    v -= sol.ineq_duals[row] * h;
-                }
-                if let Some(row) = bwd[l] {
-                    v += sol.ineq_duals[row] * h;
-                }
-            }
-            v
-        })
-        .collect();
-    Ok((p_mw, lmp))
+    match qp.solve_budgeted(&options_for(method), budget)? {
+        SolveOutcome::Solved(sol) => {
+            let p_mw = sol.x[..ng].to_vec();
+            // dC*/dd_i = -ν_energy - Σ_l λ_fwd PTDF[l][i] + Σ_l λ_bwd PTDF[l][i].
+            let nu = sol.eq_duals[0];
+            let lmp = (0..net.num_buses())
+                .map(|i| {
+                    let mut v = -nu;
+                    for l in 0..net.num_lines() {
+                        let h = ptdf.factor(l, i);
+                        if let Some(row) = fwd[l] {
+                            v -= sol.ineq_duals[row] * h;
+                        }
+                        if let Some(row) = bwd[l] {
+                            v += sol.ineq_duals[row] * h;
+                        }
+                    }
+                    v
+                })
+                .collect();
+            Ok(SolveOutcome::Solved((p_mw, lmp)))
+        }
+        SolveOutcome::Partial(mut p) => {
+            p.x = p.x.map(|x| x[..ng].to_vec());
+            Ok(SolveOutcome::Partial(p))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -48,3 +48,8 @@ mod error;
 pub mod mitigation;
 
 pub use error::CoreError;
+
+// The budget vocabulary travels with every resilient API in this crate, so
+// downstream users (ed-ems, examples, benches) don't need a direct
+// ed-optim dependency for it.
+pub use ed_optim::budget::{BudgetTripped, SolveBudget, SolveOutcome};

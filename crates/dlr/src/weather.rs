@@ -1,7 +1,6 @@
 //! Deterministic 24-hour weather series.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ed_rng::{Rng, SeedableRng, StdRng};
 
 /// A weather sample at one instant.
 #[derive(Debug, Clone, Copy, PartialEq)]

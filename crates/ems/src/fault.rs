@@ -1,0 +1,416 @@
+//! Deterministic fault injection for the EMS pipeline.
+//!
+//! The paper's threat model is an EMS whose *inputs* are being corrupted
+//! while it must keep issuing a dispatch every cycle. This module is the
+//! test double for that reality: a seeded [`FaultPlan`] injects the fault
+//! classes the resilience layer claims to survive — NaN/Inf DLR values,
+//! raw memory corruption of the rating storage, transient scan failures,
+//! solver stalls (exhausted budgets), and near-singular susceptance
+//! skews — into one EMS control cycle, and [`run_faulted_cycle`] proves the
+//! cycle still ends in a typed outcome.
+//!
+//! Everything is deterministic: the same seed and plan replay the same
+//! byte-level corruptions and the same retry schedule, so failures found
+//! in CI reproduce locally.
+
+use crate::packages::EmsPackage;
+use crate::EmsError;
+use ed_core::dispatch::{ResilientDispatch, ResilientDispatcher};
+use ed_core::SolveBudget;
+use ed_powerflow::{Network, NetworkBuilder};
+use ed_rng::{Rng, SeedableRng, StdRng};
+use std::time::Duration;
+
+/// One injectable fault class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The in-memory DLR value of `line` is replaced by NaN.
+    NanRating {
+        /// Line index.
+        line: usize,
+    },
+    /// The in-memory DLR value of `line` is replaced by +Inf.
+    InfRating {
+        /// Line index.
+        line: usize,
+    },
+    /// The rating storage of `line` is overwritten with seeded random
+    /// bytes — a corrupted memory read: whatever garbage decodes is what
+    /// the control loop sees.
+    CorruptedRead {
+        /// Line index.
+        line: usize,
+    },
+    /// The first `failures` memory scans abort transiently (the paper's
+    /// exploits re-scan until the signature resolves; so does a defender's
+    /// integrity checker). Exercises retry-with-backoff.
+    ScanFlake {
+        /// Number of leading scan attempts that fail.
+        failures: u32,
+    },
+    /// The dispatch solver is allowed only `deadline_us` microseconds of
+    /// wall clock — at 0 the deadline is dead on arrival and every rung of
+    /// the fallback ladder sees a tripped budget.
+    SolverStall {
+        /// Wall-clock budget in microseconds.
+        deadline_us: u64,
+    },
+    /// One line's susceptance is scaled by `factor`, skewing the
+    /// conditioning of the dispatch matrices (tiny factors drive the
+    /// B-matrix toward singular).
+    NearSingular {
+        /// Line index.
+        line: usize,
+        /// Susceptance scale factor (must keep the reactance positive and
+        /// finite, or the network builder rejects the result).
+        factor: f64,
+    },
+}
+
+/// A seeded, explicit set of faults to inject into one EMS control cycle.
+///
+/// The plan is data, not configuration magic: tests construct exactly the
+/// faults they assert about, and the seed pins every random byte.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<FaultKind>,
+    /// Retry schedule for injected scan failures.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, faults: Vec::new(), retry: RetryPolicy::default() }
+    }
+
+    /// Adds a fault to the plan.
+    pub fn inject(mut self, fault: FaultKind) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Overrides the retry policy.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> FaultPlan {
+        self.retry = retry;
+        self
+    }
+
+    /// The faults in injection order.
+    pub fn faults(&self) -> &[FaultKind] {
+        &self.faults
+    }
+
+    fn scan_failures(&self) -> u32 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                FaultKind::ScanFlake { failures } => *failures,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn budget(&self) -> SolveBudget {
+        for f in &self.faults {
+            if let FaultKind::SolverStall { deadline_us } = f {
+                return SolveBudget::with_deadline(Duration::from_micros(*deadline_us));
+            }
+        }
+        SolveBudget::unlimited()
+    }
+}
+
+/// Deterministic exponential backoff for retrying transient failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts before giving up (including the first).
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before attempt `attempt` (0-based; attempt 0 has none).
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (attempt - 1).min(16);
+        (self.base_delay * factor).min(self.max_delay)
+    }
+}
+
+/// Runs `op` under the policy, sleeping the backoff delay between
+/// attempts. Returns the result plus the number of retries spent.
+///
+/// # Errors
+///
+/// The last error, once `max_attempts` attempts all failed.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut() -> Result<T, EmsError>,
+) -> Result<(T, u32), EmsError> {
+    let mut last = None;
+    for attempt in 0..policy.max_attempts.max(1) {
+        let delay = policy.delay_before(attempt);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        match op() {
+            Ok(v) => return Ok((v, attempt)),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}
+
+/// What one faulted control cycle produced.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The faults that were injected (the plan, echoed back).
+    pub injected: Vec<FaultKind>,
+    /// Scan retries spent before the ratings read succeeded.
+    pub scan_retries: u32,
+    /// Lines whose in-memory rating was rejected by sanitization and
+    /// replaced with the static rating.
+    pub sanitized_lines: Vec<usize>,
+    /// The ratings vector the dispatcher actually used.
+    pub ratings_used_mw: Vec<f64>,
+    /// The dispatch outcome: rung used and degradations recorded.
+    pub dispatch: ResilientDispatch,
+}
+
+impl FaultReport {
+    /// `true` when the cycle survived without a single degradation —
+    /// typically only for an empty plan.
+    pub fn unscathed(&self) -> bool {
+        self.scan_retries == 0 && self.sanitized_lines.is_empty() && self.dispatch.is_clean()
+    }
+}
+
+/// Applies a [`FaultKind::NearSingular`] skew to a copy of the network.
+///
+/// # Errors
+///
+/// [`EmsError::CorruptState`] if the skewed network no longer validates
+/// (e.g. the factor drove a reactance non-finite) — which is itself a
+/// typed outcome, not a panic.
+fn skewed_network(net: &Network, line: usize, factor: f64) -> Result<Network, EmsError> {
+    let mut b = NetworkBuilder::new(net.base_mva());
+    for bus in net.buses() {
+        let id = b.add_bus(&bus.name, bus.kind, bus.demand_mw);
+        b.set_bus_demand_mvar(id, bus.demand_mvar);
+        b.set_voltage_setpoint(id, bus.voltage_setpoint_pu);
+    }
+    for (l, ln) in net.lines().iter().enumerate() {
+        // Scaling susceptance down = scaling reactance up.
+        let x = if l == line { ln.reactance_pu / factor } else { ln.reactance_pu };
+        let id = b.add_line(ln.from, ln.to, ln.resistance_pu, x, ln.rating_mva);
+        b.set_line_charging(id, ln.charging_pu);
+    }
+    for g in net.gens() {
+        let id = b.add_gen(g.bus, g.pmin_mw, g.pmax_mw, g.cost);
+        b.set_gen_q_limits(id, g.qmin_mvar, g.qmax_mvar);
+    }
+    b.build().map_err(|e| EmsError::CorruptState { what: format!("skewed network invalid: {e}") })
+}
+
+/// Boots the EMS, injects every fault in the plan, and runs one control
+/// cycle (scan → read ratings → sanitize → resilient dispatch).
+///
+/// The contract under test: **every fault class ends in a typed outcome**
+/// — a [`FaultReport`] carrying the degradations, or a typed [`EmsError`]
+/// — never a panic, never an abort.
+///
+/// # Errors
+///
+/// - [`EmsError::CorruptState`] when scan retries are exhausted or a
+///   skewed network no longer validates.
+/// - Dispatch-layer errors only when even the fallback ladder has no
+///   answer (no last-known-good and every rung failed).
+pub fn run_faulted_cycle(
+    package: EmsPackage,
+    net: &Network,
+    plan: &FaultPlan,
+) -> Result<FaultReport, EmsError> {
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let static_ratings = net.static_ratings_mva();
+
+    // Apply any topology-level fault before the EMS boots: the skewed
+    // susceptance is what the operator's model would contain.
+    let mut skewed: Option<Network> = None;
+    for f in &plan.faults {
+        if let FaultKind::NearSingular { line, factor } = f {
+            skewed = Some(skewed_network(skewed.as_ref().unwrap_or(net), *line, *factor)?);
+        }
+    }
+    let net = skewed.as_ref().unwrap_or(net);
+
+    let mut victim = package.build(net, &static_ratings, plan.seed)?;
+
+    // A healthy cycle has run before the faults arrive: prime the
+    // last-known-good rung the way a real EMS holds its previous base
+    // point.
+    let mut dispatcher = ResilientDispatcher::new();
+    let demand = net.demand_vector_mw();
+    if let Ok(r) =
+        dispatcher.dispatch(net, &demand, &static_ratings, &SolveBudget::unlimited())
+    {
+        debug_assert!(r.is_clean() || dispatcher.last_known_good().is_some());
+    }
+
+    // Memory-level faults.
+    for f in &plan.faults {
+        let (line, value) = match f {
+            FaultKind::NanRating { line } => (*line, Some(f64::NAN)),
+            FaultKind::InfRating { line } => (*line, Some(f64::INFINITY)),
+            FaultKind::CorruptedRead { line } => (*line, None),
+            _ => continue,
+        };
+        let addr = *victim.rating_addrs.get(line).ok_or(EmsError::CorruptState {
+            what: format!("fault targets line {line} beyond rating table"),
+        })?;
+        let bytes = match value {
+            Some(v) => victim.rating_repr.encode(v),
+            None => (0..victim.rating_repr.size()).map(|_| rng.gen::<u8>()).collect(),
+        };
+        // `poke` bypasses W^X like a debugger write — the attacker model.
+        victim.memory.poke(addr, &bytes)?;
+    }
+
+    // Scan phase with injected transient failures and backoff.
+    let mut scans_left_to_fail = plan.scan_failures();
+    let (raw_ratings, scan_retries) = with_retry(&plan.retry, || {
+        if scans_left_to_fail > 0 {
+            scans_left_to_fail -= 1;
+            return Err(EmsError::CorruptState { what: "injected scan failure".into() });
+        }
+        victim.read_ratings_mw()
+    })?;
+
+    // Sanitization: non-finite / non-positive ratings never reach a
+    // solver; each is replaced by the line's static rating and flagged.
+    let mut sanitized_lines = Vec::new();
+    let mut ratings_used = raw_ratings;
+    for (l, r) in ratings_used.iter_mut().enumerate() {
+        if !r.is_finite() || *r <= 0.0 {
+            *r = static_ratings[l];
+            sanitized_lines.push(l);
+        }
+    }
+
+    let dispatch = dispatcher.dispatch(net, &demand, &ratings_used, &plan.budget())?;
+
+    Ok(FaultReport {
+        injected: plan.faults.clone(),
+        scan_retries,
+        sanitized_lines,
+        ratings_used_mw: ratings_used,
+        dispatch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ed_core::dispatch::DispatchRung;
+
+    fn net() -> Network {
+        ed_cases::three_bus()
+    }
+
+    #[test]
+    fn empty_plan_is_unscathed() {
+        let plan = FaultPlan::new(1);
+        let r = run_faulted_cycle(EmsPackage::PowerWorld, &net(), &plan).unwrap();
+        assert!(r.unscathed(), "{r:?}");
+        // Linear costs → the LP rung is the exact solver, not a fallback.
+        assert_eq!(r.dispatch.rung, DispatchRung::LpApprox);
+    }
+
+    #[test]
+    fn nan_rating_is_sanitized_before_any_solver() {
+        let plan = FaultPlan::new(2).inject(FaultKind::NanRating { line: 1 });
+        let r = run_faulted_cycle(EmsPackage::PowerWorld, &net(), &plan).unwrap();
+        assert_eq!(r.sanitized_lines, vec![1]);
+        assert!(r.ratings_used_mw.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn corrupted_read_is_deterministic_per_seed() {
+        let plan = FaultPlan::new(3).inject(FaultKind::CorruptedRead { line: 0 });
+        let a = run_faulted_cycle(EmsPackage::PowerTools, &net(), &plan).unwrap();
+        let b = run_faulted_cycle(EmsPackage::PowerTools, &net(), &plan).unwrap();
+        assert_eq!(a.ratings_used_mw, b.ratings_used_mw, "same seed, same garbage");
+        assert_eq!(a.sanitized_lines, b.sanitized_lines);
+    }
+
+    #[test]
+    fn scan_flake_is_retried_with_backoff() {
+        let plan = FaultPlan::new(4).inject(FaultKind::ScanFlake { failures: 2 });
+        let r = run_faulted_cycle(EmsPackage::Neplan, &net(), &plan).unwrap();
+        assert_eq!(r.scan_retries, 2);
+    }
+
+    #[test]
+    fn scan_flake_beyond_retries_is_typed_error() {
+        let plan = FaultPlan::new(5)
+            .inject(FaultKind::ScanFlake { failures: 100 })
+            .retry_policy(RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::ZERO,
+                max_delay: Duration::ZERO,
+            });
+        let err = run_faulted_cycle(EmsPackage::Neplan, &net(), &plan).unwrap_err();
+        assert!(matches!(err, EmsError::CorruptState { .. }), "{err}");
+    }
+
+    #[test]
+    fn solver_stall_degrades_not_panics() {
+        let plan = FaultPlan::new(6).inject(FaultKind::SolverStall { deadline_us: 0 });
+        let r = run_faulted_cycle(EmsPackage::PowerWorld, &net(), &plan).unwrap();
+        assert!(!r.dispatch.is_clean(), "a dead deadline cannot be clean");
+    }
+
+    #[test]
+    fn near_singular_skew_ends_typed() {
+        // 1e-9 susceptance scale: the line is electrically almost gone.
+        let plan = FaultPlan::new(7).inject(FaultKind::NearSingular { line: 1, factor: 1e-9 });
+        // Either a dispatch (possibly degraded) or a typed error — the
+        // assertion is simply that we get here without a panic.
+        match run_faulted_cycle(EmsPackage::PowerWorld, &net(), &plan) {
+            Ok(r) => assert!(r.ratings_used_mw.iter().all(|v| v.is_finite())),
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_micros(350),
+        };
+        assert_eq!(p.delay_before(0), Duration::ZERO);
+        assert_eq!(p.delay_before(1), Duration::from_micros(100));
+        assert_eq!(p.delay_before(2), Duration::from_micros(200));
+        assert_eq!(p.delay_before(3), Duration::from_micros(350));
+        assert_eq!(p.delay_before(4), Duration::from_micros(350));
+    }
+}

@@ -167,7 +167,7 @@ impl Predicate {
                                 let c = cand as u64;
                                 if c >= first
                                     && c < ptr as u64 + span
-                                    && (c - first) % elem_size as u64 == 0
+                                    && (c - first).is_multiple_of(elem_size as u64)
                                 {
                                     return Some(true);
                                 }

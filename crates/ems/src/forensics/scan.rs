@@ -32,17 +32,13 @@ pub fn scan_u32(mem: &AddressSpace, value: u32) -> Vec<u32> {
 
 /// A value scan scoped to an instance, optionally taint-restricted.
 #[derive(Debug, Clone)]
+#[derive(Default)]
 pub struct ValueScan {
     /// Restrict hits to tainted ranges (the taint-tracking stage of
     /// Figure 6 "narrows down the search space").
     pub tainted_only: bool,
 }
 
-impl Default for ValueScan {
-    fn default() -> Self {
-        ValueScan { tainted_only: false }
-    }
-}
 
 impl ValueScan {
     /// Scans for the stored representation of a rating value (MW).

@@ -36,6 +36,7 @@
 
 mod error;
 pub mod exploit;
+pub mod fault;
 pub mod forensics;
 pub mod memory;
 pub mod packages;

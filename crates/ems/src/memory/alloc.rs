@@ -8,8 +8,7 @@
 
 use crate::memory::{AddressSpace, Perm};
 use crate::EmsError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ed_rng::{Rng, SeedableRng, StdRng};
 
 /// A bump allocator bound to one writable segment of an address space.
 #[derive(Debug, Clone)]

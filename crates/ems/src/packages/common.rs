@@ -3,8 +3,7 @@
 
 use crate::memory::{AddressSpace, HeapArena, Perm};
 use crate::EmsError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ed_rng::{Rng, SeedableRng, StdRng};
 
 /// Fixed text-segment base shared by the simulated binaries (the paper's
 /// PowerWorld functions live around `0x01375A8C`).

@@ -131,6 +131,9 @@ impl Mul<Complex> for f64 {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division by a complex number IS multiplication by its reciprocal;
+    // the lint only sees the operator mismatch.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }

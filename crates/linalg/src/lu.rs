@@ -99,6 +99,9 @@ impl Lu {
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
+    // Triangular substitution reads/writes x[j] for j both sides of i; the
+    // indexed form matches the textbook recurrence.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
@@ -131,6 +134,7 @@ impl Lu {
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve_transpose(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {

@@ -179,8 +179,7 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi != 0.0 {
                 crate::axpy(xi, self.row(i), &mut out);
             }

@@ -1,0 +1,102 @@
+//! Generative tests for the dense linear-algebra kernels.
+//!
+//! Formerly proptest-based; rewritten as seeded loops over [`ed_rng`] so the
+//! workspace builds offline. Each test draws many random instances from a
+//! fixed seed, so failures are exactly reproducible.
+
+use ed_linalg::{Lu, Matrix};
+use ed_rng::{Rng, SeedableRng, StdRng};
+
+/// A diagonally-dominated (hence nonsingular, well-conditioned) n x n
+/// matrix with off-diagonal entries in [-1, 1].
+fn dominated_matrix(n: usize, rng: &mut StdRng) -> Matrix {
+    let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut m = Matrix::from_vec(n, n, data).expect("sized correctly");
+    for i in 0..n {
+        let boost = n as f64 + 1.0;
+        let d = m[(i, i)];
+        m[(i, i)] = d + boost * d.signum().max(0.5);
+    }
+    m
+}
+
+fn vector(n: usize, lo: f64, hi: f64, rng: &mut StdRng) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// LU solve leaves a tiny residual: ||Ax - b||_inf small.
+#[test]
+fn lu_solve_residual() {
+    let mut rng = StdRng::seed_from_u64(0x11A1);
+    for _ in 0..64 {
+        let a = dominated_matrix(8, &mut rng);
+        let b = vector(8, -10.0, 10.0, &mut rng);
+        let lu = Lu::factor(&a).expect("dominated matrices are nonsingular");
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-8, "residual too large: {l} vs {r}");
+        }
+    }
+}
+
+/// Transpose solve agrees with solving the explicitly transposed matrix.
+#[test]
+fn transpose_solve_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x11A2);
+    for _ in 0..64 {
+        let a = dominated_matrix(6, &mut rng);
+        let b = vector(6, -5.0, 5.0, &mut rng);
+        let lu = Lu::factor(&a).unwrap();
+        let x1 = lu.solve_transpose(&b).unwrap();
+        let lu_t = Lu::factor(&a.transpose()).unwrap();
+        let x2 = lu_t.solve(&b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-7);
+        }
+    }
+}
+
+/// det(A) * det(A^{-1}) == 1.
+#[test]
+fn determinant_inverse_product() {
+    let mut rng = StdRng::seed_from_u64(0x11A3);
+    for _ in 0..64 {
+        let a = dominated_matrix(5, &mut rng);
+        let lu = Lu::factor(&a).unwrap();
+        let inv = lu.inverse().unwrap();
+        let lu_inv = Lu::factor(&inv).unwrap();
+        let prod = lu.det() * lu_inv.det();
+        assert!((prod - 1.0).abs() < 1e-6, "det product {prod}");
+    }
+}
+
+/// (AB)^T == B^T A^T.
+#[test]
+fn transpose_of_product() {
+    let mut rng = StdRng::seed_from_u64(0x11A4);
+    for _ in 0..64 {
+        let a = dominated_matrix(5, &mut rng);
+        let b = dominated_matrix(5, &mut rng);
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        let diff = &ab_t - &bt_at;
+        assert!(diff.norm_inf() < 1e-9);
+    }
+}
+
+/// Matrix-vector and matrix-matrix products agree on single columns.
+#[test]
+fn matvec_matches_matmul() {
+    let mut rng = StdRng::seed_from_u64(0x11A5);
+    for _ in 0..64 {
+        let a = dominated_matrix(6, &mut rng);
+        let v = vector(6, -3.0, 3.0, &mut rng);
+        let col = Matrix::from_vec(6, 1, v.clone()).unwrap();
+        let via_mm = a.matmul(&col).unwrap();
+        let via_mv = a.matvec(&v).unwrap();
+        for i in 0..6 {
+            assert!((via_mm[(i, 0)] - via_mv[i]).abs() < 1e-12);
+        }
+    }
+}

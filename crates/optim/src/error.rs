@@ -15,6 +15,10 @@ pub enum OptimError {
     IterationLimit {
         /// Limit that was hit.
         limit: usize,
+        /// Best *feasible* iterate at the limit, if the method maintains
+        /// one (active-set QP and simplex phase 2 do; interior-point and
+        /// simplex phase 1 iterates are not feasible, so `None` there).
+        incumbent: Option<Vec<f64>>,
     },
     /// Branch-and-bound exhausted its node budget without proving optimality.
     NodeLimit {
@@ -44,8 +48,12 @@ impl fmt::Display for OptimError {
         match self {
             OptimError::Infeasible => write!(f, "problem is infeasible"),
             OptimError::Unbounded => write!(f, "objective is unbounded"),
-            OptimError::IterationLimit { limit } => {
-                write!(f, "iteration limit of {limit} reached")
+            OptimError::IterationLimit { limit, incumbent } => {
+                write!(f, "iteration limit of {limit} reached")?;
+                if incumbent.is_some() {
+                    write!(f, " (feasible incumbent retained)")?;
+                }
+                Ok(())
             }
             OptimError::NodeLimit { limit, incumbent, bound } => write!(
                 f,

@@ -38,11 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 mod error;
 pub mod lp;
 pub mod milp;
 pub mod mpec;
 pub mod qp;
 
+pub use budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
 pub use error::OptimError;
 

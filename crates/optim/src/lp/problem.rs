@@ -1,5 +1,6 @@
 //! LP model builder and solution types.
 
+use crate::budget::{SolveBudget, SolveOutcome};
 use crate::lp::simplex::{self, SimplexOptions};
 use crate::OptimError;
 
@@ -295,6 +296,25 @@ impl LpProblem {
     pub fn solve_with(&self, options: &SimplexOptions) -> Result<LpSolution, OptimError> {
         self.validate()?;
         simplex::solve(self, options)
+    }
+
+    /// Solves under a cooperative [`SolveBudget`]. Exhausting the budget is
+    /// not an error: the solver returns [`SolveOutcome::Partial`] carrying
+    /// the best feasible iterate reached (phase 2) or `x: None` if the trip
+    /// happened before feasibility (phase 1), plus which budget tripped.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LpProblem::solve`], except the iteration budget in
+    /// `budget` trips to a partial outcome instead of
+    /// [`OptimError::IterationLimit`].
+    pub fn solve_budgeted(
+        &self,
+        options: &SimplexOptions,
+        budget: &SolveBudget,
+    ) -> Result<SolveOutcome<LpSolution>, OptimError> {
+        self.validate()?;
+        simplex::solve_budgeted(self, options, budget)
     }
 
     /// Evaluates the objective at a point (in the problem's own sense).

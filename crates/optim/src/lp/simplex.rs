@@ -14,6 +14,11 @@
 //! - Dantzig pricing by default, with an automatic switch to Bland's rule
 //!   after a run of degenerate pivots to guarantee termination.
 
+// The basis-inverse kernels below accumulate across `binv` rows and columns
+// with classic indexed recurrences; iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
 use crate::lp::problem::{LpProblem, LpSolution, LpStatus, RowSense, Sense};
 use crate::OptimError;
 use ed_linalg::{Lu, Matrix};
@@ -315,19 +320,34 @@ impl Tableau {
     ///
     /// `allow_unbounded == false` (phase 1) treats an unbounded ray as a
     /// numerical error since the phase-1 objective is bounded below by 0.
+    ///
+    /// Returns `Ok(None)` at optimality and `Ok(Some(tripped))` when the
+    /// cooperative [`SolveBudget`] runs out mid-loop.
     fn optimize(
         &mut self,
         cost: &[f64],
         options: &SimplexOptions,
         allow_unbounded: bool,
-    ) -> Result<(), OptimError> {
+        budget: &SolveBudget,
+    ) -> Result<Option<BudgetTripped>, OptimError> {
         let mut pricing = options.pricing;
         let mut degenerate_run = 0usize;
         let mut since_refactor = 0usize;
 
         loop {
+            if !budget.is_unlimited() {
+                if let Some(tripped) = budget.iter_tripped(self.iterations) {
+                    return Ok(Some(tripped));
+                }
+            }
             if self.iterations >= options.max_iterations {
-                return Err(OptimError::IterationLimit { limit: options.max_iterations });
+                // Phase-2 iterates are primal feasible, so the current point
+                // is a usable incumbent; phase-1 iterates are not.
+                let incumbent = allow_unbounded.then(|| self.x[..self.n_structural].to_vec());
+                return Err(OptimError::IterationLimit {
+                    limit: options.max_iterations,
+                    incumbent,
+                });
             }
             if since_refactor >= options.refactor_interval {
                 self.refactor()?;
@@ -379,7 +399,7 @@ impl Tableau {
                             break;
                         }
                         Pricing::Dantzig => {
-                            if entering.map_or(true, |(_, best, _)| mag > best) {
+                            if entering.is_none_or(|(_, best, _)| mag > best) {
                                 entering = Some((j, mag, sig));
                             }
                         }
@@ -388,7 +408,7 @@ impl Tableau {
             }
 
             let Some((q, _, sigma)) = entering else {
-                return Ok(()); // optimal
+                return Ok(None); // optimal
             };
 
             let w = self.ftran(q);
@@ -536,6 +556,20 @@ impl Tableau {
 
 /// Solves an [`LpProblem`] (called via [`LpProblem::solve_with`]).
 pub(crate) fn solve(lp: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, OptimError> {
+    match solve_budgeted(lp, options, &SolveBudget::unlimited())? {
+        SolveOutcome::Solved(s) => Ok(s),
+        SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
+    }
+}
+
+/// Budgeted solve (called via [`LpProblem::solve_budgeted`]). A budget trip
+/// during phase 2 yields a *feasible* partial incumbent; a trip during
+/// phase 1 yields `x: None` since no feasible point has been reached yet.
+pub(crate) fn solve_budgeted(
+    lp: &LpProblem,
+    options: &SimplexOptions,
+    budget: &SolveBudget,
+) -> Result<SolveOutcome<LpSolution>, OptimError> {
     let mut t = Tableau::build(lp);
     t.install_artificials();
 
@@ -548,7 +582,16 @@ pub(crate) fn solve(lp: &LpProblem, options: &SimplexOptions) -> Result<LpSoluti
     // (all residuals zero), which happens for problems with zero rows.
     let artificial_sum: f64 = ((t.n_structural + t.m)..t.ncols).map(|a| t.x[a]).sum();
     if artificial_sum > 0.0 {
-        t.optimize(&phase1_cost, options, false)?;
+        if let Some(tripped) = t.optimize(&phase1_cost, options, false, budget)? {
+            return Ok(SolveOutcome::Partial(Partial {
+                tripped,
+                x: None,
+                objective: None,
+                bound: None,
+                iterations: t.iterations,
+                nodes: 0,
+            }));
+        }
         let infeas: f64 = ((t.n_structural + t.m)..t.ncols).map(|a| t.x[a].max(0.0)).sum();
         if infeas > options.feas_tol {
             return Err(OptimError::Infeasible);
@@ -558,7 +601,23 @@ pub(crate) fn solve(lp: &LpProblem, options: &SimplexOptions) -> Result<LpSoluti
 
     // Phase 2.
     let cost = t.cost.clone();
-    t.optimize(&cost, options, true)?;
+    let tripped = t.optimize(&cost, options, true, budget)?;
+    if let Some(tripped) = tripped {
+        // Clean up the factorization if possible so the incumbent read below
+        // is as accurate as the basis allows; a stale-but-feasible iterate is
+        // still worth returning if refactorization fails here.
+        let _ = t.refactor();
+        let x: Vec<f64> = t.x[..t.n_structural].to_vec();
+        let objective = lp.objective_value(&x);
+        return Ok(SolveOutcome::Partial(Partial {
+            tripped,
+            x: Some(x),
+            objective: Some(objective),
+            bound: None,
+            iterations: t.iterations,
+            nodes: 0,
+        }));
+    }
     t.refactor()?;
 
     // Assemble the solution.
@@ -574,14 +633,14 @@ pub(crate) fn solve(lp: &LpProblem, options: &SimplexOptions) -> Result<LpSoluti
         .map(|j| sign * t.reduced_cost(j, &cost, &y_min))
         .collect();
     let objective = lp.objective_value(&x);
-    Ok(LpSolution {
+    Ok(SolveOutcome::Solved(LpSolution {
         status: LpStatus::Optimal,
         objective,
         x,
         duals,
         reduced_costs: reduced,
         iterations: t.iterations,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -714,8 +773,7 @@ mod tests {
             lp
         };
         let a = build().solve().unwrap().objective;
-        let mut opts = SimplexOptions::default();
-        opts.pricing = Pricing::Bland;
+        let opts = SimplexOptions { pricing: Pricing::Bland, ..Default::default() };
         let b = build().solve_with(&opts).unwrap().objective;
         assert!(close(a, b), "{a} vs {b}");
         assert!(close(a, -0.05), "expected Beale optimum -0.05, got {a}");

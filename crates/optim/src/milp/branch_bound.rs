@@ -1,5 +1,6 @@
 //! Depth-first branch and bound over simplex relaxations.
 
+use crate::budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
 use crate::lp::{LpProblem, Sense, SimplexOptions, VarId};
 use crate::milp::problem::{MilpProblem, MilpSolution};
 use crate::OptimError;
@@ -54,6 +55,22 @@ fn from_internal(sense: Sense, obj: f64) -> f64 {
 }
 
 pub(crate) fn solve(milp: &MilpProblem, options: &MilpOptions) -> Result<MilpSolution, OptimError> {
+    match solve_budgeted(milp, options, &SolveBudget::unlimited())? {
+        SolveOutcome::Solved(sol) => Ok(sol),
+        SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
+    }
+}
+
+/// Budgeted branch and bound. The budget is checked before each node pop
+/// *and* threaded into every node relaxation, so a single pathological LP
+/// cannot blow through the deadline. A trip returns the incumbent (if any)
+/// plus the frontier bound, exactly like the node-limit path, but typed as
+/// [`SolveOutcome::Partial`] instead of an error.
+pub(crate) fn solve_budgeted(
+    milp: &MilpProblem,
+    options: &MilpOptions,
+    budget: &SolveBudget,
+) -> Result<SolveOutcome<MilpSolution>, OptimError> {
     let sense = milp.lp.sense();
     let mut lp: LpProblem = milp.lp.clone();
     for &v in &milp.integers {
@@ -72,12 +89,20 @@ pub(crate) fn solve(milp: &MilpProblem, options: &MilpOptions) -> Result<MilpSol
         .unwrap_or(f64::INFINITY);
     let mut nodes = 0usize;
     let mut lp_iterations = 0usize;
+    let mut tripped: Option<BudgetTripped> = None;
     let mut stack = vec![Node { overrides: Vec::new(), bound: f64::NEG_INFINITY }];
 
     while let Some(node) = stack.pop() {
         // Bound-based pruning against the incumbent (or hint).
         if node.bound >= incumbent_cut - options.gap_abs {
             continue;
+        }
+        if !budget.is_unlimited() {
+            if let Some(t) = budget.node_tripped(nodes) {
+                stack.push(node);
+                tripped = Some(t);
+                break;
+            }
         }
         if nodes >= options.max_nodes {
             // Push the node back so the remaining frontier is reflected in
@@ -99,13 +124,21 @@ pub(crate) fn solve(milp: &MilpProblem, options: &MilpOptions) -> Result<MilpSol
         for &(v, l, u) in &node.overrides {
             lp.set_bounds(v, l, u);
         }
-        let result = lp.solve_with(&options.simplex);
+        let result = lp.solve_budgeted(&options.simplex, &budget.wall_only());
         for &(v, l, u) in &saved {
             lp.set_bounds(v, l, u);
         }
 
         let sol = match result {
-            Ok(s) => s,
+            Ok(SolveOutcome::Solved(s)) => s,
+            Ok(SolveOutcome::Partial(p)) => {
+                // The node relaxation hit the shared deadline mid-solve: put
+                // the node back as unexplored frontier and stop the sweep.
+                lp_iterations += p.iterations;
+                stack.push(node);
+                tripped = Some(p.tripped);
+                break;
+            }
             Err(OptimError::Infeasible) => continue,
             Err(OptimError::Unbounded) => {
                 // An unbounded relaxation at any node means the MILP cannot
@@ -127,7 +160,7 @@ pub(crate) fn solve(milp: &MilpProblem, options: &MilpOptions) -> Result<MilpSol
             let frac = (val - val.round()).abs();
             if frac > options.int_tol {
                 let dist = (val - val.floor()).min(val.ceil() - val);
-                if branch.map_or(true, |(_, _, best)| dist > best) {
+                if branch.is_none_or(|(_, _, best)| dist > best) {
                     branch = Some((v, val, dist));
                 }
             }
@@ -189,10 +222,21 @@ pub(crate) fn solve(milp: &MilpProblem, options: &MilpOptions) -> Result<MilpSol
         .fold(f64::INFINITY, f64::min)
         .min(incumbent_cut);
 
+    if let Some(t) = tripped {
+        return Ok(SolveOutcome::Partial(Partial {
+            tripped: t,
+            x: incumbent.as_ref().map(|(x, _)| x.clone()),
+            objective: incumbent.as_ref().map(|&(_, o)| from_internal(sense, o)),
+            bound: Some(from_internal(sense, frontier_bound)),
+            iterations: lp_iterations,
+            nodes,
+        }));
+    }
+
     match incumbent {
         Some((x, internal_obj)) => {
             let proved = stack.is_empty() || frontier_bound >= incumbent_cut - options.gap_abs;
-            Ok(MilpSolution {
+            Ok(SolveOutcome::Solved(MilpSolution {
                 objective: from_internal(sense, internal_obj),
                 best_bound: from_internal(
                     sense,
@@ -202,7 +246,7 @@ pub(crate) fn solve(milp: &MilpProblem, options: &MilpOptions) -> Result<MilpSol
                 proved_optimal: proved,
                 nodes,
                 lp_iterations,
-            })
+            }))
         }
         None => {
             if stack.is_empty() {
@@ -283,8 +327,8 @@ mod tests {
         let c = lp.add_var(0.0, 1.0, 3.0);
         lp.add_row(Row::le(4.0).coef(a, 2.0).coef(b, 3.0).coef(c, 1.0));
         let milp = MilpProblem::new(lp, vec![a, b, c]);
-        let mut opts = MilpOptions::default();
-        opts.incumbent_hint = Some(7.0); // valid lower bound on the max
+        // The hint is a valid lower bound on the max.
+        let opts = MilpOptions { incumbent_hint: Some(7.0), ..Default::default() };
         let sol = milp.solve_with(&opts).unwrap();
         assert!((sol.objective - 8.0).abs() < 1e-6);
     }
@@ -299,8 +343,8 @@ mod tests {
         let row = vars.iter().fold(Row::le(5.5), |r, &v| r.coef(v, 1.0));
         lp.add_row(row);
         let milp = MilpProblem::new(lp, vars);
-        let mut opts = MilpOptions::default();
-        opts.max_nodes = 1; // root only; root is fractional
+        // Root only; the root relaxation is fractional.
+        let opts = MilpOptions { max_nodes: 1, ..Default::default() };
         let res = milp.solve_with(&opts);
         assert!(matches!(res, Err(OptimError::NodeLimit { .. })), "{res:?}");
     }

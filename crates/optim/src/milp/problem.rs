@@ -1,5 +1,6 @@
 //! MILP model and solution types.
 
+use crate::budget::{SolveBudget, SolveOutcome};
 use crate::lp::{LpProblem, VarId};
 use crate::milp::branch_bound::{self, MilpOptions};
 use crate::OptimError;
@@ -81,5 +82,24 @@ impl MilpProblem {
     /// Same as [`MilpProblem::solve`].
     pub fn solve_with(&self, options: &MilpOptions) -> Result<MilpSolution, OptimError> {
         branch_bound::solve(self, options)
+    }
+
+    /// Solves under a cooperative [`SolveBudget`]. Hitting the node cap or
+    /// the wall-clock deadline returns [`SolveOutcome::Partial`] carrying
+    /// the best integer incumbent found (if any) and the frontier bound —
+    /// the same information the node-limit error path reports, but as a
+    /// typed degraded outcome usable by fallback logic. The deadline is
+    /// also threaded into every node relaxation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MilpProblem::solve`], minus the limit-as-error cases the
+    /// budget converts into partial outcomes.
+    pub fn solve_budgeted(
+        &self,
+        options: &MilpOptions,
+        budget: &SolveBudget,
+    ) -> Result<SolveOutcome<MilpSolution>, OptimError> {
+        branch_bound::solve_budgeted(self, options, budget)
     }
 }

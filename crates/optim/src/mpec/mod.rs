@@ -30,6 +30,7 @@
 //! # }
 //! ```
 
+use crate::budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
 use crate::lp::{LpProblem, Sense, SimplexOptions, VarId};
 use crate::OptimError;
 
@@ -156,6 +157,27 @@ impl MpecProblem {
     ///
     /// Same as [`MpecProblem::solve`].
     pub fn solve_with(&self, options: &MpecOptions) -> Result<MpecSolution, OptimError> {
+        match self.solve_budgeted(options, &SolveBudget::unlimited())? {
+            SolveOutcome::Solved(sol) => Ok(sol),
+            SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
+        }
+    }
+
+    /// Solves under a cooperative [`SolveBudget`]. A node-cap or deadline
+    /// trip returns [`SolveOutcome::Partial`] with the best
+    /// complementarity-feasible incumbent (if any) and the frontier bound;
+    /// the deadline is also threaded into each node relaxation so one slow
+    /// LP cannot overshoot it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MpecProblem::solve`], minus the limit cases the budget
+    /// converts into partial outcomes.
+    pub fn solve_budgeted(
+        &self,
+        options: &MpecOptions,
+        budget: &SolveBudget,
+    ) -> Result<SolveOutcome<MpecSolution>, OptimError> {
         let sense = self.lp.sense();
         for &(a, b) in &self.pairs {
             for v in [a, b] {
@@ -184,11 +206,19 @@ impl MpecProblem {
             .unwrap_or(f64::INFINITY);
         let mut nodes = 0usize;
         let mut lp_iterations = 0usize;
+        let mut tripped: Option<BudgetTripped> = None;
         let mut stack = vec![Node { fixed: Vec::new(), bound: f64::NEG_INFINITY }];
 
         while let Some(node) = stack.pop() {
             if node.bound >= incumbent_cut - options.gap_abs {
                 continue;
+            }
+            if !budget.is_unlimited() {
+                if let Some(t) = budget.node_tripped(nodes) {
+                    stack.push(node);
+                    tripped = Some(t);
+                    break;
+                }
             }
             if nodes >= options.max_nodes {
                 stack.push(node);
@@ -207,13 +237,21 @@ impl MpecProblem {
             for &v in &node.fixed {
                 lp.set_bounds(v, 0.0, 0.0);
             }
-            let result = lp.solve_with(&options.simplex);
+            let result = lp.solve_budgeted(&options.simplex, &budget.wall_only());
             for &(v, l, u) in &saved {
                 lp.set_bounds(v, l, u);
             }
 
             let sol = match result {
-                Ok(s) => s,
+                Ok(SolveOutcome::Solved(s)) => s,
+                Ok(SolveOutcome::Partial(p)) => {
+                    // The node relaxation hit the shared deadline: return the
+                    // node to the frontier and stop the sweep.
+                    lp_iterations += p.iterations;
+                    stack.push(node);
+                    tripped = Some(p.tripped);
+                    break;
+                }
                 Err(OptimError::Infeasible) => continue,
                 Err(OptimError::Unbounded) => return Err(OptimError::Unbounded),
                 Err(e) => return Err(e),
@@ -254,11 +292,22 @@ impl MpecProblem {
             .fold(f64::INFINITY, f64::min)
             .min(incumbent_cut);
 
+        if let Some(t) = tripped {
+            return Ok(SolveOutcome::Partial(Partial {
+                tripped: t,
+                x: incumbent.as_ref().map(|(x, _)| x.clone()),
+                objective: incumbent.as_ref().map(|&(_, o)| to_internal(sense, o)),
+                bound: Some(to_internal(sense, frontier_bound)),
+                iterations: lp_iterations,
+                nodes,
+            }));
+        }
+
         match incumbent {
             Some((x, internal_obj)) => {
                 let proved =
                     stack.is_empty() || frontier_bound >= incumbent_cut - options.gap_abs;
-                Ok(MpecSolution {
+                Ok(SolveOutcome::Solved(MpecSolution {
                     objective: to_internal(sense, internal_obj),
                     best_bound: to_internal(
                         sense,
@@ -268,7 +317,7 @@ impl MpecProblem {
                     proved_optimal: proved,
                     nodes,
                     lp_iterations,
-                })
+                }))
             }
             None => {
                 if stack.is_empty() {
@@ -347,8 +396,7 @@ mod tests {
         let y = lp.add_var(0.0, 2.0, 1.0);
         lp.add_row(Row::le(3.0).coef(x, 1.0).coef(y, 1.0));
         let mpec = MpecProblem::new(lp, vec![(x, y)]);
-        let mut opts = MpecOptions::default();
-        opts.incumbent_hint = Some(1.5);
+        let opts = MpecOptions { incumbent_hint: Some(1.5), ..Default::default() };
         let sol = mpec.solve_with(&opts).unwrap();
         assert!((sol.objective - 2.0).abs() < 1e-7);
     }

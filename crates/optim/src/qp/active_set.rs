@@ -1,5 +1,6 @@
 //! Primal active-set method for convex QP.
 
+use crate::budget::{Partial, SolveBudget, SolveOutcome};
 use crate::lp::{LpProblem, Row};
 use crate::qp::problem::{QpProblem, QpSolution};
 use crate::OptimError;
@@ -71,12 +72,10 @@ fn feasible_start(qp: &QpProblem) -> Result<Vec<f64>, OptimError> {
 ///
 /// Returns `(p, eq_duals, w_duals)` where `p` minimizes the quadratic model
 /// subject to `A_eq p = 0` and `a_i' p = 0` for `i` in `w`.
-fn eqp_step(
-    qp: &QpProblem,
-    x: &[f64],
-    w: &[usize],
-    reg: f64,
-) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>), OptimError> {
+/// `(step direction, equality duals, working-set duals)` from one KKT solve.
+type EqpStep = (Vec<f64>, Vec<f64>, Vec<f64>);
+
+fn eqp_step(qp: &QpProblem, x: &[f64], w: &[usize], reg: f64) -> Result<EqpStep, OptimError> {
     let n = qp.n;
     let me = qp.a_eq.len();
     let mw = w.len();
@@ -125,12 +124,34 @@ fn eqp_step(
 /// breaks the ties, and the perturbed optimum is within the perturbation
 /// magnitude of the true one).
 pub(crate) fn solve(qp: &QpProblem, options: &QpOptions) -> Result<QpSolution, OptimError> {
-    match solve_once(qp, options) {
-        Ok(sol) => Ok(sol),
-        Err(OptimError::IterationLimit { .. }) | Err(OptimError::Numerical { .. }) => {
+    match solve_budgeted(qp, options, &SolveBudget::unlimited())? {
+        SolveOutcome::Solved(sol) => Ok(sol),
+        SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
+    }
+}
+
+/// Budgeted entry point (used by [`QpProblem::solve_budgeted`]). A budget
+/// trip mid-iteration returns the current iterate, which the active-set
+/// method keeps primal feasible throughout — so the partial incumbent is
+/// always usable as a dispatch.
+pub(crate) fn solve_budgeted(
+    qp: &QpProblem,
+    options: &QpOptions,
+    budget: &SolveBudget,
+) -> Result<SolveOutcome<QpSolution>, OptimError> {
+    match solve_once(qp, options, budget) {
+        Ok(out) => Ok(out),
+        Err(first @ (OptimError::IterationLimit { .. } | OptimError::Numerical { .. })) => {
             let scale = 1.0 + ed_linalg::norm_inf(&qp.b_in);
-            let mut last_err = None;
+            let mut last_err = first;
             for magnitude in [1e-7, 1e-5] {
+                if let Some(tripped) = budget.wall_tripped() {
+                    // No time left for perturbation retries: surface the best
+                    // feasible iterate the failed pass retained, if any.
+                    return Ok(SolveOutcome::Partial(partial_from_limit(
+                        qp, &last_err, tripped, options,
+                    )));
+                }
                 let mut perturbed = qp.clone();
                 // Deterministic per-row jitter (splitmix-style hash).
                 for (i, b) in perturbed.b_in.iter_mut().enumerate() {
@@ -140,23 +161,55 @@ pub(crate) fn solve(qp: &QpProblem, options: &QpOptions) -> Result<QpSolution, O
                     let u = ((z >> 11) as f64) / (1u64 << 53) as f64; // [0,1)
                     *b += magnitude * scale * (0.5 + u);
                 }
-                match solve_once(&perturbed, options) {
-                    Ok(sol) => {
-                        return Ok(QpSolution {
+                match solve_once(&perturbed, options, budget) {
+                    Ok(SolveOutcome::Solved(sol)) => {
+                        return Ok(SolveOutcome::Solved(QpSolution {
                             objective: qp.objective_value(&sol.x),
                             ..sol
-                        })
+                        }))
                     }
-                    Err(e) => last_err = Some(e),
+                    Ok(SolveOutcome::Partial(mut p)) => {
+                        // Re-price the perturbed iterate on the true problem.
+                        p.objective = p.x.as_deref().map(|x| qp.objective_value(x));
+                        return Ok(SolveOutcome::Partial(p));
+                    }
+                    Err(e) => last_err = e,
                 }
             }
-            Err(last_err.expect("at least one retry ran"))
+            Err(last_err)
         }
         Err(e) => Err(e),
     }
 }
 
-fn solve_once(qp: &QpProblem, options: &QpOptions) -> Result<QpSolution, OptimError> {
+/// Builds a [`Partial`] from a failed pass, recovering the feasible
+/// incumbent an [`OptimError::IterationLimit`] now carries.
+fn partial_from_limit(
+    qp: &QpProblem,
+    err: &OptimError,
+    tripped: crate::budget::BudgetTripped,
+    options: &QpOptions,
+) -> Partial {
+    let x = match err {
+        OptimError::IterationLimit { incumbent, .. } => incumbent.clone(),
+        _ => None,
+    };
+    let objective = x.as_deref().map(|x| qp.objective_value(x));
+    Partial {
+        tripped,
+        x,
+        objective,
+        bound: None,
+        iterations: options.max_iterations,
+        nodes: 0,
+    }
+}
+
+fn solve_once(
+    qp: &QpProblem,
+    options: &QpOptions,
+    budget: &SolveBudget,
+) -> Result<SolveOutcome<QpSolution>, OptimError> {
     let n = qp.n;
     let mut x = feasible_start(qp)?;
     debug_assert!(qp.infeasibility(&x) <= 1e-6, "phase-1 start infeasible");
@@ -178,8 +231,26 @@ fn solve_once(qp: &QpProblem, options: &QpOptions) -> Result<QpSolution, OptimEr
     // can oscillate between adding and dropping the same row.
     let mut blocked_readd: Option<usize> = None;
     loop {
+        if !budget.is_unlimited() {
+            if let Some(tripped) = budget.iter_tripped(iterations) {
+                // Active-set iterates stay primal feasible: the current x is
+                // a usable (suboptimal) dispatch, not garbage.
+                let objective = qp.objective_value(&x);
+                return Ok(SolveOutcome::Partial(Partial {
+                    tripped,
+                    x: Some(x),
+                    objective: Some(objective),
+                    bound: None,
+                    iterations,
+                    nodes: 0,
+                }));
+            }
+        }
         if iterations >= options.max_iterations {
-            return Err(OptimError::IterationLimit { limit: options.max_iterations });
+            return Err(OptimError::IterationLimit {
+                limit: options.max_iterations,
+                incumbent: Some(x),
+            });
         }
         iterations += 1;
 
@@ -194,7 +265,7 @@ fn solve_once(qp: &QpProblem, options: &QpOptions) -> Result<QpSolution, OptimEr
             Err(e) => return Err(e),
         };
 
-        if std::env::var_os("ED_QP_TRACE").is_some() && iterations % 50 == 0 {
+        if std::env::var_os("ED_QP_TRACE").is_some() && iterations.is_multiple_of(50) {
             eprintln!(
                 "iter {iterations}: |W|={} obj={:.6}",
                 w.len(),
@@ -219,14 +290,14 @@ fn solve_once(qp: &QpProblem, options: &QpOptions) -> Result<QpSolution, OptimEr
                     ineq_duals[wi] = w_duals[k].max(0.0);
                 }
                 let objective = qp.objective_value(&x);
-                return Ok(QpSolution {
+                return Ok(SolveOutcome::Solved(QpSolution {
                     x,
                     objective,
                     eq_duals,
                     ineq_duals,
                     active_set: w,
                     iterations,
-                });
+                }));
             }
             // Drop the most negative multiplier and continue.
             let dropped = w.remove(min_idx.expect("checked above"));

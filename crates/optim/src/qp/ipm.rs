@@ -12,6 +12,7 @@
 //! `(x, y)` block, a fraction-to-boundary step rule, and a fixed centering
 //! parameter.
 
+use crate::budget::{Partial, SolveBudget, SolveOutcome};
 use crate::qp::problem::{QpProblem, QpSolution};
 use crate::OptimError;
 use ed_linalg::{dot, Lu, Matrix};
@@ -43,6 +44,20 @@ impl Default for IpmOptions {
 ///   infeasibility detection).
 /// - [`OptimError::IterationLimit`] / [`OptimError::Numerical`] otherwise.
 pub(crate) fn solve(qp: &QpProblem, options: &IpmOptions) -> Result<QpSolution, OptimError> {
+    match solve_budgeted(qp, options, &SolveBudget::unlimited())? {
+        SolveOutcome::Solved(sol) => Ok(sol),
+        SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
+    }
+}
+
+/// Budgeted interior-point solve. Interior iterates are **not** primal
+/// feasible, so a budget trip returns `x: None` — callers must fall back to
+/// another rung rather than dispatch a half-converged interior point.
+pub(crate) fn solve_budgeted(
+    qp: &QpProblem,
+    options: &IpmOptions,
+    budget: &SolveBudget,
+) -> Result<SolveOutcome<QpSolution>, OptimError> {
     let n = qp.n;
     let me = qp.a_eq.len();
     let mi = qp.a_in.len();
@@ -53,14 +68,14 @@ pub(crate) fn solve(qp: &QpProblem, options: &IpmOptions) -> Result<QpSolution, 
         })?;
         let x = lu.solve(&qp.c.iter().map(|c| -c).collect::<Vec<_>>())?;
         let objective = qp.objective_value(&x);
-        return Ok(QpSolution {
+        return Ok(SolveOutcome::Solved(QpSolution {
             x,
             objective,
             eq_duals: Vec::new(),
             ineq_duals: Vec::new(),
             active_set: Vec::new(),
             iterations: 1,
-        });
+        }));
     }
 
     let scale = 1.0
@@ -79,6 +94,18 @@ pub(crate) fn solve(qp: &QpProblem, options: &IpmOptions) -> Result<QpSolution, 
     let mut lam = vec![1.0; mi];
 
     for iter in 0..options.max_iterations {
+        if !budget.is_unlimited() {
+            if let Some(tripped) = budget.iter_tripped(iter) {
+                return Ok(SolveOutcome::Partial(Partial {
+                    tripped,
+                    x: None, // interior iterates are not primal feasible
+                    objective: None,
+                    bound: None,
+                    iterations: iter,
+                    nodes: 0,
+                }));
+            }
+        }
         // Residuals.
         let hx = qp.h.matvec(&x)?;
         let mut r_d: Vec<f64> = (0..n).map(|j| hx[j] + qp.c[j]).collect();
@@ -116,14 +143,14 @@ pub(crate) fn solve(qp: &QpProblem, options: &IpmOptions) -> Result<QpSolution, 
                 .filter(|&i| s[i] <= 1e-6 * scale.max(1.0))
                 .collect();
             let objective = qp.objective_value(&x);
-            return Ok(QpSolution {
+            return Ok(SolveOutcome::Solved(QpSolution {
                 x,
                 objective,
                 eq_duals: y,
                 ineq_duals: lam,
                 active_set,
                 iterations: iter + 1,
-            });
+            }));
         }
         // Practical infeasibility: multipliers blowing up with a stubborn
         // primal residual.
@@ -210,7 +237,9 @@ pub(crate) fn solve(qp: &QpProblem, options: &IpmOptions) -> Result<QpSolution, 
             lam[i] += alpha * dl[i];
         }
     }
-    Err(OptimError::IterationLimit { limit: options.max_iterations })
+    // No feasible incumbent to attach: interior iterates violate the
+    // constraints until convergence.
+    Err(OptimError::IterationLimit { limit: options.max_iterations, incumbent: None })
 }
 
 #[cfg(test)]
@@ -276,8 +305,7 @@ mod tests {
         qp.set_quadratic_diag(&[2.0, 2.0]);
         qp.set_linear(&[-2.0, -2.0]);
         qp.add_ineq(&[1.0, 0.0], 0.5);
-        let mut opts = QpOptions::default();
-        opts.method = QpMethod::InteriorPoint;
+        let opts = QpOptions { method: QpMethod::InteriorPoint, ..Default::default() };
         let s = qp.solve_with(&opts).unwrap();
         assert!((s.x[0] - 0.5).abs() < 1e-6 && (s.x[1] - 1.0).abs() < 1e-6);
     }

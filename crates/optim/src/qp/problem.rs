@@ -1,5 +1,6 @@
 //! QP model and solution types.
 
+use crate::budget::{SolveBudget, SolveOutcome};
 use crate::qp::active_set::{self, QpOptions};
 use crate::OptimError;
 use ed_linalg::Matrix;
@@ -216,6 +217,49 @@ impl QpProblem {
                 // interior-point method; genuine infeasibility does not.
                 Err(OptimError::IterationLimit { .. }) | Err(OptimError::Numerical { .. }) => {
                     crate::qp::ipm::solve(self, &options.ipm)
+                }
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    /// Solves under a cooperative [`SolveBudget`]. Exhausting the budget
+    /// returns [`SolveOutcome::Partial`]: for the active-set method the
+    /// partial carries the current (feasible) iterate; interior-point
+    /// partials carry `x: None` because mid-run interior iterates violate
+    /// the constraints. Under [`crate::qp::QpMethod::Auto`], a stalled
+    /// active-set pass falls through to the interior-point method only if
+    /// wall-clock budget remains, and the active-set incumbent is kept when
+    /// the fallback cannot finish either.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QpProblem::solve`], except budget exhaustion is reported
+    /// as a partial outcome rather than an error.
+    pub fn solve_budgeted(
+        &self,
+        options: &QpOptions,
+        budget: &SolveBudget,
+    ) -> Result<SolveOutcome<QpSolution>, OptimError> {
+        use crate::qp::QpMethod;
+        match options.method {
+            QpMethod::ActiveSet => active_set::solve_budgeted(self, options, budget),
+            QpMethod::InteriorPoint => crate::qp::ipm::solve_budgeted(self, &options.ipm, budget),
+            QpMethod::Auto => match active_set::solve_budgeted(self, options, budget) {
+                Ok(SolveOutcome::Solved(sol)) => Ok(SolveOutcome::Solved(sol)),
+                Ok(SolveOutcome::Partial(p)) => {
+                    if budget.wall_tripped().is_some() {
+                        return Ok(SolveOutcome::Partial(p));
+                    }
+                    match crate::qp::ipm::solve_budgeted(self, &options.ipm, budget) {
+                        Ok(SolveOutcome::Solved(sol)) => Ok(SolveOutcome::Solved(sol)),
+                        // The active-set partial carries a feasible iterate;
+                        // prefer it over an infeasible interior partial.
+                        _ => Ok(SolveOutcome::Partial(p)),
+                    }
+                }
+                Err(OptimError::IterationLimit { .. }) | Err(OptimError::Numerical { .. }) => {
+                    crate::qp::ipm::solve_budgeted(self, &options.ipm, budget)
                 }
                 Err(e) => Err(e),
             },

@@ -127,11 +127,28 @@ impl NetworkBuilder {
     /// violated invariant.
     pub fn build(self) -> Result<Network, PowerflowError> {
         let invalid = |what: String| Err(PowerflowError::InvalidNetwork { what });
-        if self.base_mva <= 0.0 {
-            return invalid(format!("base MVA must be positive, got {}", self.base_mva));
+        // NaN passes every `<= 0.0` style comparison, so finiteness is
+        // checked explicitly throughout — a NaN smuggled into a rating or
+        // susceptance must die here, not in a solver factorization.
+        if !self.base_mva.is_finite() || self.base_mva <= 0.0 {
+            return invalid(format!("base MVA must be positive and finite, got {}", self.base_mva));
         }
         if self.buses.is_empty() {
             return invalid("network has no buses".to_string());
+        }
+        for (i, bus) in self.buses.iter().enumerate() {
+            if !bus.demand_mw.is_finite() || !bus.demand_mvar.is_finite() {
+                return invalid(format!(
+                    "bus {i} has non-finite demand ({}, {})",
+                    bus.demand_mw, bus.demand_mvar
+                ));
+            }
+            if !bus.voltage_setpoint_pu.is_finite() || bus.voltage_setpoint_pu <= 0.0 {
+                return invalid(format!(
+                    "bus {i} has bad voltage setpoint {}",
+                    bus.voltage_setpoint_pu
+                ));
+            }
         }
         let slack_count = self.buses.iter().filter(|b| b.kind == BusKind::Slack).count();
         if slack_count != 1 {
@@ -148,27 +165,58 @@ impl NetworkBuilder {
             if line.from == line.to {
                 return invalid(format!("line {i} is a self-loop at bus {}", line.from.0));
             }
-            if line.reactance_pu <= 0.0 {
-                return invalid(format!("line {i} has non-positive reactance {}", line.reactance_pu));
+            if !line.reactance_pu.is_finite() || line.reactance_pu <= 0.0 {
+                return invalid(format!(
+                    "line {i} has non-positive or non-finite reactance {}",
+                    line.reactance_pu
+                ));
             }
-            if line.resistance_pu < 0.0 {
-                return invalid(format!("line {i} has negative resistance {}", line.resistance_pu));
+            if !line.resistance_pu.is_finite() || line.resistance_pu < 0.0 {
+                return invalid(format!(
+                    "line {i} has negative or non-finite resistance {}",
+                    line.resistance_pu
+                ));
             }
-            if line.rating_mva <= 0.0 {
-                return invalid(format!("line {i} has non-positive rating {}", line.rating_mva));
+            if !line.rating_mva.is_finite() || line.rating_mva <= 0.0 {
+                return invalid(format!(
+                    "line {i} has non-positive or non-finite rating {}",
+                    line.rating_mva
+                ));
+            }
+            if !line.charging_pu.is_finite() || line.charging_pu < 0.0 {
+                return invalid(format!(
+                    "line {i} has negative or non-finite charging {}",
+                    line.charging_pu
+                ));
             }
         }
         for (i, g) in self.gens.iter().enumerate() {
             if g.bus.0 >= n {
                 return invalid(format!("generator {i} references a bus out of range"));
             }
-            if g.pmin_mw > g.pmax_mw {
-                return invalid(format!("generator {i} has pmin {} > pmax {}", g.pmin_mw, g.pmax_mw));
+            if !g.pmin_mw.is_finite() || !g.pmax_mw.is_finite() || g.pmin_mw > g.pmax_mw {
+                return invalid(format!(
+                    "generator {i} has bad limits [{}, {}]",
+                    g.pmin_mw, g.pmax_mw
+                ));
+            }
+            if !g.qmin_mvar.is_finite() || !g.qmax_mvar.is_finite() || g.qmin_mvar > g.qmax_mvar {
+                return invalid(format!(
+                    "generator {i} has bad reactive limits [{}, {}]",
+                    g.qmin_mvar, g.qmax_mvar
+                ));
+            }
+            let c = &g.cost;
+            if !c.a.is_finite() || !c.b.is_finite() || !c.c.is_finite() || c.a < 0.0 {
+                return invalid(format!(
+                    "generator {i} has bad cost curve ({}, {}, {})",
+                    c.a, c.b, c.c
+                ));
             }
         }
         // Connectivity (union-find).
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
             while parent[i] != i {
                 parent[i] = parent[parent[i]];
                 i = parent[i];
@@ -245,6 +293,50 @@ mod tests {
         b.add_line(b1, b2, 0.01, 0.1, 0.0);
         b.add_gen(b1, 0.0, 50.0, CostCurve::linear(1.0));
         assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_rating_and_reactance() {
+        // NaN ratings slip through `<= 0.0` comparisons; the builder must
+        // catch them explicitly.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut b = NetworkBuilder::new(100.0);
+            let b1 = b.add_bus("a", BusKind::Slack, 0.0);
+            let b2 = b.add_bus("b", BusKind::Pq, 10.0);
+            b.add_line(b1, b2, 0.01, 0.1, bad);
+            b.add_gen(b1, 0.0, 50.0, CostCurve::linear(1.0));
+            assert!(
+                matches!(b.build(), Err(PowerflowError::InvalidNetwork { ref what }) if what.contains("rating")),
+                "rating {bad} must be rejected"
+            );
+
+            let mut b = NetworkBuilder::new(100.0);
+            let b1 = b.add_bus("a", BusKind::Slack, 0.0);
+            let b2 = b.add_bus("b", BusKind::Pq, 10.0);
+            b.add_line(b1, b2, 0.01, bad, 10.0);
+            b.add_gen(b1, 0.0, 50.0, CostCurve::linear(1.0));
+            assert!(
+                matches!(b.build(), Err(PowerflowError::InvalidNetwork { ref what }) if what.contains("reactance")),
+                "reactance {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_nan_demand_and_cost() {
+        let mut b = NetworkBuilder::new(100.0);
+        let b1 = b.add_bus("a", BusKind::Slack, 0.0);
+        let b2 = b.add_bus("b", BusKind::Pq, f64::NAN);
+        b.add_line(b1, b2, 0.01, 0.1, 10.0);
+        b.add_gen(b1, 0.0, 50.0, CostCurve::linear(1.0));
+        assert!(matches!(b.build(), Err(PowerflowError::InvalidNetwork { ref what }) if what.contains("demand")));
+
+        let mut b = NetworkBuilder::new(100.0);
+        let b1 = b.add_bus("a", BusKind::Slack, 0.0);
+        let b2 = b.add_bus("b", BusKind::Pq, 10.0);
+        b.add_line(b1, b2, 0.01, 0.1, 10.0);
+        b.add_gen(b1, 0.0, 50.0, CostCurve::linear(f64::NAN));
+        assert!(matches!(b.build(), Err(PowerflowError::InvalidNetwork { ref what }) if what.contains("cost")));
     }
 
     #[test]

@@ -1,21 +1,19 @@
 //! The transmission-network data model.
 
-use serde::{Deserialize, Serialize};
-
 /// Zero-based handle to a bus (node) of the network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BusId(pub usize);
 
 /// Zero-based handle to a transmission line (edge).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LineId(pub usize);
 
 /// Zero-based handle to a generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GenId(pub usize);
 
 /// Role of a bus in the AC power-flow formulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BusKind {
     /// Reference bus: fixed voltage magnitude and angle, absorbs the power
     /// imbalance (losses).
@@ -27,7 +25,7 @@ pub enum BusKind {
 }
 
 /// A network bus.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bus {
     /// Human-readable name (e.g. `"B3"` or `"bus-117"`).
     pub name: String,
@@ -46,7 +44,7 @@ pub struct Bus {
 /// `rating_mva` is the *static* (nameplate) line rating `u^s` of the paper;
 /// dynamic ratings are layered on by the `ed-dlr`/`ed-core` crates and never
 /// stored here.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Line {
     /// Sending-end bus.
     pub from: BusId,
@@ -71,7 +69,7 @@ impl Line {
 
 /// Convex quadratic generation cost `C(p) = a p^2 + b p + c` with `p` in MW
 /// (Eq. 3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostCurve {
     /// Quadratic coefficient in $/MW²h.
     pub a: f64,
@@ -109,7 +107,7 @@ impl CostCurve {
 }
 
 /// A dispatchable generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Generator {
     /// Bus the unit is connected to.
     pub bus: BusId,
@@ -129,7 +127,7 @@ pub struct Generator {
 ///
 /// Construct with [`crate::NetworkBuilder`]; the builder guarantees a single
 /// slack bus, positive reactances, in-range indices, and a connected graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     pub(crate) base_mva: f64,
     pub(crate) buses: Vec<Bus>,

@@ -1,0 +1,310 @@
+//! Deterministic, dependency-free pseudo-random numbers.
+//!
+//! The crate exists so the workspace builds fully offline: it mirrors the
+//! small subset of the `rand` 0.8 API the rest of the codebase uses
+//! (`StdRng::seed_from_u64`, `gen`, `gen_range`, `gen_bool`) on top of a
+//! xoshiro256** generator seeded through SplitMix64. Sequences are stable
+//! across platforms and releases — seeded experiments, synthetic cases, and
+//! the fault-injection harness all rely on that reproducibility.
+//!
+//! ```
+//! use ed_rng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x: f64 = rng.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! let again: f64 = StdRng::seed_from_u64(42).gen_range(0.0..1.0);
+//! assert_eq!(x, again);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed. Equal seeds give equal
+    /// sequences on every platform.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values that can be drawn uniformly from the generator's full range,
+/// mirroring `rand`'s `Standard` distribution for the types we use.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+/// Ranges that can be sampled uniformly, mirroring `rand`'s
+/// `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand`'s contract.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+/// Convenience methods over a generator, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value over the type's full range (`Standard`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample(self.as_std_rng())
+    }
+
+    /// A uniform value in `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: AsStdRng,
+    {
+        range.sample_from(self.as_std_rng())
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: AsStdRng,
+    {
+        assert!((0.0..=1.0).contains(&p), "p = {p} out of [0, 1]");
+        self.as_std_rng().next_f64() < p
+    }
+}
+
+/// Access to the concrete generator backing a [`Rng`] — the crate ships a
+/// single generator type, so the trait methods can stay non-generic.
+pub trait AsStdRng {
+    /// The underlying [`StdRng`].
+    fn as_std_rng(&mut self) -> &mut StdRng;
+}
+
+/// The crate's generator: xoshiro256** with SplitMix64 seeding.
+///
+/// Not cryptographically secure; statistically solid and fast, which is all
+/// simulation and test generation need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// Module alias so `use ed_rng::rngs::StdRng` mirrors `rand::rngs::StdRng`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl StdRng {
+    fn next_raw(&mut self) -> u64 {
+        let out = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniform f64 in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform u64 in `[0, bound)` via Lemire's multiply-shift with
+    /// rejection (no modulo bias).
+    fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let v = self.next_raw();
+            let hi = ((v as u128 * bound as u128) >> 64) as u64;
+            let lo = (v as u128 * bound as u128) as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+}
+
+impl AsStdRng for StdRng {
+    fn as_std_rng(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+impl Standard for u8 {
+    fn sample(rng: &mut StdRng) -> u8 {
+        (rng.next_raw() >> 56) as u8
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> u32 {
+        (rng.next_raw() >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_raw()
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_raw() & 1 == 1
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        let span = self.end - self.start;
+        assert!(span.is_finite(), "non-finite range {:?}", self);
+        self.start + rng.next_f64() * span
+    }
+}
+
+macro_rules! int_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.next_below(span) as $t
+            }
+        }
+    };
+}
+
+int_range!(usize);
+int_range!(u64);
+int_range!(u32);
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample_from(self, rng: &mut StdRng) -> i64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        let span = (self.end as u64).wrapping_sub(self.start as u64);
+        self.start.wrapping_add(rng.next_below(span) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = StdRng::seed_from_u64(8).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn usize_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_interval_mean_is_half() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn standard_u8_covers_bytes() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            let b: u8 = r.gen();
+            seen[b as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(6);
+        let _ = r.gen_range(5usize..5);
+    }
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repo verification gate: release build, full test suite, clippy-clean.
+#
+# Usage: scripts/verify.sh [timeout-seconds]
+#
+# The whole run is bounded by a wall-clock timeout (default 1800 s) so a
+# hung solver or test can never wedge CI — a timeout is a failure, loudly.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIMEOUT_S="${1:-1800}"
+
+run() {
+    echo "==> $*"
+    # Capture the status without `if !` — negation would reset $? to 0.
+    local status=0
+    timeout --signal=TERM --kill-after=30 "$TIMEOUT_S" "$@" || status=$?
+    if [ "$status" -ne 0 ]; then
+        if [ "$status" -ge 124 ]; then
+            echo "FAILED: '$*' exceeded the ${TIMEOUT_S}s wall-clock budget" >&2
+        else
+            echo "FAILED: '$*' exited with status $status" >&2
+        fi
+        exit "$status"
+    fi
+}
+
+# Offline everywhere: the workspace has no external dependencies and the
+# build must not reach for a network that CI may not have.
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

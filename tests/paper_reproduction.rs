@@ -71,6 +71,7 @@ fn bigm_equals_mpec_across_instances() {
             solver: BilevelSolver::BigM { big_m: 1e5 },
             node_limit: 100_000,
             use_heuristic: true,
+            ..Default::default()
         };
         let bigm = optimal_attack(&net, &config).unwrap();
         config.options.solver = BilevelSolver::Mpec;

@@ -1,0 +1,265 @@
+//! Cross-crate resilience suite: every injected fault class must end in a
+//! typed outcome — no panic, no aborted Algorithm 1 sweep — and solve
+//! budgets must actually bound wall-clock time.
+
+use ed_security::cases::{synthetic, SyntheticConfig};
+use ed_security::core::attack::{optimal_attack, optimal_attack_with, AttackConfig};
+use ed_security::core::dispatch::{DispatchRung, ResilientDispatcher};
+use ed_security::core::{CoreError, SolveBudget};
+use ed_security::ems::fault::{run_faulted_cycle, FaultKind, FaultPlan, RetryPolicy};
+use ed_security::ems::EmsPackage;
+use ed_security::powerflow::LineId;
+use ed_rng::{Rng, SeedableRng, StdRng};
+use std::time::{Duration, Instant};
+
+/// Randomized degenerate/congested inputs through the fallback ladder:
+/// the contract is a dispatch or a typed error, never a panic.
+#[test]
+fn ladder_never_panics_on_randomized_degenerate_inputs() {
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(0x1ADD_E200 ^ seed);
+        let buses = 6 + (seed as usize % 10);
+        let net = synthetic(&SyntheticConfig {
+            buses,
+            // Keep the count within what the generator can build: at least
+            // `buses` (ring backbone), at most the distinct bus pairs.
+            lines: (8 + (seed as usize % 12)).max(buses).min(buses * (buses - 1) / 2),
+            gens: 2 + (seed as usize % 3),
+            total_demand_mw: 150.0 + 40.0 * (seed as f64),
+            capacity_margin: 1.1 + 0.05 * (seed % 7) as f64,
+            seed,
+        })
+        .expect("generator configs are valid");
+
+        // Corrupt the ratings vector with every kind of garbage: NaN, Inf,
+        // negatives, zeros, and near-zero chokepoints that force congestion
+        // or infeasibility.
+        let mut ratings = net.static_ratings_mva();
+        for r in ratings.iter_mut() {
+            match rng.gen_range(0usize..8) {
+                0 => *r = f64::NAN,
+                1 => *r = f64::INFINITY,
+                2 => *r = -*r,
+                3 => *r = 0.0,
+                4 => *r *= 1e-6,
+                5 => *r *= rng.gen_range(0.05..0.5),
+                _ => {}
+            }
+        }
+        // Sometimes scale demand beyond capacity (infeasible is a typed
+        // answer, not a crash).
+        let mut demand = net.demand_vector_mw();
+        if rng.gen_bool(0.3) {
+            let f = rng.gen_range(1.5..50.0);
+            for d in demand.iter_mut() {
+                *d *= f;
+            }
+        }
+        let budget = match rng.gen_range(0usize..3) {
+            0 => SolveBudget::unlimited(),
+            1 => SolveBudget::unlimited().max_iterations(rng.gen_range(0usize..20)),
+            _ => SolveBudget::with_deadline(Duration::from_micros(rng.gen_range(0u64..500))),
+        };
+
+        let mut dispatcher = ResilientDispatcher::new();
+        // Two cycles: the second may fall back to the first's last-known-good.
+        for _ in 0..2 {
+            match dispatcher.dispatch(&net, &demand, &ratings, &budget) {
+                Ok(r) => {
+                    assert_eq!(r.dispatch.p_mw.len(), net.num_gens(), "seed {seed}");
+                    assert!(
+                        r.dispatch.p_mw.iter().all(|p| p.is_finite()),
+                        "seed {seed}: non-finite dispatch on rung {:?}",
+                        r.rung
+                    );
+                }
+                Err(
+                    CoreError::DispatchInfeasible
+                    | CoreError::InvalidInput { .. }
+                    | CoreError::Optim(_)
+                    | CoreError::Powerflow(_),
+                ) => {}
+                Err(e) => panic!("seed {seed}: unexpected error class {e}"),
+            }
+        }
+    }
+}
+
+/// A sweep where some subproblems are poisoned (here: starved of
+/// branch-and-bound nodes) still reports all `2·|E_D|` outcomes, flags the
+/// poisoned ones, and keeps heuristic-backed values for them.
+#[test]
+fn poisoned_subproblems_do_not_abort_the_sweep() {
+    let net = ed_security::cases::three_bus();
+    let base = AttackConfig::new(vec![LineId(1), LineId(2)])
+        .bounds(100.0, 200.0)
+        .true_ratings(vec![130.0, 120.0]);
+
+    // Reference sweep with incumbent hints off, so branch and bound
+    // actually explores nodes (the corner-heuristic hint prunes this
+    // 3-bus case at the root, leaving nothing to starve).
+    let mut unhinted = base.clone();
+    unhinted.options.use_heuristic = false;
+    let clean = optimal_attack(&net, &unhinted).unwrap();
+    assert_eq!(clean.subproblems.len(), 4);
+    assert_eq!(clean.degraded_subproblems(), 0);
+    let max_nodes = clean.subproblems.iter().map(|s| s.nodes).max().unwrap();
+    assert!(max_nodes > 0, "unhinted sweep must branch somewhere");
+
+    // Poisoned sweep: a node budget below the hungriest subproblem's need
+    // starves at least one of them, but every (line, direction) must still
+    // be reported and the heuristic floor must hold.
+    let mut config = unhinted.clone();
+    config.options.budget = SolveBudget::unlimited().max_nodes(max_nodes - 1);
+    let poisoned = optimal_attack(&net, &config).unwrap();
+    assert_eq!(
+        poisoned.subproblems.len(),
+        4,
+        "sweep must report results for every subproblem, poisoned or not"
+    );
+    let degraded = poisoned.degraded_subproblems();
+    assert!(degraded >= 1, "at least one subproblem must be flagged");
+    assert!(
+        4 - degraded == poisoned.subproblems.iter().filter(|s| s.fault.is_none()).count(),
+        "remaining subproblems must be unflagged"
+    );
+    // The heuristic incumbent keeps the answer at the true optimum here
+    // (Table I row 1 is achieved at a corner the heuristic finds).
+    let heur = optimal_attack_with(&net, &base, false).unwrap();
+    assert!(poisoned.ucap_pct >= heur.ucap_pct - 1e-6);
+}
+
+/// A `SolveBudget` deadline on the 118-bus attack sweep is honored within
+/// 2× of the requested bound, and unsolved subproblems still carry
+/// heuristic-backed results.
+#[test]
+fn deadline_is_honored_on_118_bus_sweep() {
+    let net = ed_security::cases::ieee118_like();
+    let ratings = net.static_ratings_mva();
+    // Two DLR lines, true ratings slightly below static so there is
+    // something to violate. (Two, not more: the corner heuristic runs
+    // 2^|E_D| unbudgeted 118-bus dispatches, which dominate wall-clock in
+    // debug builds and would drown the deadline measurement.)
+    let dlr: Vec<LineId> = (0..2).map(LineId).collect();
+    let u_d: Vec<f64> = dlr.iter().map(|l| 0.9 * ratings[l.0]).collect();
+    let lo: Vec<f64> = dlr.iter().map(|l| 0.5 * ratings[l.0]).collect();
+    let hi: Vec<f64> = dlr.iter().map(|l| 2.0 * ratings[l.0]).collect();
+    let base = AttackConfig::new(dlr)
+        .bounds_per_line(lo, hi)
+        .true_ratings(u_d);
+
+    // The heuristic phase runs unbudgeted; measure it separately so the
+    // deadline assertion isolates the exact sweep.
+    let t0 = Instant::now();
+    let heuristic_only = optimal_attack_with(&net, &base, false).unwrap();
+    let heuristic_time = t0.elapsed();
+
+    let deadline = Duration::from_millis(400);
+    let mut config = base.clone();
+    config.options.budget = SolveBudget::with_deadline(deadline);
+    let t1 = Instant::now();
+    let result = optimal_attack(&net, &config).unwrap();
+    let elapsed = t1.elapsed();
+
+    assert_eq!(result.subproblems.len(), 4, "all subproblems reported");
+    assert!(
+        result.ucap_pct >= heuristic_only.ucap_pct - 1e-6,
+        "budgeted sweep must keep the heuristic floor"
+    );
+    // 2× the bound, plus the (unbudgeted) heuristic re-run inside
+    // optimal_attack and a little scheduler slack.
+    let allowed = 2 * deadline + heuristic_time + Duration::from_millis(250);
+    assert!(
+        elapsed <= allowed,
+        "sweep took {elapsed:?}, allowed {allowed:?} (deadline {deadline:?}, heuristic {heuristic_time:?})"
+    );
+}
+
+/// Every fault class of the injection harness ends the EMS cycle in a
+/// typed outcome: no panic, and the dispatcher still produces set-points
+/// whenever the plan leaves it any path at all.
+#[test]
+fn every_fault_class_yields_typed_outcome() {
+    let net = ed_security::cases::three_bus();
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("nan rating", FaultPlan::new(10).inject(FaultKind::NanRating { line: 1 })),
+        ("inf rating", FaultPlan::new(11).inject(FaultKind::InfRating { line: 2 })),
+        ("corrupted read", FaultPlan::new(12).inject(FaultKind::CorruptedRead { line: 0 })),
+        ("scan flake", FaultPlan::new(13).inject(FaultKind::ScanFlake { failures: 3 })),
+        ("solver stall", FaultPlan::new(14).inject(FaultKind::SolverStall { deadline_us: 0 })),
+        (
+            "near singular",
+            FaultPlan::new(15).inject(FaultKind::NearSingular { line: 1, factor: 1e-9 }),
+        ),
+        (
+            "everything at once",
+            FaultPlan::new(16)
+                .inject(FaultKind::NanRating { line: 0 })
+                .inject(FaultKind::CorruptedRead { line: 1 })
+                .inject(FaultKind::ScanFlake { failures: 2 })
+                .inject(FaultKind::SolverStall { deadline_us: 0 }),
+        ),
+    ];
+    for (name, plan) in plans {
+        for pkg in EmsPackage::all() {
+            match run_faulted_cycle(pkg, &net, &plan) {
+                Ok(r) => {
+                    assert!(
+                        r.dispatch.dispatch.p_mw.iter().all(|p| p.is_finite()),
+                        "{name}/{}: set-points must be finite",
+                        pkg.name()
+                    );
+                    assert!(
+                        r.ratings_used_mw.iter().all(|u| u.is_finite() && *u > 0.0),
+                        "{name}/{}: sanitization must scrub the ratings",
+                        pkg.name()
+                    );
+                }
+                Err(e) => {
+                    // Typed, printable, and only for plans that close off
+                    // every path (e.g. unrecoverable scan flakes).
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+}
+
+/// Injected scan failures are retried with backoff and succeed once the
+/// flake clears; retries are observable in the report.
+#[test]
+fn scan_retry_with_backoff_recovers() {
+    let net = ed_security::cases::three_bus();
+    let plan = FaultPlan::new(21)
+        .inject(FaultKind::ScanFlake { failures: 3 })
+        .retry_policy(RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_micros(200),
+        });
+    let r = run_faulted_cycle(EmsPackage::PowerWorld, &net, &plan).unwrap();
+    assert_eq!(r.scan_retries, 3);
+    assert!(r.sanitized_lines.is_empty());
+}
+
+/// The solver-stall fault still ends with usable set-points via the
+/// ladder's feasible incumbent or last-known-good rung.
+#[test]
+fn stalled_solver_still_issues_setpoints() {
+    let net = ed_security::cases::three_bus_with(&ed_security::cases::ThreeBusConfig {
+        quadratic: true,
+        ..Default::default()
+    });
+    let plan = FaultPlan::new(22).inject(FaultKind::SolverStall { deadline_us: 0 });
+    let r = run_faulted_cycle(EmsPackage::PowerWorld, &net, &plan).unwrap();
+    assert!(!r.dispatch.is_clean());
+    assert!(matches!(
+        r.dispatch.rung,
+        DispatchRung::ActiveSetQp | DispatchRung::LastKnownGood
+    ));
+    let total: f64 = r.dispatch.dispatch.p_mw.iter().sum();
+    assert!(
+        (total - net.total_demand_mw()).abs() < 1e-6,
+        "degraded set-points must still balance demand"
+    );
+}
