@@ -1,0 +1,138 @@
+//! Thread-scaling benchmark for the parallel Algorithm 1 sweep.
+//!
+//! Runs the exact MPEC sweep on the 118-bus-class network at 1, 2, 4, and
+//! `available_parallelism` worker threads, verifies the results are
+//! bit-identical across thread counts, and writes `BENCH_attack.json` with
+//! the measured wall clocks. The hardware thread count is recorded so
+//! numbers from a core-starved container are not mistaken for a scaling
+//! regression: on a 1-core host all thread counts time out to roughly the
+//! sequential wall clock.
+//!
+//! Run with `cargo run --release -p ed-bench --bin sweep_scaling`
+//! (or `scripts/bench_attack.sh`).
+
+use ed_bench::{congested_dlr_lines, dlr_bounds_for};
+use ed_core::attack::{optimal_attack, AttackConfig, AttackResult, BilevelOptions};
+use std::time::Instant;
+
+/// DLR lines in the sweep (2·3 = 6 subproblems — the same workload as the
+/// `ieee118_attack` example, whose exact sweep takes ~30 s in release).
+const DLR_LINES: usize = 3;
+/// Per-subproblem branch-and-bound node budget. Node caps are local and
+/// deterministic, unlike wall-clock deadlines, so the determinism check
+/// below is meaningful.
+const NODE_LIMIT: usize = 4_000;
+/// Timed repetitions per thread count (minimum wall clock is reported).
+const REPS: usize = 2;
+
+fn config_for(net: &ed_powerflow::Network, threads: usize) -> AttackConfig {
+    let dlr = congested_dlr_lines(net, DLR_LINES);
+    let (lo, hi) = dlr_bounds_for(net, &dlr);
+    let u_d: Vec<f64> = dlr.iter().map(|l| net.lines()[l.0].rating_mva).collect();
+    AttackConfig::new(dlr)
+        .bounds_per_line(lo, hi)
+        .true_ratings(u_d)
+        .solver_options(BilevelOptions {
+            node_limit: NODE_LIMIT,
+            threads: Some(threads),
+            ..Default::default()
+        })
+}
+
+/// Whole-result fingerprint: ucap/overload/ua/dispatch bits, total nodes,
+/// per-subproblem `(line, direction, violation bits)` records.
+type Fp = (u64, u64, Vec<u64>, Vec<u64>, usize, Vec<(usize, i8, u64)>);
+
+/// Everything that must match bit-for-bit across thread counts.
+fn fingerprint(r: &AttackResult) -> Fp {
+    (
+        r.ucap_pct.to_bits(),
+        r.overload_mw.to_bits(),
+        r.ua_mw.iter().map(|v| v.to_bits()).collect(),
+        r.dispatch_mw.iter().map(|v| v.to_bits()).collect(),
+        r.total_nodes,
+        r.subproblems
+            .iter()
+            .map(|s| (s.line.0, s.direction, s.violation.to_bits()))
+            .collect(),
+    )
+}
+
+fn main() {
+    let net = ed_cases::ieee118_like();
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, 4, hardware];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    eprintln!(
+        "sweep_scaling: {} buses, {} lines, {} DLR lines ({} subproblems), \
+         node_limit {}, {} hardware threads",
+        net.num_buses(),
+        net.num_lines(),
+        DLR_LINES,
+        2 * DLR_LINES,
+        NODE_LIMIT,
+        hardware
+    );
+
+    let mut runs: Vec<(usize, f64)> = Vec::new();
+    let mut reference: Option<(f64, _)> = None;
+    let mut deterministic = true;
+    for &threads in &thread_counts {
+        let config = config_for(&net, threads);
+        let mut best_ms = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let r = optimal_attack(&net, &config).expect("sweep solves");
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            result = Some(r);
+        }
+        let r = result.expect("at least one repetition ran");
+        let fp = fingerprint(&r);
+        match &reference {
+            None => reference = Some((r.ucap_pct, fp)),
+            Some((_, ref_fp)) => {
+                if *ref_fp != fp {
+                    deterministic = false;
+                    eprintln!("DETERMINISM VIOLATION at {threads} threads");
+                }
+            }
+        }
+        eprintln!(
+            "  threads={threads}: {:.1} ms (best of {REPS}), ucap = {:.3}%",
+            best_ms, r.ucap_pct
+        );
+        runs.push((threads, best_ms));
+    }
+
+    let seq_ms = runs.iter().find(|(t, _)| *t == 1).map(|(_, ms)| *ms).unwrap_or(f64::NAN);
+    let four_ms = runs.iter().find(|(t, _)| *t == 4).map(|(_, ms)| *ms).unwrap_or(f64::NAN);
+    let speedup_4t = seq_ms / four_ms;
+
+    let run_objs: Vec<String> = runs
+        .iter()
+        .map(|(t, ms)| format!("    {{\"threads\": {t}, \"wall_ms\": {ms:.3}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"case\": \"ieee118_like\",\n  \"buses\": {},\n  \"lines\": {},\n  \
+         \"dlr_lines\": {},\n  \"subproblems\": {},\n  \"node_limit\": {},\n  \
+         \"hardware_threads\": {},\n  \"repetitions\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_4t\": {:.3},\n  \"deterministic\": {}\n}}\n",
+        net.num_buses(),
+        net.num_lines(),
+        DLR_LINES,
+        2 * DLR_LINES,
+        NODE_LIMIT,
+        hardware,
+        REPS,
+        run_objs.join(",\n"),
+        speedup_4t,
+        deterministic
+    );
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_attack.json".to_string());
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    eprintln!("wrote {out}: speedup_4t = {speedup_4t:.2}x, deterministic = {deterministic}");
+    print!("{json}");
+}

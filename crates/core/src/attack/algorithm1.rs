@@ -4,9 +4,22 @@
 //! (scaled) flow on that line, solve the KKT single-level program, and keep
 //! the best violation. The corner/greedy heuristic seeds each subproblem
 //! with a valid incumbent so the branch-and-bound can prune from the start.
+//!
+//! The `2·|E_D|` subproblems are independent, so the sweep runs on the
+//! `ed-par` worker pool: the invariant KKT blocks are assembled once, each
+//! worker clones the base model and patches only the objective row, and
+//! the per-subproblem records are reduced *in subproblem index order* with
+//! the same strict comparisons a sequential loop would use — the result is
+//! bit-identical at any thread count. The sweep-wide [`SolveBudget`] is
+//! made cancellable before the fan-out, so the first worker to observe the
+//! wall-clock deadline cancels every in-flight sibling cooperatively.
+//!
+//! [`SolveBudget`]: ed_optim::budget::SolveBudget
 
-use crate::attack::bilevel::{solve_subproblem, SubproblemAttempt, SubproblemSolution};
-use crate::attack::heuristic::{corner_heuristic, greedy_heuristic};
+use crate::attack::bilevel::{
+    solve_subproblem, BilevelOptions, SubproblemAttempt, SubproblemSolution,
+};
+use crate::attack::heuristic::{corner_heuristic, greedy_heuristic, HeuristicResult};
 use crate::attack::kkt::KktModel;
 use crate::attack::{AttackConfig, ViolationMetric};
 use crate::CoreError;
@@ -42,6 +55,11 @@ pub struct SubproblemOutcome {
     /// Why the exact solve degraded, if it did. `None` means the subproblem
     /// completed normally.
     pub fault: Option<SubproblemFault>,
+    /// `true` when the heuristic produced no usable incumbent for this
+    /// (line, direction) — its candidate was infeasible or empty, so the
+    /// subproblem ran unseeded and any degraded fallback has no floor.
+    /// The seed silently skipped such candidates; this flag surfaces them.
+    pub heuristic_missing: bool,
 }
 
 /// The optimal attack found by Algorithm 1.
@@ -135,135 +153,58 @@ pub fn optimal_attack_with(
     let mut total_nodes = 0usize;
 
     if exact {
-        let mut model = KktModel::build(net, config)?;
+        // The invariant KKT blocks (primal/dual feasibility, stationarity,
+        // complementarity pairs) are assembled exactly once; each worker
+        // clones the base model and patches only the objective row.
+        let model = KktModel::build(net, config)?;
+        // One cancellable budget shared by every worker: the first one to
+        // observe the wall-clock deadline cancels all in-flight siblings,
+        // which then report the trip as `WallClock` exactly like a
+        // sequential sweep would.
+        let mut options = config.options.clone();
+        options.budget = options.budget.clone().cancellable();
+        let tasks: Vec<(usize, LineId, f64)> = config
+            .dlr_lines
+            .iter()
+            .enumerate()
+            .flat_map(|(k, &line)| [(k, line, 1.0f64), (k, line, -1.0f64)])
+            .collect();
+        let threads = config.options.threads.unwrap_or_else(ed_par::thread_count);
+        let records = ed_par::par_map(threads, &tasks, |_, &(k, line, dir)| {
+            run_subproblem(config, &heuristic, &model, &options, k, line, dir)
+        })
+        .map_err(|e| CoreError::Parallel { what: e.to_string() })?;
+        // Reduce in subproblem index order with the same strict `>` the
+        // sequential loop used: bit-identical at any thread count.
+        for rec in records {
+            total_nodes += rec.outcome.nodes;
+            if let Some((violation, overload, ua, dispatch, target)) = rec.candidate {
+                if best.as_ref().is_none_or(|(v, ..)| violation > *v) {
+                    best = Some((violation, overload, ua, dispatch, target));
+                }
+            }
+            subproblems.push(rec.outcome);
+        }
+    } else {
+        // Heuristic-only mode reports the same per-(line, direction)
+        // record shape so callers can see unseeded subproblems.
         for (k, &line) in config.dlr_lines.iter().enumerate() {
-            for dir in [1.0f64, -1.0] {
-                let scale = match config.metric {
-                    ViolationMetric::PercentOfTrue => 100.0 / config.u_d[k],
-                    ViolationMetric::AbsoluteMw => 1.0,
-                };
-                let offset = match config.metric {
-                    ViolationMetric::PercentOfTrue => -100.0,
-                    ViolationMetric::AbsoluteMw => -config.u_d[k],
-                };
-                // The heuristic's violation for this (line, direction) —
-                // the floor every degraded path falls back to.
-                let heuristic_flow = heuristic.best_flow[k][if dir > 0.0 { 0 } else { 1 }];
-                let heuristic_violation = if heuristic_flow.is_finite() {
-                    metric_value(config.metric, heuristic_flow, config.u_d[k])
-                } else {
-                    f64::NEG_INFINITY
-                };
-
-                // Deadline already gone: don't even build the subproblem.
-                // The outcome list still gets its entry, flagged.
-                if let Some(tripped) = config.options.budget.wall_tripped() {
-                    subproblems.push(SubproblemOutcome {
-                        line,
-                        direction: dir as i8,
-                        violation: heuristic_violation,
-                        proved_optimal: false,
-                        nodes: 0,
-                        fault: Some(SubproblemFault::Budget(tripped)),
-                    });
-                    continue;
-                }
-
-                model.set_flow_objective(line, dir, scale);
-                let hint = if config.options.use_heuristic {
-                    // best_flow[k][d] already stores max(dir·f) over the
-                    // heuristic candidates, i.e. the solver objective
-                    // value (before scaling) that candidate achieves.
-                    heuristic_flow.is_finite().then_some(scale * heuristic_flow)
-                } else {
-                    None
-                };
-                match solve_subproblem(&model, line, &config.options, hint) {
-                    SubproblemAttempt::Solved(SubproblemSolution {
-                        objective,
-                        ua_mw,
-                        flow_mw,
-                        dispatch_mw,
-                        proved_optimal,
-                        nodes,
-                    }) => {
-                        let violation = objective + offset;
-                        total_nodes += nodes;
-                        subproblems.push(SubproblemOutcome {
-                            line,
-                            direction: dir as i8,
-                            violation,
-                            proved_optimal,
-                            nodes,
-                            fault: None,
-                        });
-                        if best.as_ref().is_none_or(|(v, ..)| violation > *v) {
-                            best = Some((
-                                violation,
-                                dir * flow_mw - config.u_d[k],
-                                ua_mw,
-                                dispatch_mw,
-                                (line, dir as i8),
-                            ));
-                        }
-                    }
-                    SubproblemAttempt::Pruned => {
-                        // Nothing better than the heuristic incumbent for this
-                        // subproblem; record the heuristic value.
-                        subproblems.push(SubproblemOutcome {
-                            line,
-                            direction: dir as i8,
-                            violation: heuristic_violation,
-                            proved_optimal: true,
-                            nodes: 0,
-                            fault: None,
-                        });
-                    }
-                    SubproblemAttempt::Budget(tripped, incumbent) => {
-                        // Budget trip: keep the better of the solver's
-                        // partial incumbent and the heuristic floor.
-                        let (violation, nodes) = match &incumbent {
-                            Some(sol) => {
-                                ((sol.objective + offset).max(heuristic_violation), sol.nodes)
-                            }
-                            None => (heuristic_violation, 0),
-                        };
-                        total_nodes += nodes;
-                        subproblems.push(SubproblemOutcome {
-                            line,
-                            direction: dir as i8,
-                            violation,
-                            proved_optimal: false,
-                            nodes,
-                            fault: Some(SubproblemFault::Budget(tripped)),
-                        });
-                        if let Some(sol) = incumbent {
-                            let v = sol.objective + offset;
-                            if best.as_ref().is_none_or(|(b, ..)| v > *b) {
-                                best = Some((
-                                    v,
-                                    dir * sol.flow_mw - config.u_d[k],
-                                    sol.ua_mw,
-                                    sol.dispatch_mw,
-                                    (line, dir as i8),
-                                ));
-                            }
-                        }
-                    }
-                    SubproblemAttempt::Faulted(e) => {
-                        // Numerical failure is isolated to this subproblem;
-                        // the heuristic incumbent stands and the sweep
-                        // continues.
-                        subproblems.push(SubproblemOutcome {
-                            line,
-                            direction: dir as i8,
-                            violation: heuristic_violation,
-                            proved_optimal: false,
-                            nodes: 0,
-                            fault: Some(SubproblemFault::Numerical(e.to_string())),
-                        });
-                    }
-                }
+            for (d, dir) in [(0usize, 1i8), (1usize, -1i8)] {
+                let f = heuristic.best_flow[k][d];
+                let usable = f.is_finite() && !heuristic.best_ua[k][d].is_empty();
+                subproblems.push(SubproblemOutcome {
+                    line,
+                    direction: dir,
+                    violation: if f.is_finite() {
+                        metric_value(config.metric, f, config.u_d[k])
+                    } else {
+                        f64::NEG_INFINITY
+                    },
+                    proved_optimal: false,
+                    nodes: 0,
+                    fault: None,
+                    heuristic_missing: !usable,
+                });
             }
         }
     }
@@ -300,6 +241,167 @@ fn metric_value(metric: ViolationMetric, flow: f64, ud: f64) -> f64 {
     match metric {
         ViolationMetric::PercentOfTrue => 100.0 * (flow / ud - 1.0),
         ViolationMetric::AbsoluteMw => flow - ud,
+    }
+}
+
+/// A candidate for the global incumbent:
+/// `(violation, overload MW, u^a, dispatch, (line, direction))`.
+type Candidate = (f64, f64, Vec<f64>, Vec<f64>, (LineId, i8));
+
+/// What one worker hands back to the deterministic reduction: the outcome
+/// record plus (when the solve produced one) a [`Candidate`] for the
+/// global incumbent.
+struct SubproblemRecord {
+    outcome: SubproblemOutcome,
+    candidate: Option<Candidate>,
+}
+
+/// One (line, direction) subproblem of Algorithm 1, runnable from any
+/// worker thread. Clones the prepared base model and patches only its
+/// objective row; never errors — faults and budget trips become flagged
+/// outcomes exactly as in the sequential sweep.
+fn run_subproblem(
+    config: &AttackConfig,
+    heuristic: &HeuristicResult,
+    model: &KktModel,
+    options: &BilevelOptions,
+    k: usize,
+    line: LineId,
+    dir: f64,
+) -> SubproblemRecord {
+    let scale = match config.metric {
+        ViolationMetric::PercentOfTrue => 100.0 / config.u_d[k],
+        ViolationMetric::AbsoluteMw => 1.0,
+    };
+    let offset = match config.metric {
+        ViolationMetric::PercentOfTrue => -100.0,
+        ViolationMetric::AbsoluteMw => -config.u_d[k],
+    };
+    // The heuristic's violation for this (line, direction) — the floor
+    // every degraded path falls back to.
+    let d = if dir > 0.0 { 0 } else { 1 };
+    let heuristic_flow = heuristic.best_flow[k][d];
+    let heuristic_missing = !heuristic_flow.is_finite() || heuristic.best_ua[k][d].is_empty();
+    let heuristic_violation = if heuristic_flow.is_finite() {
+        metric_value(config.metric, heuristic_flow, config.u_d[k])
+    } else {
+        f64::NEG_INFINITY
+    };
+
+    // Deadline already gone (or a sibling cancelled the sweep): don't even
+    // build the subproblem. The outcome list still gets its entry, flagged.
+    if let Some(tripped) = options.budget.wall_tripped() {
+        return SubproblemRecord {
+            outcome: SubproblemOutcome {
+                line,
+                direction: dir as i8,
+                violation: heuristic_violation,
+                proved_optimal: false,
+                nodes: 0,
+                fault: Some(SubproblemFault::Budget(tripped)),
+                heuristic_missing,
+            },
+            candidate: None,
+        };
+    }
+
+    let mut model = model.clone();
+    model.set_flow_objective(line, dir, scale);
+    let hint = if options.use_heuristic {
+        // best_flow[k][d] already stores max(dir·f) over the heuristic
+        // candidates, i.e. the solver objective value (before scaling)
+        // that candidate achieves.
+        heuristic_flow.is_finite().then_some(scale * heuristic_flow)
+    } else {
+        None
+    };
+    match solve_subproblem(&model, line, options, hint) {
+        SubproblemAttempt::Solved(SubproblemSolution {
+            objective,
+            ua_mw,
+            flow_mw,
+            dispatch_mw,
+            proved_optimal,
+            nodes,
+        }) => {
+            let violation = objective + offset;
+            options.budget.record_nodes(nodes);
+            SubproblemRecord {
+                outcome: SubproblemOutcome {
+                    line,
+                    direction: dir as i8,
+                    violation,
+                    proved_optimal,
+                    nodes,
+                    fault: None,
+                    heuristic_missing,
+                },
+                candidate: Some((
+                    violation,
+                    dir * flow_mw - config.u_d[k],
+                    ua_mw,
+                    dispatch_mw,
+                    (line, dir as i8),
+                )),
+            }
+        }
+        SubproblemAttempt::Pruned => SubproblemRecord {
+            // Nothing better than the heuristic incumbent for this
+            // subproblem; record the heuristic value.
+            outcome: SubproblemOutcome {
+                line,
+                direction: dir as i8,
+                violation: heuristic_violation,
+                proved_optimal: true,
+                nodes: 0,
+                fault: None,
+                heuristic_missing,
+            },
+            candidate: None,
+        },
+        SubproblemAttempt::Budget(tripped, incumbent) => {
+            // Budget trip: keep the better of the solver's partial
+            // incumbent and the heuristic floor.
+            let (violation, nodes) = match &incumbent {
+                Some(sol) => ((sol.objective + offset).max(heuristic_violation), sol.nodes),
+                None => (heuristic_violation, 0),
+            };
+            options.budget.record_nodes(nodes);
+            SubproblemRecord {
+                outcome: SubproblemOutcome {
+                    line,
+                    direction: dir as i8,
+                    violation,
+                    proved_optimal: false,
+                    nodes,
+                    fault: Some(SubproblemFault::Budget(tripped)),
+                    heuristic_missing,
+                },
+                candidate: incumbent.map(|sol| {
+                    (
+                        sol.objective + offset,
+                        dir * sol.flow_mw - config.u_d[k],
+                        sol.ua_mw,
+                        sol.dispatch_mw,
+                        (line, dir as i8),
+                    )
+                }),
+            }
+        }
+        SubproblemAttempt::Faulted(e) => SubproblemRecord {
+            // Numerical failure is isolated to this subproblem; the
+            // heuristic incumbent stands and the sweep continues.
+            outcome: SubproblemOutcome {
+                line,
+                direction: dir as i8,
+                violation: heuristic_violation,
+                proved_optimal: false,
+                nodes: 0,
+                fault: Some(SubproblemFault::Numerical(e.to_string())),
+                heuristic_missing,
+            },
+            candidate: None,
+        },
     }
 }
 

@@ -40,8 +40,16 @@ pub struct BilevelOptions {
     /// Cooperative solve budget *shared across the whole Algorithm 1 sweep*
     /// (the deadline is an absolute instant, so every subproblem sees the
     /// same one). A tripped subproblem degrades to its incumbent instead of
-    /// aborting the sweep.
+    /// aborting the sweep. Algorithm 1 attaches shared cancellation state
+    /// to its clone of this budget, so the first worker to observe the
+    /// deadline cancels every in-flight sibling cooperatively.
     pub budget: SolveBudget,
+    /// Worker threads for the Algorithm 1 sweep and the corner-heuristic
+    /// candidate evaluation. `None` defers to the `ED_THREADS` environment
+    /// variable (falling back to the machine's available parallelism);
+    /// `Some(1)` forces a sequential in-place sweep. Results are
+    /// bit-identical across thread counts.
+    pub threads: Option<usize>,
 }
 
 impl Default for BilevelOptions {
@@ -51,6 +59,7 @@ impl Default for BilevelOptions {
             node_limit: 20_000,
             use_heuristic: true,
             budget: SolveBudget::unlimited(),
+            threads: None,
         }
     }
 }

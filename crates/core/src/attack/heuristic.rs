@@ -115,8 +115,17 @@ pub fn corner_heuristic(net: &Network, config: &AttackConfig) -> Result<Heuristi
         })
         .collect();
     candidates.push(config.u_d.clone());
-    for ua in &candidates {
-        if let Some(flows) = evaluate_candidate(net, config, &demand, ua)? {
+    // Each candidate's dispatch is independent, so the `2^n + 1` DC-OPF
+    // solves run on the worker pool; the fold below walks the results in
+    // candidate order, so the records (including `>` tie-breaks and which
+    // error surfaces first) are bit-identical to a sequential loop.
+    let threads = config.options.threads.unwrap_or_else(ed_par::thread_count);
+    let evaluations = ed_par::par_map(threads, &candidates, |_, ua| {
+        evaluate_candidate(net, config, &demand, ua)
+    })
+    .map_err(|e| CoreError::Parallel { what: e.to_string() })?;
+    for (ua, evaluation) in candidates.iter().zip(evaluations) {
+        if let Some(flows) = evaluation? {
             result.evaluated += 1;
             fold_candidate(&mut result, ua, &flows);
         }
@@ -128,6 +137,10 @@ pub fn corner_heuristic(net: &Network, config: &AttackConfig) -> Result<Heuristi
 /// Coordinate-greedy search from the true ratings: repeatedly move one
 /// line's rating to whichever bound most improves the best violation,
 /// until a full pass makes no progress (at most `3·|E_D|` passes).
+///
+/// Unlike [`corner_heuristic`], this search is inherently sequential —
+/// every trial depends on the `current` point mutated by earlier accepted
+/// moves — so it does not use the worker pool.
 ///
 /// # Errors
 ///

@@ -28,6 +28,12 @@ pub enum CoreError {
     Optim(ed_optim::OptimError),
     /// A power-flow-layer failure.
     Powerflow(ed_powerflow::PowerflowError),
+    /// A parallel sweep worker panicked (the panic is caught and isolated
+    /// by the `ed-par` pool rather than unwinding through the sweep).
+    Parallel {
+        /// Description of the worker failure.
+        what: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +48,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Optim(e) => write!(f, "optimization failure: {e}"),
             CoreError::Powerflow(e) => write!(f, "power flow failure: {e}"),
+            CoreError::Parallel { what } => write!(f, "parallel sweep failure: {what}"),
         }
     }
 }

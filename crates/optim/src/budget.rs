@@ -11,6 +11,25 @@
 //! *shares* the deadline: Algorithm 1 hands one budget to all `2·|E_D|`
 //! subproblems and the sweep as a whole respects the wall-clock bound.
 //!
+//! # Sharing across worker threads
+//!
+//! A budget upgraded with [`SolveBudget::cancellable`] additionally carries
+//! an atomics-based state block that its clones share. This gives parallel
+//! sweeps two properties:
+//!
+//! - **Cooperative cancellation.** The first worker that observes the
+//!   deadline pass raises a shared flag; every other in-flight solve sees
+//!   the flag at its next budget check (one relaxed atomic load — no extra
+//!   clock reads) and degrades to its incumbent with the usual
+//!   [`BudgetTripped::WallClock`]. [`SolveBudget::cancel`] raises the same
+//!   flag explicitly, reported as [`BudgetTripped::Cancelled`].
+//! - **A shared node tally.** Solvers report explored branch-and-bound
+//!   nodes via [`SolveBudget::record_nodes`]; the sweep can read the
+//!   cross-worker total with [`SolveBudget::nodes_recorded`] without any
+//!   synchronization of its own.
+//!
+//! `SolveBudget` is `Send + Sync`; clones are the sharing mechanism.
+//!
 //! ```
 //! use std::time::Duration;
 //! use ed_optim::budget::{SolveBudget, SolveOutcome};
@@ -29,6 +48,8 @@
 //! # }
 //! ```
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which cooperative budget was exhausted first.
@@ -41,6 +62,9 @@ pub enum BudgetTripped {
     Iterations,
     /// The branch-and-bound node cap was reached.
     Nodes,
+    /// The shared budget was cancelled explicitly via
+    /// [`SolveBudget::cancel`] (cooperative cancellation across workers).
+    Cancelled,
 }
 
 impl std::fmt::Display for BudgetTripped {
@@ -49,17 +73,34 @@ impl std::fmt::Display for BudgetTripped {
             BudgetTripped::WallClock => write!(f, "wall-clock deadline"),
             BudgetTripped::Iterations => write!(f, "iteration cap"),
             BudgetTripped::Nodes => write!(f, "node cap"),
+            BudgetTripped::Cancelled => write!(f, "cooperative cancellation"),
         }
     }
 }
 
+/// Atomics shared by every clone of a cancellable budget.
+#[derive(Debug, Default)]
+struct BudgetShared {
+    /// Raised when any holder cancels or observes the deadline pass; all
+    /// clones trip on their next budget check.
+    cancelled: AtomicBool,
+    /// `true` when the cancellation came from a deadline observation, so
+    /// siblings report [`BudgetTripped::WallClock`] rather than
+    /// [`BudgetTripped::Cancelled`].
+    wall_observed: AtomicBool,
+    /// Cross-worker branch-and-bound node tally.
+    nodes: AtomicUsize,
+}
+
 /// A cooperative solve budget: wall-clock deadline plus iteration and node
-/// caps, all optional. See the [module docs](self) for semantics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// caps, all optional. See the [module docs](self) for semantics, including
+/// the cross-thread sharing enabled by [`SolveBudget::cancellable`].
+#[derive(Debug, Clone, Default)]
 pub struct SolveBudget {
     deadline: Option<Instant>,
     max_iterations: Option<usize>,
     max_nodes: Option<usize>,
+    shared: Option<Arc<BudgetShared>>,
 }
 
 impl SolveBudget {
@@ -110,17 +151,77 @@ impl SolveBudget {
     }
 
     /// `true` when no limit is set — solvers skip the per-iteration clock
-    /// read entirely in that case.
+    /// read entirely in that case. A cancellable budget is never unlimited:
+    /// its cancel flag must stay observable inside solver loops.
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_iterations.is_none() && self.max_nodes.is_none()
+        self.deadline.is_none()
+            && self.max_iterations.is_none()
+            && self.max_nodes.is_none()
+            && self.shared.is_none()
     }
 
-    /// A view of this budget keeping only the wall-clock deadline. Used by
-    /// branch and bound to thread the shared deadline into node relaxations
-    /// without letting the *node*-level iteration counter trip the
-    /// *tree*-level iteration cap.
+    /// A view of this budget keeping only the wall-clock deadline (and the
+    /// shared cancellation state, when present). Used by branch and bound
+    /// to thread the shared deadline into node relaxations without letting
+    /// the *node*-level iteration counter trip the *tree*-level iteration
+    /// cap.
     pub fn wall_only(&self) -> SolveBudget {
-        SolveBudget { deadline: self.deadline, max_iterations: None, max_nodes: None }
+        SolveBudget {
+            deadline: self.deadline,
+            max_iterations: None,
+            max_nodes: None,
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Upgrades this budget with shared, atomics-based cancellation state.
+    /// Clones of the returned budget observe each other's [`cancel`]
+    /// (reported as [`BudgetTripped::Cancelled`]) and deadline trips
+    /// (reported as [`BudgetTripped::WallClock`]), and share one
+    /// cross-worker node tally.
+    ///
+    /// [`cancel`]: SolveBudget::cancel
+    pub fn cancellable(mut self) -> SolveBudget {
+        if self.shared.is_none() {
+            self.shared = Some(Arc::new(BudgetShared::default()));
+        }
+        self
+    }
+
+    /// `true` when this budget carries shared cancellation state.
+    pub fn is_cancellable(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Raises the shared cancel flag: every clone of this budget trips with
+    /// [`BudgetTripped::Cancelled`] at its next cooperative check. A no-op
+    /// on budgets without shared state (see [`SolveBudget::cancellable`]).
+    pub fn cancel(&self) {
+        if let Some(s) = &self.shared {
+            s.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// `true` when the shared cancel flag is raised (for any reason —
+    /// explicit [`cancel`] or an observed deadline trip).
+    ///
+    /// [`cancel`]: SolveBudget::cancel
+    pub fn is_cancelled(&self) -> bool {
+        self.shared.as_ref().is_some_and(|s| s.cancelled.load(Ordering::Acquire))
+    }
+
+    /// Adds `n` explored branch-and-bound nodes to the shared cross-worker
+    /// tally. A no-op on budgets without shared state.
+    pub fn record_nodes(&self, n: usize) {
+        if let Some(s) = &self.shared {
+            s.nodes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The shared node tally accumulated by [`SolveBudget::record_nodes`]
+    /// across all clones (0 without shared state).
+    pub fn nodes_recorded(&self) -> usize {
+        self.shared.as_ref().map_or(0, |s| s.nodes.load(Ordering::Relaxed))
     }
 
     /// Time left before the deadline (`None` when no deadline is set;
@@ -129,10 +230,29 @@ impl SolveBudget {
         self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
     }
 
-    /// Checks the wall clock only.
+    /// Checks the shared cancel flag (one relaxed load), then the wall
+    /// clock. The first holder to observe the deadline pass raises the
+    /// shared flag so sibling workers trip without reading the clock.
     pub fn wall_tripped(&self) -> Option<BudgetTripped> {
+        if let Some(s) = &self.shared {
+            if s.cancelled.load(Ordering::Acquire) {
+                return Some(if s.wall_observed.load(Ordering::Acquire) {
+                    BudgetTripped::WallClock
+                } else {
+                    BudgetTripped::Cancelled
+                });
+            }
+        }
         match self.deadline {
-            Some(d) if Instant::now() >= d => Some(BudgetTripped::WallClock),
+            Some(d) if Instant::now() >= d => {
+                if let Some(s) = &self.shared {
+                    // wall_observed first: a sibling that sees `cancelled`
+                    // must already see the reason.
+                    s.wall_observed.store(true, Ordering::Release);
+                    s.cancelled.store(true, Ordering::Release);
+                }
+                Some(BudgetTripped::WallClock)
+            }
             _ => None,
         }
     }
@@ -249,8 +369,85 @@ mod tests {
     #[test]
     fn clones_share_the_deadline() {
         let b = SolveBudget::with_deadline(Duration::from_secs(60));
-        let c = b;
+        let c = b.clone();
         assert_eq!(b.deadline(), c.deadline());
+    }
+
+    #[test]
+    fn explicit_cancel_trips_all_clones() {
+        let b = SolveBudget::unlimited().cancellable();
+        let c = b.clone();
+        assert!(!b.is_unlimited(), "cancellable budgets must stay observable");
+        assert_eq!(c.wall_tripped(), None);
+        b.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(c.wall_tripped(), Some(BudgetTripped::Cancelled));
+        assert_eq!(c.iter_tripped(0), Some(BudgetTripped::Cancelled));
+        assert_eq!(c.node_tripped(0), Some(BudgetTripped::Cancelled));
+    }
+
+    #[test]
+    fn observed_deadline_cancels_siblings_as_wall_clock() {
+        let b = SolveBudget::with_deadline_at(Instant::now() - Duration::from_millis(1))
+            .cancellable();
+        let c = b.clone();
+        // One holder observes the deadline; the sibling then trips via the
+        // shared flag and still reports the wall clock as the reason.
+        assert_eq!(b.wall_tripped(), Some(BudgetTripped::WallClock));
+        assert!(c.is_cancelled());
+        assert_eq!(c.wall_tripped(), Some(BudgetTripped::WallClock));
+    }
+
+    #[test]
+    fn cancel_without_shared_state_is_noop() {
+        let b = SolveBudget::unlimited();
+        b.cancel();
+        assert!(!b.is_cancelled());
+        assert_eq!(b.wall_tripped(), None);
+    }
+
+    #[test]
+    fn node_tally_accumulates_across_clones_and_threads() {
+        let b = SolveBudget::unlimited().cancellable();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = b.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        c.record_nodes(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.nodes_recorded(), 4 * 100 * 3);
+    }
+
+    /// The budget-cancellation contract the parallel sweep relies on: a
+    /// cancel (here explicit; deadline observations take the same path)
+    /// stops every worker spinning on cooperative checks.
+    #[test]
+    fn cancellation_stops_all_workers() {
+        let budget = SolveBudget::unlimited().cancellable();
+        let trips: Vec<BudgetTripped> = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let b = budget.clone();
+                    s.spawn(move || {
+                        let mut used = 0usize;
+                        loop {
+                            if let Some(t) = b.iter_tripped(used) {
+                                return t;
+                            }
+                            used += 1;
+                            std::thread::yield_now();
+                        }
+                    })
+                })
+                .collect();
+            budget.cancel();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        assert_eq!(trips, vec![BudgetTripped::Cancelled; 4]);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! estimate post-outage flows with LODFs and report rating violations.
 
 use crate::lodf::Lodf;
-use crate::{dc, Network, PowerflowError};
+use crate::ptdf::Ptdf;
+use crate::{dc, FactorCache, Network, PowerflowError};
 
 /// A single post-contingency violation.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,9 +73,13 @@ pub fn screen_n_minus_1(
             found: format!("{}", ratings_mw.len()),
         });
     }
+    // One factorization serves both the base-case solve and the PTDF table
+    // the LODFs are derived from.
+    let cache = FactorCache::build(net)?;
     let inj = net.injections_mw(dispatch_mw);
-    let base = dc::solve(net, &inj)?;
-    let lodf = Lodf::compute(net)?;
+    let base = dc::solve_with(net, &cache, &inj)?;
+    let ptdf = Ptdf::compute_with(net, &cache)?;
+    let lodf = Lodf::from_ptdf(net, &ptdf);
     let mut violations = Vec::new();
     let mut islanding = Vec::new();
     for k in 0..net.num_lines() {

@@ -6,8 +6,8 @@
 //! [`solve`] recovers angles and line flows by a reduced linear solve with
 //! the slack angle fixed to zero.
 
-use crate::{Network, PowerflowError};
-use ed_linalg::{Lu, Matrix};
+use crate::{FactorCache, Network, PowerflowError};
+use ed_linalg::Matrix;
 
 /// Result of a DC power-flow solve.
 #[derive(Debug, Clone)]
@@ -82,6 +82,22 @@ pub fn bus_susceptance(net: &Network) -> Matrix {
 /// - [`PowerflowError::Linalg`] if the reduced susceptance matrix is
 ///   singular (cannot happen for a connected network).
 pub fn solve(net: &Network, injections_mw: &[f64]) -> Result<DcFlow, PowerflowError> {
+    let cache = FactorCache::build(net)?;
+    solve_with(net, &cache, injections_mw)
+}
+
+/// [`solve`] against a pre-built [`FactorCache`], skipping the `O(n³)`
+/// factorization. Use this when solving many injection vectors (or mixing
+/// DC solves with PTDF/LODF assembly) on one network topology.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with(
+    net: &Network,
+    cache: &FactorCache,
+    injections_mw: &[f64],
+) -> Result<DcFlow, PowerflowError> {
     let n = net.num_buses();
     if injections_mw.len() != n {
         return Err(PowerflowError::DimensionMismatch {
@@ -93,20 +109,8 @@ pub fn solve(net: &Network, injections_mw: &[f64]) -> Result<DcFlow, PowerflowEr
     if surplus.abs() > 1e-6 {
         return Err(PowerflowError::Unbalanced { surplus_mw: surplus });
     }
-    let slack = net.slack().0;
-    let keep: Vec<usize> = (0..n).filter(|&i| i != slack).collect();
-    let b_full = bus_susceptance(net);
-    let b_red = b_full.submatrix(&keep, &keep);
-    let p_red: Vec<f64> = keep
-        .iter()
-        .map(|&i| injections_mw[i] / net.base_mva())
-        .collect();
-    let lu = Lu::factor(&b_red)?;
-    let theta_red = lu.solve(&p_red)?;
-    let mut theta = vec![0.0; n];
-    for (k, &i) in keep.iter().enumerate() {
-        theta[i] = theta_red[k];
-    }
+    let inj_pu: Vec<f64> = injections_mw.iter().map(|&p| p / net.base_mva()).collect();
+    let theta = cache.angles_for_injections_pu(&inj_pu)?;
     let flow_mw = flows_from_angles(net, &theta);
     Ok(DcFlow { theta_rad: theta, flow_mw })
 }

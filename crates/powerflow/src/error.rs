@@ -35,6 +35,11 @@ pub enum PowerflowError {
     /// An underlying linear-algebra failure (e.g. singular susceptance
     /// matrix from a disconnected island).
     Linalg(ed_linalg::LinalgError),
+    /// A parallel worker panicked while computing sensitivity columns.
+    Parallel {
+        /// Description of the worker failure.
+        what: String,
+    },
 }
 
 impl fmt::Display for PowerflowError {
@@ -52,6 +57,9 @@ impl fmt::Display for PowerflowError {
                 "AC power flow diverged after {iterations} iterations (mismatch {mismatch:.3e} pu)"
             ),
             PowerflowError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            PowerflowError::Parallel { what } => {
+                write!(f, "parallel sensitivity computation failed: {what}")
+            }
         }
     }
 }

@@ -1,0 +1,204 @@
+//! Shared LU factorization of the reduced bus susceptance matrix.
+//!
+//! Every DC-side sensitivity in this crate — DC power flow, PTDF columns,
+//! and (through PTDF) LODFs — reduces to solves against the same matrix:
+//! the bus susceptance matrix with the slack row/column removed. The seed
+//! code re-derived it per call site, and the PTDF path even materialized a
+//! full `O(n³)` inverse on top of the `O(n³)` factorization. A
+//! [`FactorCache`] factors the matrix **once** (`P·B_red = L·U`) and serves
+//! `O(n²)` per-column forward/back substitutions to every consumer.
+//!
+//! The cache is immutable after construction and [`Sync`], so parallel
+//! sweeps (see `ed-par`) borrow one cache from any number of worker
+//! threads. Solves through the cache are bit-identical to the seed's
+//! factor-then-solve path: the factored matrix and the substitution
+//! recurrences are unchanged.
+
+use crate::{dc, Network, PowerflowError};
+use ed_linalg::Lu;
+
+/// An immutable, shareable LU factorization of `B_red` plus the bus
+/// index bookkeeping needed to map between full and reduced vectors.
+#[derive(Debug, Clone)]
+pub struct FactorCache {
+    lu: Lu,
+    /// Kept (non-slack) bus indices, in ascending order; `keep[k]` is the
+    /// full bus index of reduced row/column `k`.
+    keep: Vec<usize>,
+    /// Full bus index → reduced index (`None` for the slack).
+    red: Vec<Option<usize>>,
+    slack: usize,
+}
+
+impl FactorCache {
+    /// Factors the reduced susceptance matrix of a network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerflowError::Linalg`] if the reduced matrix is singular
+    /// (cannot happen for a connected, validated network).
+    pub fn build(net: &Network) -> Result<FactorCache, PowerflowError> {
+        let n = net.num_buses();
+        let slack = net.slack().0;
+        let keep: Vec<usize> = (0..n).filter(|&i| i != slack).collect();
+        let b_red = dc::bus_susceptance(net).submatrix(&keep, &keep);
+        let lu = Lu::factor(&b_red)?;
+        let mut red = vec![None; n];
+        for (k, &bus) in keep.iter().enumerate() {
+            red[bus] = Some(k);
+        }
+        Ok(FactorCache { lu, keep, red, slack })
+    }
+
+    /// The slack bus index the reduction is referenced to.
+    pub fn slack(&self) -> usize {
+        self.slack
+    }
+
+    /// Dimension of the reduced system (`num_buses − 1`).
+    pub fn dim(&self) -> usize {
+        self.lu.dim()
+    }
+
+    /// Kept (non-slack) bus indices, ascending; entry `k` is the full bus
+    /// index of reduced coordinate `k`.
+    pub fn kept_buses(&self) -> &[usize] {
+        &self.keep
+    }
+
+    /// Reduced coordinate of a full bus index (`None` for the slack).
+    pub fn reduced_index(&self, bus: usize) -> Option<usize> {
+        self.red.get(bus).copied().flatten()
+    }
+
+    /// Solves `B_red · x = rhs` in reduced coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerflowError::Linalg`] on a length mismatch.
+    pub fn solve_reduced(&self, rhs: &[f64]) -> Result<Vec<f64>, PowerflowError> {
+        Ok(self.lu.solve(rhs)?)
+    }
+
+    /// Bus angles (full-length, slack pinned to zero) for a full-length
+    /// per-unit injection vector. The slack entry of `injections_pu` is
+    /// ignored — the slack absorbs any imbalance, as in the PTDF reference
+    /// convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerflowError::DimensionMismatch`] on a length mismatch.
+    pub fn angles_for_injections_pu(
+        &self,
+        injections_pu: &[f64],
+    ) -> Result<Vec<f64>, PowerflowError> {
+        let n = self.keep.len() + 1;
+        if injections_pu.len() != n {
+            return Err(PowerflowError::DimensionMismatch {
+                expected: format!("{n} per-unit injections"),
+                found: format!("{}", injections_pu.len()),
+            });
+        }
+        let rhs: Vec<f64> = self.keep.iter().map(|&i| injections_pu[i]).collect();
+        let theta_red = self.solve_reduced(&rhs)?;
+        Ok(self.scatter(&theta_red))
+    }
+
+    /// Bus angles (full-length, slack pinned to zero) for one per-unit
+    /// injection at `bus`, withdrawn at the slack — one column of
+    /// `B_red⁻¹` scattered to full coordinates. This is the per-column
+    /// kernel of PTDF assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerflowError::DimensionMismatch`] if `bus` is out of
+    /// range.
+    pub fn unit_injection_angles(&self, bus: usize) -> Result<Vec<f64>, PowerflowError> {
+        let n = self.keep.len() + 1;
+        if bus >= n {
+            return Err(PowerflowError::DimensionMismatch {
+                expected: format!("bus index < {n}"),
+                found: format!("{bus}"),
+            });
+        }
+        if bus == self.slack {
+            return Ok(vec![0.0; n]);
+        }
+        let mut rhs = vec![0.0; self.keep.len()];
+        rhs[self.red[bus].expect("non-slack bus has a reduced index")] = 1.0;
+        let theta_red = self.solve_reduced(&rhs)?;
+        Ok(self.scatter(&theta_red))
+    }
+
+    /// Scatters a reduced angle vector to full bus coordinates with the
+    /// slack at zero.
+    fn scatter(&self, theta_red: &[f64]) -> Vec<f64> {
+        let mut theta = vec![0.0; self.keep.len() + 1];
+        for (k, &i) in self.keep.iter().enumerate() {
+            theta[i] = theta_red[k];
+        }
+        theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BusKind, CostCurve, NetworkBuilder};
+
+    fn paper_three_bus() -> Network {
+        let mut b = NetworkBuilder::new(100.0);
+        let b1 = b.add_bus("B1", BusKind::Slack, 0.0);
+        let b2 = b.add_bus("B2", BusKind::Pv, 0.0);
+        let b3 = b.add_bus("B3", BusKind::Pq, 300.0);
+        b.add_line(b1, b2, 0.002, 0.05, 160.0);
+        b.add_line(b1, b3, 0.002, 0.05, 160.0);
+        b.add_line(b2, b3, 0.002, 0.05, 160.0);
+        b.add_gen(b1, 0.0, 300.0, CostCurve::linear(2.0));
+        b.add_gen(b2, 0.0, 300.0, CostCurve::linear(1.0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bookkeeping_is_consistent() {
+        let net = paper_three_bus();
+        let cache = FactorCache::build(&net).unwrap();
+        assert_eq!(cache.dim(), 2);
+        assert_eq!(cache.reduced_index(cache.slack()), None);
+        for (k, &bus) in cache.kept_buses().iter().enumerate() {
+            assert_eq!(cache.reduced_index(bus), Some(k));
+        }
+    }
+
+    #[test]
+    fn unit_columns_match_full_injection_solve() {
+        let net = paper_three_bus();
+        let cache = FactorCache::build(&net).unwrap();
+        // Superposition: angles for a composite injection equal the
+        // weighted sum of unit-injection columns.
+        let inj_pu = [0.0, 1.8, -1.8];
+        let direct = cache.angles_for_injections_pu(&inj_pu).unwrap();
+        let c1 = cache.unit_injection_angles(1).unwrap();
+        let c2 = cache.unit_injection_angles(2).unwrap();
+        for i in 0..3 {
+            let composed = 1.8 * c1[i] - 1.8 * c2[i];
+            assert!((direct[i] - composed).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slack_column_is_zero() {
+        let net = paper_three_bus();
+        let cache = FactorCache::build(&net).unwrap();
+        let col = cache.unit_injection_angles(cache.slack()).unwrap();
+        assert!(col.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn out_of_range_bus_rejected() {
+        let net = paper_three_bus();
+        let cache = FactorCache::build(&net).unwrap();
+        assert!(cache.unit_injection_angles(99).is_err());
+        assert!(cache.angles_for_injections_pu(&[0.0; 7]).is_err());
+    }
+}

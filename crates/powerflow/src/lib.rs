@@ -49,10 +49,12 @@ mod builder;
 pub mod contingency;
 pub mod dc;
 mod error;
+pub mod factor;
 pub mod lodf;
 mod network;
 pub mod ptdf;
 
 pub use builder::NetworkBuilder;
 pub use error::PowerflowError;
+pub use factor::FactorCache;
 pub use network::{Bus, BusId, BusKind, CostCurve, GenId, Generator, Line, LineId, Network};

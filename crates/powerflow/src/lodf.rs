@@ -32,27 +32,48 @@ impl Lodf {
     }
 
     /// Computes LODFs from an existing PTDF table.
+    ///
+    /// Outage columns are independent, so they are computed on the `ed-par`
+    /// worker pool (`ED_THREADS`) and assembled in column order — the table
+    /// is bit-identical to a sequential pass.
     pub fn from_ptdf(net: &Network, ptdf: &Ptdf) -> Lodf {
         let m = net.num_lines();
-        let mut matrix = Matrix::zeros(m, m);
-        let mut bridges = vec![false; m];
-        for k in 0..m {
+        let outages: Vec<usize> = (0..m).collect();
+        // `None` marks a bridge column; otherwise the full column of
+        // transfer factors for outage k.
+        let cols: Vec<Option<Vec<f64>>> = ed_par::par_map_env(&outages, |_, &k| {
             let line_k = &net.lines()[k];
             // PTDF of a from->to transfer on line k.
             let h_kk = ptdf.factor(k, line_k.from.0) - ptdf.factor(k, line_k.to.0);
             let denom = 1.0 - h_kk;
             if denom.abs() < 1e-8 {
                 // Radial/bridge line: outage islands the system.
-                bridges[k] = true;
-                continue;
+                return None;
             }
-            for l in 0..m {
-                if l == k {
-                    matrix[(l, k)] = -1.0;
-                    continue;
+            Some(
+                (0..m)
+                    .map(|l| {
+                        if l == k {
+                            return -1.0;
+                        }
+                        let h_lk =
+                            ptdf.factor(l, line_k.from.0) - ptdf.factor(l, line_k.to.0);
+                        h_lk / denom
+                    })
+                    .collect(),
+            )
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
+        let mut matrix = Matrix::zeros(m, m);
+        let mut bridges = vec![false; m];
+        for (k, col) in cols.into_iter().enumerate() {
+            match col {
+                None => bridges[k] = true,
+                Some(col) => {
+                    for (l, v) in col.into_iter().enumerate() {
+                        matrix[(l, k)] = v;
+                    }
                 }
-                let h_lk = ptdf.factor(l, line_k.from.0) - ptdf.factor(l, line_k.to.0);
-                matrix[(l, k)] = h_lk / denom;
             }
         }
         Lodf { matrix, bridges }

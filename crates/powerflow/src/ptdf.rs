@@ -6,8 +6,8 @@
 //! p-only formulation of the bilevel attack problem and by the LODF-based
 //! N−1 screening.
 
-use crate::{dc, Network, PowerflowError};
-use ed_linalg::{Lu, Matrix};
+use crate::{FactorCache, Network, PowerflowError};
+use ed_linalg::Matrix;
 
 /// PTDF table with slack-referenced injections.
 #[derive(Debug, Clone)]
@@ -25,33 +25,36 @@ impl Ptdf {
     /// Returns [`PowerflowError::Linalg`] if the reduced susceptance matrix
     /// is singular (cannot happen for a connected, validated network).
     pub fn compute(net: &Network) -> Result<Ptdf, PowerflowError> {
+        let cache = FactorCache::build(net)?;
+        Self::compute_with(net, &cache)
+    }
+
+    /// Computes the PTDF matrix against a pre-built [`FactorCache`].
+    ///
+    /// One `O(n²)` forward/back substitution per non-slack bus replaces the
+    /// seed's explicit `B_red⁻¹`; columns are independent, so they are
+    /// computed on the `ed-par` worker pool (`ED_THREADS`). Each column
+    /// solve is exactly the solve the old inverse performed internally, so
+    /// the resulting factors are bit-identical to the sequential seed path.
+    ///
+    /// # Errors
+    ///
+    /// - [`PowerflowError::Linalg`] on a solve failure.
+    /// - [`PowerflowError::Parallel`] if a worker panicked.
+    pub fn compute_with(net: &Network, cache: &FactorCache) -> Result<Ptdf, PowerflowError> {
         let n = net.num_buses();
         let m = net.num_lines();
-        let slack = net.slack().0;
-        let keep: Vec<usize> = (0..n).filter(|&i| i != slack).collect();
-        let b_red = dc::bus_susceptance(net).submatrix(&keep, &keep);
-        let lu = Lu::factor(&b_red)?;
-        // X = B_red^{-1}; angles per unit injection at each kept bus.
-        let x = lu.inverse()?;
-        // Map reduced index -> full bus index.
+        let slack = cache.slack();
+        let cols = ed_par::par_map_env(cache.kept_buses(), |_, &bus| {
+            cache.unit_injection_angles(bus)
+        })
+        .map_err(|e| PowerflowError::Parallel { what: e.to_string() })?;
         let mut matrix = Matrix::zeros(m, n);
-        for (lidx, line) in net.lines().iter().enumerate() {
-            let beta = line.susceptance_pu();
-            let (fi, ti) = (line.from.0, line.to.0);
-            for (bk, &bus) in keep.iter().enumerate() {
-                let theta_f = if fi == slack {
-                    0.0
-                } else {
-                    let fk = keep.iter().position(|&k| k == fi).expect("kept bus");
-                    x[(fk, bk)]
-                };
-                let theta_t = if ti == slack {
-                    0.0
-                } else {
-                    let tk = keep.iter().position(|&k| k == ti).expect("kept bus");
-                    x[(tk, bk)]
-                };
-                matrix[(lidx, bus)] = beta * (theta_f - theta_t);
+        for (&bus, theta) in cache.kept_buses().iter().zip(cols) {
+            let theta = theta?;
+            for (lidx, line) in net.lines().iter().enumerate() {
+                matrix[(lidx, bus)] =
+                    line.susceptance_pu() * (theta[line.from.0] - theta[line.to.0]);
             }
         }
         Ok(Ptdf { matrix, slack })
@@ -94,7 +97,7 @@ impl Ptdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BusKind, CostCurve, NetworkBuilder};
+    use crate::{dc, BusKind, CostCurve, NetworkBuilder};
 
     fn paper_three_bus() -> Network {
         let mut b = NetworkBuilder::new(100.0);
@@ -140,6 +143,23 @@ mod tests {
         assert!((ptdf.factor(0, 1) + 2.0 / 3.0).abs() < 1e-9);
         // Line 2 is {1,2}: injection at bus 1 pushes 1/3 through 1->2.
         assert!((ptdf.factor(2, 1) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_cache_matches_fresh_compute_bitwise() {
+        let net = paper_three_bus();
+        let cache = crate::FactorCache::build(&net).unwrap();
+        let fresh = Ptdf::compute(&net).unwrap();
+        let cached = Ptdf::compute_with(&net, &cache).unwrap();
+        for l in 0..net.num_lines() {
+            for b in 0..net.num_buses() {
+                assert_eq!(
+                    fresh.factor(l, b).to_bits(),
+                    cached.factor(l, b).to_bits(),
+                    "({l},{b})"
+                );
+            }
+        }
     }
 
     #[test]

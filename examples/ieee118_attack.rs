@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let heur = optimal_attack_with(&net, &config, false)?;
     let t_heur = t0.elapsed();
     println!(
-        "\nheuristic attack:  {:.2}% violation in {:.2?} ({} candidates via corner sweep)",
+        "\nheuristic attack:  {:.2}% violation in {:.2?} ({} (line, direction) records via corner sweep)",
         heur.ucap_pct, t_heur, heur.subproblems.len()
     );
 

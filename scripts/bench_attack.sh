@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Thread-scaling benchmark for the parallel Algorithm 1 sweep.
+#
+# Usage: scripts/bench_attack.sh [output.json]
+#
+# Runs the exact MPEC sweep on the 118-bus-class case at 1/2/4/N worker
+# threads, checks that the results are bit-identical across thread counts,
+# and writes the wall clocks to BENCH_attack.json (or the given path).
+# The JSON records `hardware_threads` — interpret speedups accordingly on
+# core-starved machines.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_attack.json}"
+
+cargo run --release --offline -p ed-bench --bin sweep_scaling -- "$OUT"

@@ -29,7 +29,11 @@ run() {
 # Offline everywhere: the workspace has no external dependencies and the
 # build must not reach for a network that CI may not have.
 run cargo build --release --offline --workspace
-run cargo test -q --offline --workspace
+# The suite must pass both sequentially and on a multi-threaded pool —
+# Algorithm 1 and PTDF/LODF assembly promise bit-identical results at any
+# thread count (ED_THREADS is read by ed-par).
+run env ED_THREADS=1 cargo test -q --offline --workspace
+run env ED_THREADS=4 cargo test -q --offline --workspace
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "verify: OK"
