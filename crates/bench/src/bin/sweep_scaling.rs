@@ -3,10 +3,15 @@
 //! Runs the exact MPEC sweep on the 118-bus-class network at 1, 2, 4, and
 //! `available_parallelism` worker threads, verifies the results are
 //! bit-identical across thread counts, and writes `BENCH_attack.json` with
-//! the measured wall clocks. The hardware thread count is recorded so
-//! numbers from a core-starved container are not mistaken for a scaling
-//! regression: on a 1-core host all thread counts time out to roughly the
-//! sequential wall clock.
+//! the measured wall clocks plus the sweep's [`SweepReport`]: the shared
+//! KKT model is presolved once (forced on here, independent of
+//! `ED_PRESOLVE`), so the JSON also records the full vs reduced model
+//! dimensions and the presolve reduction ratio. The hardware thread count
+//! is recorded so numbers from a core-starved container are not mistaken
+//! for a scaling regression: on a 1-core host all thread counts time out
+//! to roughly the sequential wall clock.
+//!
+//! [`SweepReport`]: ed_core::attack::SweepReport
 //!
 //! Run with `cargo run --release -p ed-bench --bin sweep_scaling`
 //! (or `scripts/bench_attack.sh`).
@@ -16,12 +21,17 @@ use ed_core::attack::{optimal_attack, AttackConfig, AttackResult, BilevelOptions
 use std::time::Instant;
 
 /// DLR lines in the sweep (2·3 = 6 subproblems — the same workload as the
-/// `ieee118_attack` example, whose exact sweep takes ~30 s in release).
+/// `ieee118_attack` example).
 const DLR_LINES: usize = 3;
 /// Per-subproblem branch-and-bound node budget. Node caps are local and
 /// deterministic, unlike wall-clock deadlines, so the determinism check
-/// below is meaningful.
-const NODE_LIMIT: usize = 4_000;
+/// below is meaningful. Each node re-solves the ~750-row KKT LP from
+/// scratch (seconds per solve in this zero-dependency simplex), so the
+/// budget is deliberately small: the bench measures the parallel sweep
+/// machinery and the shared presolve, not branch-and-bound depth. (The
+/// pre-IR simplex faulted at the root of these degenerate LPs, so earlier
+/// large node budgets were never actually explored.)
+const NODE_LIMIT: usize = 2;
 /// Timed repetitions per thread count (minimum wall clock is reported).
 const REPS: usize = 2;
 
@@ -35,6 +45,7 @@ fn config_for(net: &ed_powerflow::Network, threads: usize) -> AttackConfig {
         .solver_options(BilevelOptions {
             node_limit: NODE_LIMIT,
             threads: Some(threads),
+            presolve: Some(true),
             ..Default::default()
         })
 }
@@ -79,6 +90,7 @@ fn main() {
     let mut runs: Vec<(usize, f64)> = Vec::new();
     let mut reference: Option<(f64, _)> = None;
     let mut deterministic = true;
+    let mut sweep: Option<ed_core::attack::SweepReport> = None;
     for &threads in &thread_counts {
         let config = config_for(&net, threads);
         let mut best_ms = f64::INFINITY;
@@ -90,6 +102,7 @@ fn main() {
             result = Some(r);
         }
         let r = result.expect("at least one repetition ran");
+        sweep = Some(r.sweep.clone());
         let fp = fingerprint(&r);
         match &reference {
             None => reference = Some((r.ucap_pct, fp)),
@@ -111,15 +124,29 @@ fn main() {
     let four_ms = runs.iter().find(|(t, _)| *t == 4).map(|(_, ms)| *ms).unwrap_or(f64::NAN);
     let speedup_4t = seq_ms / four_ms;
 
+    let sweep = sweep.expect("at least one sweep ran");
     let run_objs: Vec<String> = runs
         .iter()
         .map(|(t, ms)| format!("    {{\"threads\": {t}, \"wall_ms\": {ms:.3}}}"))
         .collect();
+    let presolve_obj = format!(
+        "{{\n    \"full_vars\": {},\n    \"full_rows\": {},\n    \"full_nnz\": {},\n    \
+         \"reduced_vars\": {},\n    \"reduced_rows\": {},\n    \"reduced_nnz\": {},\n    \
+         \"reduction_ratio\": {:.4}\n  }}",
+        sweep.full_vars,
+        sweep.full_rows,
+        sweep.full_nnz,
+        sweep.reduced_vars,
+        sweep.reduced_rows,
+        sweep.reduced_nnz,
+        sweep.reduction_ratio()
+    );
     let json = format!(
         "{{\n  \"case\": \"ieee118_like\",\n  \"buses\": {},\n  \"lines\": {},\n  \
          \"dlr_lines\": {},\n  \"subproblems\": {},\n  \"node_limit\": {},\n  \
          \"hardware_threads\": {},\n  \"repetitions\": {},\n  \"runs\": [\n{}\n  ],\n  \
-         \"speedup_4t\": {:.3},\n  \"deterministic\": {}\n}}\n",
+         \"speedup_4t\": {:.3},\n  \"deterministic\": {},\n  \"presolve\": {},\n  \
+         \"mpec_solves\": {},\n  \"milp_solves\": {},\n  \"heuristic_evaluations\": {}\n}}\n",
         net.num_buses(),
         net.num_lines(),
         DLR_LINES,
@@ -129,10 +156,18 @@ fn main() {
         REPS,
         run_objs.join(",\n"),
         speedup_4t,
-        deterministic
+        deterministic,
+        presolve_obj,
+        sweep.mpec_solves,
+        sweep.milp_solves,
+        sweep.heuristic_evaluations
     );
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_attack.json".to_string());
     std::fs::write(&out, &json).expect("write benchmark JSON");
-    eprintln!("wrote {out}: speedup_4t = {speedup_4t:.2}x, deterministic = {deterministic}");
+    eprintln!(
+        "wrote {out}: speedup_4t = {speedup_4t:.2}x, deterministic = {deterministic}, \
+         presolve reduction = {:.1}%",
+        100.0 * sweep.reduction_ratio()
+    );
     print!("{json}");
 }

@@ -17,13 +17,15 @@
 //! [`SolveBudget`]: ed_optim::budget::SolveBudget
 
 use crate::attack::bilevel::{
-    solve_subproblem, BilevelOptions, SubproblemAttempt, SubproblemSolution,
+    solve_subproblem, BilevelOptions, BilevelSolver, SubproblemAttempt, SubproblemSolution,
 };
 use crate::attack::heuristic::{corner_heuristic, greedy_heuristic, HeuristicResult};
-use crate::attack::kkt::KktModel;
+use crate::attack::kkt::{KktModel, PreparedKkt};
 use crate::attack::{AttackConfig, ViolationMetric};
 use crate::CoreError;
 use ed_optim::budget::BudgetTripped;
+use ed_optim::model::presolve;
+use ed_optim::PresolveStats;
 use ed_powerflow::{LineId, Network};
 
 /// Why a subproblem's exact solve did not complete. The sweep is isolated:
@@ -62,6 +64,43 @@ pub struct SubproblemOutcome {
     pub heuristic_missing: bool,
 }
 
+/// Model-size and solver accounting for one Algorithm 1 sweep: how big the
+/// shared KKT model was, how much presolve shrank it, and how many exact
+/// solves of each family actually ran. Written into `BENCH_attack.json` by
+/// the bench harness.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// `(vars, rows, nonzeros)` of the full KKT model.
+    pub full_vars: usize,
+    /// Rows of the full KKT model.
+    pub full_rows: usize,
+    /// Structural nonzeros of the full KKT model.
+    pub full_nnz: usize,
+    /// Variables of the model the subproblems actually solved (equals the
+    /// full counts when presolve was disabled).
+    pub reduced_vars: usize,
+    /// Rows of the solved model.
+    pub reduced_rows: usize,
+    /// Structural nonzeros of the solved model.
+    pub reduced_nnz: usize,
+    /// Presolve size accounting, when presolve ran.
+    pub presolve: Option<PresolveStats>,
+    /// Exact subproblems dispatched to the MPEC solver.
+    pub mpec_solves: usize,
+    /// Exact subproblems dispatched to the big-M MILP solver.
+    pub milp_solves: usize,
+    /// Candidate dispatches evaluated by the corner/greedy heuristic.
+    pub heuristic_evaluations: usize,
+}
+
+impl SweepReport {
+    /// Fraction of rows + columns + nonzeros removed by presolve, in
+    /// `[0, 1]`; zero when presolve was disabled.
+    pub fn reduction_ratio(&self) -> f64 {
+        self.presolve.as_ref().map_or(0.0, PresolveStats::reduction_ratio)
+    }
+}
+
 /// The optimal attack found by Algorithm 1.
 #[derive(Debug, Clone)]
 pub struct AttackResult {
@@ -82,6 +121,8 @@ pub struct AttackResult {
     pub subproblems: Vec<SubproblemOutcome>,
     /// Total branch-and-bound nodes across all subproblems.
     pub total_nodes: usize,
+    /// Model-size and solve accounting for the sweep.
+    pub sweep: SweepReport,
 }
 
 impl AttackResult {
@@ -152,11 +193,30 @@ pub fn optimal_attack_with(
     let mut subproblems = Vec::new();
     let mut total_nodes = 0usize;
 
+    // The invariant KKT blocks (primal/dual feasibility, stationarity,
+    // complementarity pairs) are assembled exactly once and — unless
+    // disabled by `options.presolve` / `ED_PRESOLVE=0` — presolved once;
+    // each subproblem is then an objective patch on the shared reduced
+    // model. Heuristic-only runs build it too, so their records carry the
+    // same (presolved) model dimensions.
+    let use_presolve = config.options.presolve.unwrap_or_else(presolve::env_enabled);
+    let prepared = KktModel::build(net, config)?.prepare(use_presolve)?;
+    let (full_vars, full_rows, full_nnz) = prepared.full_dims();
+    let (reduced_vars, reduced_rows, reduced_nnz) = prepared.reduced_dims();
+    let mut sweep = SweepReport {
+        full_vars,
+        full_rows,
+        full_nnz,
+        reduced_vars,
+        reduced_rows,
+        reduced_nnz,
+        presolve: prepared.stats().copied(),
+        mpec_solves: 0,
+        milp_solves: 0,
+        heuristic_evaluations: heuristic.evaluated,
+    };
+
     if exact {
-        // The invariant KKT blocks (primal/dual feasibility, stationarity,
-        // complementarity pairs) are assembled exactly once; each worker
-        // clones the base model and patches only the objective row.
-        let model = KktModel::build(net, config)?;
         // One cancellable budget shared by every worker: the first one to
         // observe the wall-clock deadline cancels all in-flight siblings,
         // which then report the trip as `WallClock` exactly like a
@@ -171,13 +231,19 @@ pub fn optimal_attack_with(
             .collect();
         let threads = config.options.threads.unwrap_or_else(ed_par::thread_count);
         let records = ed_par::par_map(threads, &tasks, |_, &(k, line, dir)| {
-            run_subproblem(config, &heuristic, &model, &options, k, line, dir)
+            run_subproblem(config, &heuristic, &prepared, &options, k, line, dir)
         })
         .map_err(|e| CoreError::Parallel { what: e.to_string() })?;
         // Reduce in subproblem index order with the same strict `>` the
         // sequential loop used: bit-identical at any thread count.
         for rec in records {
             total_nodes += rec.outcome.nodes;
+            if rec.attempted {
+                match options.solver {
+                    BilevelSolver::Mpec => sweep.mpec_solves += 1,
+                    BilevelSolver::BigM { .. } => sweep.milp_solves += 1,
+                }
+            }
             if let Some((violation, overload, ua, dispatch, target)) = rec.candidate {
                 if best.as_ref().is_none_or(|(v, ..)| violation > *v) {
                     best = Some((violation, overload, ua, dispatch, target));
@@ -234,6 +300,7 @@ pub fn optimal_attack_with(
         dispatch_mw: dispatch,
         subproblems,
         total_nodes,
+        sweep,
     })
 }
 
@@ -254,16 +321,19 @@ type Candidate = (f64, f64, Vec<f64>, Vec<f64>, (LineId, i8));
 struct SubproblemRecord {
     outcome: SubproblemOutcome,
     candidate: Option<Candidate>,
+    /// Whether an exact solve was actually dispatched (pre-build deadline
+    /// skips are not attempts); feeds the per-family solve counts.
+    attempted: bool,
 }
 
 /// One (line, direction) subproblem of Algorithm 1, runnable from any
-/// worker thread. Clones the prepared base model and patches only its
-/// objective row; never errors — faults and budget trips become flagged
+/// worker thread. Clones the shared (presolved) base model and patches only
+/// its objective row; never errors — faults and budget trips become flagged
 /// outcomes exactly as in the sequential sweep.
 fn run_subproblem(
     config: &AttackConfig,
     heuristic: &HeuristicResult,
-    model: &KktModel,
+    prepared: &PreparedKkt,
     options: &BilevelOptions,
     k: usize,
     line: LineId,
@@ -302,11 +372,10 @@ fn run_subproblem(
                 heuristic_missing,
             },
             candidate: None,
+            attempted: false,
         };
     }
 
-    let mut model = model.clone();
-    model.set_flow_objective(line, dir, scale);
     let hint = if options.use_heuristic {
         // best_flow[k][d] already stores max(dir·f) over the heuristic
         // candidates, i.e. the solver objective value (before scaling)
@@ -315,7 +384,7 @@ fn run_subproblem(
     } else {
         None
     };
-    match solve_subproblem(&model, line, options, hint) {
+    match solve_subproblem(prepared, line, dir, scale, options, hint) {
         SubproblemAttempt::Solved(SubproblemSolution {
             objective,
             ua_mw,
@@ -343,6 +412,7 @@ fn run_subproblem(
                     dispatch_mw,
                     (line, dir as i8),
                 )),
+                attempted: true,
             }
         }
         SubproblemAttempt::Pruned => SubproblemRecord {
@@ -358,6 +428,7 @@ fn run_subproblem(
                 heuristic_missing,
             },
             candidate: None,
+            attempted: true,
         },
         SubproblemAttempt::Budget(tripped, incumbent) => {
             // Budget trip: keep the better of the solver's partial
@@ -386,6 +457,7 @@ fn run_subproblem(
                         (line, dir as i8),
                     )
                 }),
+                attempted: true,
             }
         }
         SubproblemAttempt::Faulted(e) => SubproblemRecord {
@@ -401,6 +473,7 @@ fn run_subproblem(
                 heuristic_missing,
             },
             candidate: None,
+            attempted: true,
         },
     }
 }

@@ -1,7 +1,7 @@
 //! Subproblem solvers: big-M MILP (paper, Eq. 16–17) vs complementarity
 //! branching (MPEC).
 
-use crate::attack::kkt::KktModel;
+use crate::attack::kkt::PreparedKkt;
 use ed_optim::budget::{BudgetTripped, SolveBudget, SolveOutcome};
 use ed_optim::lp::{Row, VarId};
 use ed_optim::milp::{MilpOptions, MilpProblem};
@@ -50,6 +50,10 @@ pub struct BilevelOptions {
     /// `Some(1)` forces a sequential in-place sweep. Results are
     /// bit-identical across thread counts.
     pub threads: Option<usize>,
+    /// Presolve the shared KKT base model once before the sweep, so each
+    /// subproblem is an objective patch on the reduced model: `Some(flag)`
+    /// forces it, `None` defers to the `ED_PRESOLVE` environment variable.
+    pub presolve: Option<bool>,
 }
 
 impl Default for BilevelOptions {
@@ -60,6 +64,7 @@ impl Default for BilevelOptions {
             use_heuristic: true,
             budget: SolveBudget::unlimited(),
             threads: None,
+            presolve: None,
         }
     }
 }
@@ -102,8 +107,11 @@ pub(crate) enum SubproblemAttempt {
     Faulted(OptimError),
 }
 
-/// Solves one subproblem on a prepared KKT model whose objective has been
-/// set via [`KktModel::set_flow_objective`].
+/// Solves one `(target, dir)` subproblem on the sweep's shared
+/// [`PreparedKkt`]: the reduced base model is cloned, its objective patched
+/// to the scaled flow on `target`, and the chosen complementarity
+/// reformulation run with its own root presolve *disabled* (the sweep
+/// already presolved once).
 ///
 /// `incumbent_hint`, when given, must be a *valid achievable* objective
 /// value (e.g. from the corner heuristic); the search then reports
@@ -112,27 +120,37 @@ pub(crate) enum SubproblemAttempt {
 /// Never returns an error: solver failures are folded into
 /// [`SubproblemAttempt::Faulted`] so the caller can isolate them.
 pub(crate) fn solve_subproblem(
-    model: &KktModel,
+    prepared: &PreparedKkt,
     target: LineId,
+    dir: f64,
+    scale: f64,
     options: &BilevelOptions,
     incumbent_hint: Option<f64>,
 ) -> SubproblemAttempt {
-    let package = |x: &[f64], objective: f64, proved_optimal: bool, nodes: usize| {
+    let (lp, offset) = prepared.subproblem(target, dir, scale);
+    // The reduced model's objective differs from the original by `offset`;
+    // hints and reported objectives convert at this boundary.
+    let hint = incumbent_hint.map(|h| h - offset);
+    let package = |x_red: &[f64], objective: f64, proved_optimal: bool, nodes: usize| {
+        let x = prepared.restore(x_red);
         SubproblemSolution {
-            objective,
-            ua_mw: model.ua_at(x),
-            flow_mw: model.flow_at(x, target),
-            dispatch_mw: model.dispatch_at(x),
+            objective: objective + offset,
+            ua_mw: prepared.base().ua_at(&x),
+            flow_mw: prepared.base().flow_at(&x, target),
+            dispatch_mw: prepared.base().dispatch_at(&x),
             proved_optimal,
             nodes,
         }
     };
     let outcome = match options.solver {
         BilevelSolver::Mpec => {
-            let mpec = MpecProblem::new(model.lp.clone(), model.pairs.clone());
+            // The reduced model carries its (remapped) complementarity
+            // pairs; no separate pair list is needed.
+            let mpec = MpecProblem::from_model(lp);
             let opts = MpecOptions {
                 max_nodes: options.node_limit,
-                incumbent_hint,
+                incumbent_hint: hint,
+                presolve: Some(false),
                 ..Default::default()
             };
             mpec.solve_budgeted(&opts, &options.budget).map(|o| match o {
@@ -146,9 +164,10 @@ pub(crate) fn solve_subproblem(
             })
         }
         BilevelSolver::BigM { big_m } => {
-            let mut lp = model.lp.clone();
-            let mut binaries: Vec<VarId> = Vec::with_capacity(model.pairs.len());
-            for &(lambda, slack) in &model.pairs {
+            let mut lp = lp;
+            let pairs: Vec<(VarId, VarId)> = lp.pairs().to_vec();
+            let mut binaries: Vec<VarId> = Vec::with_capacity(pairs.len());
+            for &(lambda, slack) in &pairs {
                 let mu = lp.add_var(0.0, 1.0, 0.0);
                 // λ ≤ M μ  and  s ≤ M (1 − μ)   (Eq. 16d).
                 lp.add_row(Row::le(0.0).coef(lambda, 1.0).coef(mu, -big_m));
@@ -158,7 +177,8 @@ pub(crate) fn solve_subproblem(
             let milp = MilpProblem::new(lp, binaries);
             let opts = MilpOptions {
                 max_nodes: options.node_limit,
-                incumbent_hint,
+                incumbent_hint: hint,
+                presolve: Some(false),
                 ..Default::default()
             };
             milp.solve_budgeted(&opts, &options.budget).map(|o| match o {

@@ -22,6 +22,8 @@
 use crate::attack::AttackConfig;
 use crate::CoreError;
 use ed_optim::lp::{LpProblem, Row, Sense, VarId};
+use ed_optim::model::presolve;
+use ed_optim::{Model, Postsolve, PresolveStats};
 use ed_powerflow::{LineId, Network};
 
 /// The assembled KKT model.
@@ -195,8 +197,48 @@ impl KktModel {
             lp.add_row(Row::eq(0.0).coefs(stationarity[ng + i].iter().copied()));
         }
 
-        let pairs = ineqs.iter().map(|q| (q.lambda, q.slack)).collect();
+        // The pairs live on the model itself (so presolve can remap them and
+        // the MPEC solver can pick them up from any clone) *and* in the
+        // `pairs` field for callers that want original-space ids.
+        let pairs: Vec<(VarId, VarId)> = ineqs.iter().map(|q| (q.lambda, q.slack)).collect();
+        for &(lambda, slack) in &pairs {
+            lp.add_pair(lambda, slack);
+        }
         Ok(KktModel { lp, ua_vars, p_vars, theta_vars, pairs, flow_coef })
+    }
+
+    /// Freezes the model into the sweep-ready form: presolves the invariant
+    /// KKT blocks once (when `use_presolve` is set) so every subproblem of
+    /// Algorithm 1 becomes an objective patch on the shared reduced model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates presolve failures (e.g. a bound conflict proving the KKT
+    /// system infeasible for every manipulation).
+    pub fn prepare(self, use_presolve: bool) -> Result<PreparedKkt, CoreError> {
+        if use_presolve {
+            // Scaling is off: the KKT LP is heavily degenerate, and
+            // power-of-two row/column scaling perturbs the simplex pivot
+            // path badly here (~4x the iterations on the 118-bus case)
+            // without improving conditioning — the coefficients are
+            // already O(1) susceptances and unit complementarity rows.
+            let opts =
+                presolve::PresolveOptions { scale: false, ..Default::default() };
+            let pre = presolve::presolve_with(&self.lp, &opts)?;
+            Ok(PreparedKkt {
+                reduced: pre.reduced,
+                postsolve: Some(pre.postsolve),
+                stats: Some(pre.stats),
+                base: self,
+            })
+        } else {
+            Ok(PreparedKkt {
+                reduced: self.lp.clone(),
+                postsolve: None,
+                stats: None,
+                base: self,
+            })
+        }
     }
 
     /// Sets the objective to maximize `dir · f_l` scaled by `scale` (plus an
@@ -244,6 +286,89 @@ impl KktModel {
     }
 }
 
+/// A KKT model frozen for the Algorithm 1 sweep: the invariant blocks are
+/// presolved **once**, and each of the `2·|E_D|` subproblems is produced by
+/// patching only the objective row of the shared reduced model (via
+/// [`Postsolve::reduce_objective`], which maps the original-space flow
+/// objective into reduced coordinates and accounts for eliminated
+/// variables' contributions exactly).
+#[derive(Debug, Clone)]
+pub struct PreparedKkt {
+    base: KktModel,
+    /// Reduced (or, without presolve, cloned) base model, zero objective.
+    reduced: Model,
+    postsolve: Option<Postsolve>,
+    stats: Option<PresolveStats>,
+}
+
+impl PreparedKkt {
+    /// The original-space model and its accessors.
+    pub fn base(&self) -> &KktModel {
+        &self.base
+    }
+
+    /// Presolve statistics, when presolve ran.
+    pub fn stats(&self) -> Option<&PresolveStats> {
+        self.stats.as_ref()
+    }
+
+    /// `(vars, rows, nonzeros)` of the full KKT model.
+    pub fn full_dims(&self) -> (usize, usize, usize) {
+        let m = &self.base.lp;
+        (m.num_vars(), m.num_rows(), m.num_nonzeros())
+    }
+
+    /// `(vars, rows, nonzeros)` of the model the subproblems actually solve.
+    pub fn reduced_dims(&self) -> (usize, usize, usize) {
+        (self.reduced.num_vars(), self.reduced.num_rows(), self.reduced.num_nonzeros())
+    }
+
+    /// A subproblem model maximizing `dir · scale · f_line`, plus the
+    /// objective constant contributed by presolve-eliminated variables:
+    /// `objective_original(x) = objective_reduced(x_red) + offset`.
+    ///
+    /// Cloning the reduced model is cheap — constraint columns are shared
+    /// copy-on-write, and patching the objective never touches them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn subproblem(&self, line: LineId, dir: f64, scale: f64) -> (Model, f64) {
+        let (f, t, w) = self.base.flow_coef[line.0];
+        let mut m = self.reduced.clone();
+        m.clear_objective();
+        m.set_sense(Sense::Max);
+        match &self.postsolve {
+            Some(post) => {
+                let mut obj = vec![0.0; self.base.lp.num_vars()];
+                obj[self.base.theta_vars[f].index()] = dir * scale * w;
+                obj[self.base.theta_vars[t].index()] = -dir * scale * w;
+                let (red, offset) = post.reduce_objective(&obj);
+                for (v, &c) in m.var_ids().iter().zip(&red) {
+                    if c != 0.0 {
+                        m.set_objective_coef(*v, c);
+                    }
+                }
+                (m, offset)
+            }
+            None => {
+                m.set_objective_coef(self.base.theta_vars[f], dir * scale * w);
+                m.set_objective_coef(self.base.theta_vars[t], -dir * scale * w);
+                (m, 0.0)
+            }
+        }
+    }
+
+    /// Maps a reduced solution vector back to the original variable space
+    /// (tolerates extra appended entries, e.g. big-M indicator binaries).
+    pub fn restore(&self, x_red: &[f64]) -> Vec<f64> {
+        match &self.postsolve {
+            Some(post) => post.restore_x(x_red),
+            None => x_red.to_vec(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,7 +391,8 @@ mod tests {
             let _ = k;
             model.lp.set_bounds(v, 160.0, 160.0);
         }
-        let mpec = MpecProblem::new(model.lp.clone(), model.pairs.clone());
+        // `build` already recorded the complementarity pairs on the model.
+        let mpec = MpecProblem::from_model(model.lp.clone());
         let sol = mpec.solve().unwrap();
         let p = model.dispatch_at(&sol.x);
         // Inner-optimal dispatch for these ratings is (120, 180).

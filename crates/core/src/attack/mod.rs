@@ -25,6 +25,7 @@ pub mod kkt;
 
 pub use algorithm1::{
     optimal_attack, optimal_attack_with, AttackResult, SubproblemFault, SubproblemOutcome,
+    SweepReport,
 };
 pub use bilevel::{BilevelOptions, BilevelSolver, SubproblemSolution};
 pub use evaluate::{evaluate_attack, run_timeline, AttackOutcome, TimelinePoint};

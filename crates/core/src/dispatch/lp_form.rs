@@ -1,9 +1,12 @@
 //! LP formulations of DC-OPF (used when any generator has a linear cost,
 //! and as the cost-linearized fallback rung of the resilient dispatcher).
+//! Models are assembled in the shared [`ed_optim::Model`] IR and solved
+//! through the [`Solver`] trait, like the QP forms.
 
 use crate::CoreError;
 use ed_optim::budget::{SolveBudget, SolveOutcome};
-use ed_optim::lp::{LpProblem, Row, SimplexOptions};
+use ed_optim::lp::{LpProblem, Row};
+use ed_optim::model::{SimplexSolver, Solver};
 use ed_powerflow::{ptdf::Ptdf, Network};
 
 /// Per-generator objective coefficient: the generator's own linear cost, or
@@ -82,10 +85,10 @@ pub(crate) fn solve_angle_budgeted(
         lp.add_row(Row::le(ratings_mw[l]).coef(t_vars[f], -w).coef(t_vars[t], w));
     }
 
-    match lp.solve_budgeted(&SimplexOptions::default(), budget)? {
+    match SimplexSolver::default().solve(&lp, budget)? {
         SolveOutcome::Solved(sol) => {
             let p_mw = sol.x[..ng].to_vec();
-            let lmp = balance_rows.iter().map(|r| sol.duals[r.index()]).collect();
+            let lmp = balance_rows.iter().map(|r| sol.row_duals[r.index()]).collect();
             Ok(SolveOutcome::Solved((p_mw, lmp)))
         }
         SolveOutcome::Partial(mut p) => {
@@ -171,23 +174,23 @@ pub(crate) fn solve_ptdf_budgeted(
         }
     }
 
-    match lp.solve_budgeted(&SimplexOptions::default(), budget)? {
+    match SimplexSolver::default().solve(&lp, budget)? {
         SolveOutcome::Solved(sol) => {
             let p_mw = sol.x[..ng].to_vec();
 
             // LMP_i = λ_energy + Σ_l (y_fwd_l − y_bwd_l) · PTDF[l][i], from the
             // dependence of each row's rhs on d_i.
-            let y0 = sol.duals[energy.index()];
+            let y0 = sol.row_duals[energy.index()];
             let lmp = (0..net.num_buses())
                 .map(|i| {
                     let mut v = y0;
                     for l in 0..net.num_lines() {
                         let h = ptdf.factor(l, i);
                         if let Some(r) = fwd_rows[l] {
-                            v += sol.duals[r.index()] * h;
+                            v += sol.row_duals[r.index()] * h;
                         }
                         if let Some(r) = bwd_rows[l] {
-                            v -= sol.duals[r.index()] * h;
+                            v -= sol.row_duals[r.index()] * h;
                         }
                     }
                     v

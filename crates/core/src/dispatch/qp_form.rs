@@ -1,14 +1,20 @@
 //! QP formulations of DC-OPF (used when all generator costs are strictly
 //! convex, as in the paper's 118-node experiments).
+//!
+//! Both formulations assemble the shared [`Model`] IR directly and solve it
+//! through the [`Solver`] trait, so the resilient ladder can hand each rung
+//! a different solver object (active set, interior point, or the
+//! auto-escalating combination) without touching the model-building code.
+//! LMPs fall out of the unified dual convention: `Solution::row_duals[i]`
+//! is `∂cost/∂rhs_i` in the stated (minimization) sense, so a balance row's
+//! dual *is* the nodal price.
 
 use crate::CoreError;
 use ed_optim::budget::{SolveBudget, SolveOutcome};
-use ed_optim::qp::{QpMethod, QpOptions, QpProblem};
+use ed_optim::model::{QpAutoSolver, Solver};
+use ed_optim::lp::{Row, VarId};
+use ed_optim::Model;
 use ed_powerflow::{ptdf::Ptdf, Network};
-
-fn options_for(method: QpMethod) -> QpOptions {
-    QpOptions { method, ..QpOptions::default() }
-}
 
 /// Angle formulation with variables `(p, θ)`. Returns `(p_mw, lmp)`.
 pub(crate) fn solve_angle(
@@ -16,13 +22,14 @@ pub(crate) fn solve_angle(
     demand_mw: &[f64],
     ratings_mw: &[f64],
 ) -> Result<(Vec<f64>, Vec<f64>), CoreError> {
-    match solve_angle_budgeted(net, demand_mw, ratings_mw, QpMethod::Auto, &SolveBudget::unlimited())? {
+    let solver = QpAutoSolver::default();
+    match solve_angle_budgeted(net, demand_mw, ratings_mw, &solver, &SolveBudget::unlimited())? {
         SolveOutcome::Solved(v) => Ok(v),
         SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
     }
 }
 
-/// Angle formulation under an explicit method and budget. A budget trip
+/// Angle formulation under an explicit solver and budget. A budget trip
 /// with a feasible active-set iterate yields a partial whose `x` is already
 /// truncated to the generator block (a usable `p_mw`); LMPs require duals
 /// and are unavailable on the partial path.
@@ -30,68 +37,63 @@ pub(crate) fn solve_angle_budgeted(
     net: &Network,
     demand_mw: &[f64],
     ratings_mw: &[f64],
-    method: QpMethod,
+    solver: &dyn Solver,
     budget: &SolveBudget,
 ) -> super::BudgetedSolve {
     let nb = net.num_buses();
     let ng = net.num_gens();
     let base = net.base_mva();
-    let n = ng + nb;
-    let mut qp = QpProblem::new(n);
+    let mut m = Model::minimize();
 
-    let mut diag = vec![0.0; n];
-    let mut lin = vec![0.0; n];
+    // Generator block: box bounds, linear cost b, Hessian diagonal 2a.
+    let p_vars: Vec<VarId> = net
+        .gens()
+        .iter()
+        .map(|g| m.add_var(g.pmin_mw, g.pmax_mw, g.cost.b))
+        .collect();
     for (gi, g) in net.gens().iter().enumerate() {
-        diag[gi] = 2.0 * g.cost.a;
-        lin[gi] = g.cost.b;
+        if g.cost.a != 0.0 {
+            m.add_quad(p_vars[gi], p_vars[gi], 2.0 * g.cost.a);
+        }
     }
-    qp.set_quadratic_diag(&diag);
-    qp.set_linear(&lin);
+    let t_vars: Vec<VarId> = (0..nb)
+        .map(|_| m.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0))
+        .collect();
 
-    // Balance equalities.
-    let mut balance_rows = Vec::with_capacity(nb);
-    let mut rows = vec![vec![0.0; n]; nb];
+    // Per-bus balance: Σ_{g@i} p_g − Σ outflow(θ) = d_i  (Eq. 5).
+    let mut balance: Vec<Row> = demand_mw.iter().map(|&d| Row::eq(d)).collect();
     for line in net.lines() {
         let w = base * line.susceptance_pu();
         let (f, t) = (line.from.0, line.to.0);
-        rows[f][ng + f] -= w;
-        rows[f][ng + t] += w;
-        rows[t][ng + t] -= w;
-        rows[t][ng + f] += w;
+        balance[f] = std::mem::replace(&mut balance[f], Row::eq(0.0))
+            .coef(t_vars[f], -w)
+            .coef(t_vars[t], w);
+        balance[t] = std::mem::replace(&mut balance[t], Row::eq(0.0))
+            .coef(t_vars[t], -w)
+            .coef(t_vars[f], w);
     }
     for (gi, g) in net.gens().iter().enumerate() {
-        rows[g.bus.0][gi] += 1.0;
+        let b = g.bus.0;
+        balance[b] = std::mem::replace(&mut balance[b], Row::eq(0.0)).coef(p_vars[gi], 1.0);
     }
-    for (i, row) in rows.into_iter().enumerate() {
-        qp.add_eq(&row, demand_mw[i]);
-        balance_rows.push(i);
-    }
-    // Reference angle.
-    let mut ref_row = vec![0.0; n];
-    ref_row[ng + net.slack().0] = 1.0;
-    qp.add_eq(&ref_row, 0.0);
+    let balance_rows: Vec<_> = balance.into_iter().map(|r| m.add_row(r)).collect();
 
-    // Generator bounds.
-    for (gi, g) in net.gens().iter().enumerate() {
-        qp.add_bounds(gi, g.pmin_mw, g.pmax_mw);
-    }
-    // Flow limits.
+    // Reference angle.
+    m.add_row(Row::eq(0.0).coef(t_vars[net.slack().0], 1.0));
+
+    // Flow limits |f_l| <= u_l (Eq. 13).
     for (l, line) in net.lines().iter().enumerate() {
         let w = base * line.susceptance_pu();
         let (f, t) = (line.from.0, line.to.0);
-        let mut a = vec![0.0; n];
-        a[ng + f] = w;
-        a[ng + t] = -w;
-        qp.add_ineq(&a, ratings_mw[l]);
-        let neg: Vec<f64> = a.iter().map(|v| -v).collect();
-        qp.add_ineq(&neg, ratings_mw[l]);
+        m.add_row(Row::le(ratings_mw[l]).coef(t_vars[f], w).coef(t_vars[t], -w));
+        m.add_row(Row::le(ratings_mw[l]).coef(t_vars[f], -w).coef(t_vars[t], w));
     }
 
-    match qp.solve_budgeted(&options_for(method), budget)? {
+    match solver.solve(&m, budget)? {
         SolveOutcome::Solved(sol) => {
             let p_mw = sol.x[..ng].to_vec();
-            // With L = f + ν g_eq, LMP_i = dC*/dd_i = -ν_i.
-            let lmp = balance_rows.iter().map(|&i| -sol.eq_duals[i]).collect();
+            // LMP_i = ∂cost/∂d_i = the balance row's stated-sense dual.
+            let lmp = balance_rows.iter().map(|r| sol.row_duals[r.index()]).collect();
             Ok(SolveOutcome::Solved((p_mw, lmp)))
         }
         SolveOutcome::Partial(mut p) => {
@@ -107,35 +109,44 @@ pub(crate) fn solve_ptdf(
     demand_mw: &[f64],
     ratings_mw: &[f64],
 ) -> Result<(Vec<f64>, Vec<f64>), CoreError> {
-    match solve_ptdf_budgeted(net, demand_mw, ratings_mw, QpMethod::Auto, &SolveBudget::unlimited())? {
+    let solver = QpAutoSolver::default();
+    match solve_ptdf_budgeted(net, demand_mw, ratings_mw, &solver, &SolveBudget::unlimited())? {
         SolveOutcome::Solved(v) => Ok(v),
         SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
     }
 }
 
-/// PTDF formulation under an explicit method and budget (see
+/// PTDF formulation under an explicit solver and budget (see
 /// [`solve_angle_budgeted`] for partial-result semantics; here `x` is the
 /// generator vector already).
 pub(crate) fn solve_ptdf_budgeted(
     net: &Network,
     demand_mw: &[f64],
     ratings_mw: &[f64],
-    method: QpMethod,
+    solver: &dyn Solver,
     budget: &SolveBudget,
 ) -> super::BudgetedSolve {
     let ng = net.num_gens();
     let ptdf = Ptdf::compute(net)?;
-    let mut qp = QpProblem::new(ng);
-    let diag: Vec<f64> = net.gens().iter().map(|g| 2.0 * g.cost.a).collect();
-    let lin: Vec<f64> = net.gens().iter().map(|g| g.cost.b).collect();
-    qp.set_quadratic_diag(&diag);
-    qp.set_linear(&lin);
+    let mut m = Model::minimize();
+    let p_vars: Vec<VarId> = net
+        .gens()
+        .iter()
+        .map(|g| m.add_var(g.pmin_mw, g.pmax_mw, g.cost.b))
+        .collect();
+    for (gi, g) in net.gens().iter().enumerate() {
+        if g.cost.a != 0.0 {
+            m.add_quad(p_vars[gi], p_vars[gi], 2.0 * g.cost.a);
+        }
+    }
 
     let total_demand: f64 = demand_mw.iter().sum();
-    qp.add_eq(&vec![1.0; ng], total_demand);
-    for (gi, g) in net.gens().iter().enumerate() {
-        qp.add_bounds(gi, g.pmin_mw, g.pmax_mw);
-    }
+    let energy = m.add_row(
+        p_vars
+            .iter()
+            .fold(Row::eq(total_demand), |r, &v| r.coef(v, 1.0)),
+    );
+
     // Redundant-row elimination: a flow constraint whose worst-case
     // activity over the whole generation box cannot reach its rhs can
     // never bind and is dropped (typically most lines of a large system).
@@ -159,30 +170,39 @@ pub(crate) fn solve_ptdf_budgeted(
             .map(|(&h, g)| (-h * g.pmin_mw).max(-h * g.pmax_mw))
             .sum();
         if max_pos > ratings_mw[l] + base_flow {
-            let neg_rhs = ratings_mw[l] + base_flow;
-            fwd[l] = Some(qp.add_ineq(&a, neg_rhs));
+            let mut row = Row::le(ratings_mw[l] + base_flow);
+            for (gi, &h) in a.iter().enumerate() {
+                row = row.coef(p_vars[gi], h);
+            }
+            fwd[l] = Some(m.add_row(row));
         }
         if max_neg > ratings_mw[l] - base_flow {
-            let neg: Vec<f64> = a.iter().map(|v| -v).collect();
-            bwd[l] = Some(qp.add_ineq(&neg, ratings_mw[l] - base_flow));
+            let mut row = Row::le(ratings_mw[l] - base_flow);
+            for (gi, &h) in a.iter().enumerate() {
+                row = row.coef(p_vars[gi], -h);
+            }
+            bwd[l] = Some(m.add_row(row));
         }
     }
 
-    match qp.solve_budgeted(&options_for(method), budget)? {
+    match solver.solve(&m, budget)? {
         SolveOutcome::Solved(sol) => {
             let p_mw = sol.x[..ng].to_vec();
-            // dC*/dd_i = -ν_energy - Σ_l λ_fwd PTDF[l][i] + Σ_l λ_bwd PTDF[l][i].
-            let nu = sol.eq_duals[0];
+            // LMP_i = ∂cost/∂d_i. Each row's rhs depends on d_i through the
+            // PTDFs: ∂rhs_energy/∂d_i = 1, ∂rhs_fwd_l/∂d_i = +PTDF[l][i],
+            // ∂rhs_bwd_l/∂d_i = −PTDF[l][i]; chain through the stated-sense
+            // row duals.
+            let y0 = sol.row_duals[energy.index()];
             let lmp = (0..net.num_buses())
                 .map(|i| {
-                    let mut v = -nu;
+                    let mut v = y0;
                     for l in 0..net.num_lines() {
                         let h = ptdf.factor(l, i);
-                        if let Some(row) = fwd[l] {
-                            v -= sol.ineq_duals[row] * h;
+                        if let Some(r) = fwd[l] {
+                            v += sol.row_duals[r.index()] * h;
                         }
-                        if let Some(row) = bwd[l] {
-                            v += sol.ineq_duals[row] * h;
+                        if let Some(r) = bwd[l] {
+                            v -= sol.row_duals[r.index()] * h;
                         }
                     }
                     v

@@ -18,6 +18,10 @@
 //!    EMSs hold the previous base point when the optimizer misses its
 //!    market-interval deadline.
 //!
+//! Each QP rung hands the shared-model builders in `qp_form` a different
+//! [`Solver`] trait object, so the ladder's escalation policy lives here
+//! while the model assembly is written once.
+//!
 //! Every input is sanitized before *any* solver sees it (non-finite or
 //! non-positive ratings, non-finite demand), so a NaN injected into the
 //! DLR pipeline degrades to last-known-good instead of poisoning a KKT
@@ -27,7 +31,7 @@
 use crate::dispatch::{lp_form, qp_form, DcOpf, Dispatch, Formulation};
 use crate::CoreError;
 use ed_optim::budget::{BudgetTripped, SolveBudget, SolveOutcome};
-use ed_optim::qp::QpMethod;
+use ed_optim::model::{ActiveSetSolver, IpmSolver, Solver};
 use ed_powerflow::Network;
 
 /// Which rung of the fallback ladder produced a dispatch.
@@ -160,7 +164,7 @@ impl ResilientDispatcher {
         let mut last_err: CoreError = CoreError::DispatchInfeasible;
         if all_quadratic {
             // Rung 1: active-set QP.
-            match self.try_qp(&problem, formulation, QpMethod::ActiveSet, budget) {
+            match self.try_qp(&problem, formulation, &ActiveSetSolver::default(), budget) {
                 RungOutcome::Clean(d) => return self.accept(d, DispatchRung::ActiveSetQp, degradations),
                 RungOutcome::Degraded(d, tripped) => {
                     degradations.push(Degradation {
@@ -195,7 +199,7 @@ impl ResilientDispatcher {
                     reason: DegradationReason::DeadlineExhausted,
                 });
             } else {
-                match self.try_qp(&problem, formulation, QpMethod::InteriorPoint, budget) {
+                match self.try_qp(&problem, formulation, &IpmSolver::default(), budget) {
                     RungOutcome::Clean(d) => {
                         return self.accept(d, DispatchRung::InteriorPoint, degradations)
                     }
@@ -313,7 +317,7 @@ impl ResilientDispatcher {
         &self,
         problem: &DcOpf<'_>,
         formulation: Formulation,
-        method: QpMethod,
+        solver: &dyn Solver,
         budget: &SolveBudget,
     ) -> RungOutcome {
         let net = problem.network();
@@ -322,14 +326,14 @@ impl ResilientDispatcher {
                 net,
                 problem.demand_mw(),
                 problem.ratings_mw(),
-                method,
+                solver,
                 budget,
             ),
             _ => qp_form::solve_angle_budgeted(
                 net,
                 problem.demand_mw(),
                 problem.ratings_mw(),
-                method,
+                solver,
                 budget,
             ),
         };

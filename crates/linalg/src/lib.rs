@@ -9,6 +9,9 @@
 //!   in the Newton–Raphson AC power flow, PTDF computation, and the
 //!   active-set QP solver.
 //! - [`Complex`] — complex arithmetic for AC admittance matrices.
+//! - [`CscMatrix`] — compressed sparse column storage for constraint
+//!   matrices, with dense↔sparse conversion and column iteration; the
+//!   interchange format between the optimization model IR and presolve.
 //!
 //! Everything here is implemented from scratch (no external linear-algebra
 //! crates) and sized for the problems in this workspace: networks with up to
@@ -37,10 +40,12 @@ mod complex;
 mod error;
 mod lu;
 mod matrix;
+mod sparse;
 mod vector;
 
 pub use complex::Complex;
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use sparse::CscMatrix;
 pub use vector::{axpy, dot, norm_inf, norm_two, scale, sub};

@@ -4,9 +4,16 @@
 //! all implemented here from scratch on top of [`ed_linalg`]:
 //!
 //! - [`lp`] — linear programming via a bounded-variable two-phase revised
-//!   simplex method with a dense basis inverse and periodic refactorization.
-//!   Used for economic dispatch with linear generation costs and as the
-//!   relaxation engine inside the MILP/MPEC branch-and-bound solvers.
+//!   simplex method with an LU-factored basis, product-form eta updates,
+//!   and periodic refactorization. Used for economic dispatch with linear
+//!   generation costs and as the relaxation engine inside the MILP/MPEC
+//!   branch-and-bound solvers.
+//!
+//! All four families share one problem representation: the sparse
+//! [`model::Model`] IR (column-wise constraint storage, variable and row
+//! bounds, optional quadratic terms, integrality marks, complementarity
+//! pairs), with an optional presolve pass ([`model::presolve`]) that
+//! shrinks a model and maps reduced solutions back exactly.
 //! - [`qp`] — convex quadratic programming via a primal active-set method.
 //!   Used for economic dispatch with the paper's convex quadratic costs
 //!   (Eq. 3).
@@ -42,9 +49,14 @@ pub mod budget;
 mod error;
 pub mod lp;
 pub mod milp;
+pub mod model;
 pub mod mpec;
 pub mod qp;
 
 pub use budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
 pub use error::OptimError;
+pub use model::{
+    ActiveSetSolver, BranchBoundSolver, IpmSolver, Model, MpecSolver, Postsolve, PresolveOptions,
+    PresolveStats, Presolved, QpAutoSolver, SimplexSolver, Solution, Solver,
+};
 

@@ -1,4 +1,4 @@
-//! Bounded-variable two-phase revised simplex with a dense basis inverse.
+//! Bounded-variable two-phase revised simplex with an LU-factored basis.
 //!
 //! Implementation notes:
 //!
@@ -7,19 +7,23 @@
 //! - Phase 1 introduces one artificial column per row and minimizes their
 //!   sum; phase 2 re-prices with the true objective after artificials are
 //!   driven out (or pinned at zero on redundant rows).
-//! - The basis inverse is kept explicitly and updated with elementary row
-//!   operations each pivot; it is refactored from scratch (dense LU) every
-//!   [`SimplexOptions::refactor_interval`] pivots to bound drift, and the
-//!   basic solution is recomputed at the same cadence.
+//! - The basis is represented as an [`Lu`] factorization of the last
+//!   refactorized basis matrix plus a list of product-form eta updates, one
+//!   per pivot: ftran solves through the factors then applies the etas in
+//!   order, btran applies the transposed etas in reverse then solves the
+//!   transposed factors. The basis is refactorized from scratch every
+//!   [`SimplexOptions::refactor_interval`] pivots (clearing the eta list and
+//!   recomputing the basic solution) to bound drift — no dense explicit
+//!   inverse is ever formed.
 //! - Dantzig pricing by default, with an automatic switch to Bland's rule
 //!   after a run of degenerate pivots to guarantee termination.
 
-// The basis-inverse kernels below accumulate across `binv` rows and columns
-// with classic indexed recurrences; iterator rewrites obscure them.
+// The eta-application kernels below accumulate with classic indexed
+// recurrences; iterator rewrites obscure them.
 #![allow(clippy::needless_range_loop)]
 
 use crate::budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
-use crate::lp::problem::{LpProblem, LpSolution, LpStatus, RowSense, Sense};
+use crate::model::{LpSolution, LpStatus, Model, RowSense, Sense};
 use crate::OptimError;
 use ed_linalg::{Lu, Matrix};
 
@@ -89,12 +93,18 @@ struct Tableau {
     x: Vec<f64>,
     state: Vec<VarState>,
     basis: Vec<usize>,
-    binv: Matrix,
+    /// LU factors of the basis matrix at the last refactorization
+    /// (`None` until the first factorization, or when `m == 0`).
+    lu: Option<Lu>,
+    /// Product-form eta updates since the last refactorization: each pivot
+    /// that replaced basis position `r` with a column whose ftran was `w`
+    /// appends `(r, w)`.
+    etas: Vec<(usize, Vec<f64>)>,
     iterations: usize,
 }
 
 impl Tableau {
-    fn build(lp: &LpProblem) -> Tableau {
+    fn build(lp: &Model) -> Tableau {
         let m = lp.num_rows();
         let n = lp.num_vars();
         let ncols = n + 2 * m;
@@ -102,7 +112,6 @@ impl Tableau {
         let mut lb = vec![0.0; ncols];
         let mut ub = vec![0.0; ncols];
         let mut cost = vec![0.0; ncols];
-        let mut b = vec![0.0; m];
 
         let sign = match lp.sense {
             Sense::Min => 1.0,
@@ -112,16 +121,14 @@ impl Tableau {
             lb[j] = lp.lb[j];
             ub[j] = lp.ub[j];
             cost[j] = sign * lp.obj[j];
+            cols[j] = lp.col(j).to_vec();
         }
-        for (i, row) in lp.rows.iter().enumerate() {
-            b[i] = row.rhs;
-            for &(v, c) in &row.coeffs {
-                cols[v.0].push((i, c));
-            }
+        let b = lp.rhs.clone();
+        for (i, &sense) in lp.row_sense.iter().enumerate() {
             // Slack column.
             let s = n + i;
             cols[s].push((i, 1.0));
-            match row.sense {
+            match sense {
                 RowSense::Le => {
                     lb[s] = 0.0;
                     ub[s] = f64::INFINITY;
@@ -137,7 +144,9 @@ impl Tableau {
             }
             // Artificial column entries are filled in `install_artificials`.
         }
-        // Coalesce duplicate row entries per column (Row::coef may repeat vars).
+        // Coalesce duplicate row entries per column (Row::coef may repeat
+        // vars; model columns keep entries in increasing row order, so a
+        // stable sort preserves insertion order within a row).
         for col in cols.iter_mut().take(n) {
             col.sort_by_key(|&(i, _)| i);
             let mut merged: Vec<(usize, f64)> = Vec::with_capacity(col.len());
@@ -163,7 +172,8 @@ impl Tableau {
             x: vec![0.0; ncols],
             state: vec![VarState::AtLower; ncols],
             basis: Vec::new(),
-            binv: Matrix::identity(m),
+            lu: None,
+            etas: Vec::new(),
             iterations: 0,
         }
     }
@@ -181,7 +191,7 @@ impl Tableau {
 
     /// Sets all structural+slack columns nonbasic at their preferred bound
     /// and installs artificial columns as the starting basis.
-    fn install_artificials(&mut self) {
+    fn install_artificials(&mut self) -> Result<(), OptimError> {
         let n = self.n_structural;
         let m = self.m;
         for j in 0..(n + m) {
@@ -200,7 +210,6 @@ impl Tableau {
             }
         }
         self.basis = Vec::with_capacity(m);
-        self.binv = Matrix::identity(m);
         for i in 0..m {
             let a = n + m + i;
             let sign = if r[i] >= 0.0 { 1.0 } else { -1.0 };
@@ -210,52 +219,20 @@ impl Tableau {
             self.x[a] = r[i].abs();
             self.state[a] = VarState::Basic(i);
             self.basis.push(a);
-            self.binv[(i, i)] = sign; // diag(sign)^{-1} = diag(sign)
         }
+        // Factor the (diagonal ±1) starting basis.
+        self.factor_basis()
     }
 
     fn is_artificial(&self, j: usize) -> bool {
         j >= self.n_structural + self.m
     }
 
-    /// `B^{-1} A_j` for a (sparse) column.
-    fn ftran(&self, j: usize) -> Vec<f64> {
-        let mut w = vec![0.0; self.m];
-        for &(i, c) in &self.cols[j] {
-            if c != 0.0 {
-                for k in 0..self.m {
-                    w[k] += c * self.binv[(k, i)];
-                }
-            }
-        }
-        w
-    }
-
-    /// Simplex multipliers `y = (B^{-1})^T c_B` for the given cost vector.
-    fn duals(&self, cost: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.m];
-        for (k, &bk) in self.basis.iter().enumerate() {
-            let cb = cost[bk];
-            if cb != 0.0 {
-                for i in 0..self.m {
-                    y[i] += cb * self.binv[(k, i)];
-                }
-            }
-        }
-        y
-    }
-
-    fn reduced_cost(&self, j: usize, cost: &[f64], y: &[f64]) -> f64 {
-        let mut d = cost[j];
-        for &(i, c) in &self.cols[j] {
-            d -= y[i] * c;
-        }
-        d
-    }
-
-    /// Recomputes the basis inverse and basic values from scratch.
-    fn refactor(&mut self) -> Result<(), OptimError> {
+    /// Factors the current basis matrix and clears the eta list.
+    fn factor_basis(&mut self) -> Result<(), OptimError> {
+        self.etas.clear();
         if self.m == 0 {
+            self.lu = None;
             return Ok(());
         }
         let mut bmat = Matrix::zeros(self.m, self.m);
@@ -267,10 +244,73 @@ impl Tableau {
         let lu = Lu::factor(&bmat).map_err(|e| OptimError::Numerical {
             what: format!("basis refactorization failed: {e}"),
         })?;
-        // binv rows k over columns i: binv = B^{-1}; but our storage uses
-        // binv[(k, i)] = (B^{-1})_{k i}.
-        let inv = lu.inverse()?;
-        self.binv = inv;
+        self.lu = Some(lu);
+        Ok(())
+    }
+
+    /// `B^{-1} A_j`: solve through the LU factors, then apply the product-
+    /// form etas in pivot order.
+    fn ftran(&self, j: usize) -> Result<Vec<f64>, OptimError> {
+        if self.m == 0 {
+            return Ok(Vec::new());
+        }
+        let mut a = vec![0.0; self.m];
+        for &(i, c) in &self.cols[j] {
+            a[i] += c;
+        }
+        let lu = self.lu.as_ref().expect("basis factored before ftran");
+        let mut z = lu.solve(&a).map_err(|e| OptimError::Numerical {
+            what: format!("ftran failed: {e}"),
+        })?;
+        for (r, w) in &self.etas {
+            let zr = z[*r] / w[*r];
+            for k in 0..self.m {
+                if k != *r {
+                    z[k] -= w[k] * zr;
+                }
+            }
+            z[*r] = zr;
+        }
+        Ok(z)
+    }
+
+    /// Simplex multipliers `y = B^{-T} c_B` for the given cost vector:
+    /// apply the transposed etas in reverse pivot order, then solve the
+    /// transposed LU factors.
+    fn duals(&self, cost: &[f64]) -> Result<Vec<f64>, OptimError> {
+        if self.m == 0 {
+            return Ok(Vec::new());
+        }
+        let mut c: Vec<f64> = self.basis.iter().map(|&bk| cost[bk]).collect();
+        for (r, w) in self.etas.iter().rev() {
+            let mut s = 0.0;
+            for k in 0..self.m {
+                if k != *r {
+                    s += w[k] * c[k];
+                }
+            }
+            c[*r] = (c[*r] - s) / w[*r];
+        }
+        let lu = self.lu.as_ref().expect("basis factored before btran");
+        lu.solve_transpose(&c).map_err(|e| OptimError::Numerical {
+            what: format!("btran failed: {e}"),
+        })
+    }
+
+    fn reduced_cost(&self, j: usize, cost: &[f64], y: &[f64]) -> f64 {
+        let mut d = cost[j];
+        for &(i, c) in &self.cols[j] {
+            d -= y[i] * c;
+        }
+        d
+    }
+
+    /// Refactorizes the basis and recomputes the basic values from scratch.
+    fn refactor(&mut self) -> Result<(), OptimError> {
+        if self.m == 0 {
+            return Ok(());
+        }
+        self.factor_basis()?;
         // Recompute x_B = B^{-1}(b - N x_N).
         let mut rhs = self.b.clone();
         for j in 0..self.ncols {
@@ -284,36 +324,20 @@ impl Tableau {
                 }
             }
         }
-        for k in 0..self.m {
-            let mut v = 0.0;
-            for i in 0..self.m {
-                v += self.binv[(k, i)] * rhs[i];
-            }
+        let lu = self.lu.as_ref().expect("factor_basis just succeeded");
+        let xb = lu.solve(&rhs).map_err(|e| OptimError::Numerical {
+            what: format!("basic-solution recompute failed: {e}"),
+        })?;
+        for (k, v) in xb.into_iter().enumerate() {
             self.x[self.basis[k]] = v;
         }
         Ok(())
     }
 
-    /// Rank-one update of the basis inverse after column `q` replaces the
-    /// basic variable at position `r`, given `w = B^{-1} A_q`.
-    fn update_binv(&mut self, r: usize, w: &[f64]) {
-        let wr = w[r];
-        for i in 0..self.m {
-            let factor = self.binv[(r, i)] / wr;
-            self.binv[(r, i)] = factor;
-        }
-        for k in 0..self.m {
-            if k == r {
-                continue;
-            }
-            let wk = w[k];
-            if wk != 0.0 {
-                for i in 0..self.m {
-                    let br = self.binv[(r, i)];
-                    self.binv[(k, i)] -= wk * br;
-                }
-            }
-        }
+    /// Records the product-form update after column `q` replaces the basic
+    /// variable at position `r`, given `w = B^{-1} A_q`.
+    fn push_eta(&mut self, r: usize, w: &[f64]) {
+        self.etas.push((r, w.to_vec()));
     }
 
     /// Runs the simplex loop on cost vector `cost` (minimization).
@@ -354,7 +378,7 @@ impl Tableau {
                 since_refactor = 0;
             }
 
-            let y = self.duals(cost);
+            let y = self.duals(cost)?;
 
             // Entering variable selection.
             let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, sigma)
@@ -411,7 +435,7 @@ impl Tableau {
                 return Ok(None); // optimal
             };
 
-            let w = self.ftran(q);
+            let w = self.ftran(q)?;
 
             // Ratio test.
             let flip_dist = if self.lb[q].is_finite() && self.ub[q].is_finite() {
@@ -492,7 +516,7 @@ impl Tableau {
                         VarState::AtUpper => self.ub[leaving],
                         _ => unreachable!("leaving variable must rest on a bound"),
                     };
-                    self.update_binv(r, &w);
+                    self.push_eta(r, &w);
                     self.basis[r] = q;
                     self.state[q] = VarState::Basic(r);
                     since_refactor += 1;
@@ -514,7 +538,7 @@ impl Tableau {
 
     /// After phase 1: pivot basic artificials out where possible, pin all
     /// artificials to `[0,0]`.
-    fn drive_out_artificials(&mut self) {
+    fn drive_out_artificials(&mut self) -> Result<(), OptimError> {
         for r in 0..self.m {
             let bv = self.basis[r];
             if !self.is_artificial(bv) {
@@ -527,7 +551,7 @@ impl Tableau {
                 if matches!(self.state[j], VarState::Basic(_)) {
                     continue;
                 }
-                let w = self.ftran(j);
+                let w = self.ftran(j)?;
                 if w[r].abs() > 1e-8 {
                     replacement = Some((j, w));
                     break;
@@ -536,7 +560,7 @@ impl Tableau {
             if let Some((j, w)) = replacement {
                 // Degenerate pivot: the artificial sits at zero, so the swap
                 // does not move the solution.
-                self.update_binv(r, &w);
+                self.push_eta(r, &w);
                 self.state[bv] = VarState::AtLower;
                 self.x[bv] = 0.0;
                 self.basis[r] = j;
@@ -551,27 +575,29 @@ impl Tableau {
                 self.state[a] = VarState::AtLower;
             }
         }
+        Ok(())
     }
 }
 
-/// Solves an [`LpProblem`] (called via [`LpProblem::solve_with`]).
-pub(crate) fn solve(lp: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, OptimError> {
+/// Solves a [`Model`]'s continuous relaxation (called via
+/// [`Model::solve_with`]).
+pub(crate) fn solve(lp: &Model, options: &SimplexOptions) -> Result<LpSolution, OptimError> {
     match solve_budgeted(lp, options, &SolveBudget::unlimited())? {
         SolveOutcome::Solved(s) => Ok(s),
         SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
     }
 }
 
-/// Budgeted solve (called via [`LpProblem::solve_budgeted`]). A budget trip
+/// Budgeted solve (called via [`Model::solve_budgeted`]). A budget trip
 /// during phase 2 yields a *feasible* partial incumbent; a trip during
 /// phase 1 yields `x: None` since no feasible point has been reached yet.
 pub(crate) fn solve_budgeted(
-    lp: &LpProblem,
+    lp: &Model,
     options: &SimplexOptions,
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<LpSolution>, OptimError> {
     let mut t = Tableau::build(lp);
-    t.install_artificials();
+    t.install_artificials()?;
 
     // Phase 1: minimize the sum of artificials.
     let mut phase1_cost = vec![0.0; t.ncols];
@@ -597,7 +623,7 @@ pub(crate) fn solve_budgeted(
             return Err(OptimError::Infeasible);
         }
     }
-    t.drive_out_artificials();
+    t.drive_out_artificials()?;
 
     // Phase 2.
     let cost = t.cost.clone();
@@ -623,7 +649,7 @@ pub(crate) fn solve_budgeted(
     // Assemble the solution.
     let n = t.n_structural;
     let x: Vec<f64> = t.x[..n].to_vec();
-    let y_min = t.duals(&cost);
+    let y_min = t.duals(&cost)?;
     let sign = match lp.sense {
         Sense::Min => 1.0,
         Sense::Max => -1.0,
@@ -823,5 +849,27 @@ mod tests {
         }
         let s = lp.solve().unwrap();
         assert!(close(s.objective, 1020.0), "obj={}", s.objective);
+    }
+
+    #[test]
+    fn many_pivots_cross_refactor_interval() {
+        // Force several refactorizations (tiny interval) on a problem large
+        // enough to take multiple pivots; the LU+eta basis must agree with
+        // the known optimum.
+        let opts = SimplexOptions { refactor_interval: 2, ..Default::default() };
+        let mut lp = LpProblem::minimize();
+        let n = 12;
+        let v: Vec<_> = (0..n).map(|j| lp.add_var(0.0, 10.0, 1.0 + (j as f64) * 0.1)).collect();
+        let mut row = Row::ge(60.0);
+        for &x in &v {
+            row = row.coef(x, 1.0);
+        }
+        lp.add_row(row);
+        for pair in v.chunks(2) {
+            lp.add_row(Row::le(15.0).coef(pair[0], 1.0).coef(pair[1], 1.0));
+        }
+        let s = lp.solve_with(&opts).unwrap();
+        let base = lp.solve().unwrap();
+        assert!(close(s.objective, base.objective), "{} vs {}", s.objective, base.objective);
     }
 }

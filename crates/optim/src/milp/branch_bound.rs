@@ -1,8 +1,18 @@
 //! Depth-first branch and bound over simplex relaxations.
+//!
+//! The root model is presolved once (when enabled via
+//! [`MilpOptions::presolve`] or `ED_PRESOLVE`); every node then bound-patches
+//! the *reduced* shared [`Model`](crate::model::Model) — clones share
+//! constraint storage copy-on-write, so a node costs two bound writes, one
+//! simplex solve, and two bound restores. Node relaxations call the simplex
+//! kernel directly, bypassing the per-solve presolve gate.
 
 use crate::budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
-use crate::lp::{LpProblem, Sense, SimplexOptions, VarId};
+use crate::lp::simplex;
+use crate::lp::{Sense, SimplexOptions, VarId};
 use crate::milp::problem::{MilpProblem, MilpSolution};
+use crate::model::presolve::{self, Postsolve};
+use crate::model::Model;
 use crate::OptimError;
 
 /// Options for the MILP branch-and-bound solver.
@@ -19,6 +29,9 @@ pub struct MilpOptions {
     /// Optional known feasible objective (in the problem's own sense) used
     /// to prune from the start — e.g. from a problem-specific heuristic.
     pub incumbent_hint: Option<f64>,
+    /// Presolve the root model before branching: `Some(flag)` forces it,
+    /// `None` defers to the `ED_PRESOLVE` environment variable.
+    pub presolve: Option<bool>,
 }
 
 impl Default for MilpOptions {
@@ -29,6 +42,7 @@ impl Default for MilpOptions {
             gap_abs: 1e-6,
             simplex: SimplexOptions::default(),
             incumbent_hint: None,
+            presolve: None,
         }
     }
 }
@@ -71,21 +85,26 @@ pub(crate) fn solve_budgeted(
     options: &MilpOptions,
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<MilpSolution>, OptimError> {
-    let sense = milp.lp.sense();
-    let mut lp: LpProblem = milp.lp.clone();
-    for &v in &milp.integers {
-        let (l, u) = lp.bounds(v);
-        if !l.is_finite() || !u.is_finite() {
-            return Err(OptimError::InvalidModel {
-                what: format!("integer variable {v:?} must have finite bounds"),
-            });
-        }
-    }
+    milp.model.validate()?;
+    let sense = milp.model.sense();
 
-    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (x, internal obj)
+    // Root presolve (once; the node loop never re-presolves).
+    let use_presolve = options.presolve.unwrap_or_else(presolve::env_enabled);
+    let (mut lp, post): (Model, Option<Postsolve>) = if use_presolve {
+        let pre = presolve::presolve(&milp.model)?;
+        (pre.reduced, Some(pre.postsolve))
+    } else {
+        (milp.model.clone(), None)
+    };
+    // Original stated objective = reduced stated objective + offset.
+    let offset = post.as_ref().map_or(0.0, Postsolve::obj_offset);
+    let restore = |x: &[f64]| post.as_ref().map_or_else(|| x.to_vec(), |p| p.restore_x(x));
+    let integers: Vec<VarId> = lp.integers().to_vec();
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None; // (reduced x, internal obj)
     let mut incumbent_cut = options
         .incumbent_hint
-        .map(|h| to_internal(sense, h))
+        .map(|h| to_internal(sense, h - offset))
         .unwrap_or(f64::INFINITY);
     let mut nodes = 0usize;
     let mut lp_iterations = 0usize;
@@ -124,7 +143,7 @@ pub(crate) fn solve_budgeted(
         for &(v, l, u) in &node.overrides {
             lp.set_bounds(v, l, u);
         }
-        let result = lp.solve_budgeted(&options.simplex, &budget.wall_only());
+        let result = simplex::solve_budgeted(&lp, &options.simplex, &budget.wall_only());
         for &(v, l, u) in &saved {
             lp.set_bounds(v, l, u);
         }
@@ -155,7 +174,7 @@ pub(crate) fn solve_budgeted(
 
         // Most-fractional branching.
         let mut branch: Option<(VarId, f64, f64)> = None; // (var, value, fractionality)
-        for &v in &milp.integers {
+        for &v in &integers {
             let val = sol.x[v.index()];
             let frac = (val - val.round()).abs();
             if frac > options.int_tol {
@@ -225,9 +244,9 @@ pub(crate) fn solve_budgeted(
     if let Some(t) = tripped {
         return Ok(SolveOutcome::Partial(Partial {
             tripped: t,
-            x: incumbent.as_ref().map(|(x, _)| x.clone()),
-            objective: incumbent.as_ref().map(|&(_, o)| from_internal(sense, o)),
-            bound: Some(from_internal(sense, frontier_bound)),
+            x: incumbent.as_ref().map(|(x, _)| restore(x)),
+            objective: incumbent.as_ref().map(|&(_, o)| from_internal(sense, o) + offset),
+            bound: Some(from_internal(sense, frontier_bound) + offset),
             iterations: lp_iterations,
             nodes,
         }));
@@ -237,12 +256,12 @@ pub(crate) fn solve_budgeted(
         Some((x, internal_obj)) => {
             let proved = stack.is_empty() || frontier_bound >= incumbent_cut - options.gap_abs;
             Ok(SolveOutcome::Solved(MilpSolution {
-                objective: from_internal(sense, internal_obj),
+                objective: from_internal(sense, internal_obj) + offset,
                 best_bound: from_internal(
                     sense,
                     if proved { internal_obj } else { frontier_bound },
-                ),
-                x,
+                ) + offset,
+                x: restore(&x),
                 proved_optimal: proved,
                 nodes,
                 lp_iterations,
@@ -255,7 +274,7 @@ pub(crate) fn solve_budgeted(
                 Err(OptimError::NodeLimit {
                     limit: options.max_nodes,
                     incumbent: None,
-                    bound: from_internal(sense, frontier_bound),
+                    bound: from_internal(sense, frontier_bound) + offset,
                 })
             }
         }
@@ -347,5 +366,34 @@ mod tests {
         let opts = MilpOptions { max_nodes: 1, ..Default::default() };
         let res = milp.solve_with(&opts);
         assert!(matches!(res, Err(OptimError::NodeLimit { .. })), "{res:?}");
+    }
+
+    #[test]
+    fn presolved_solution_matches_unpresolved() {
+        // A model with presolvable structure: a fixed variable, a singleton
+        // row, and a redundant duplicate row on top of a knapsack.
+        let build = || {
+            let mut lp = LpProblem::maximize();
+            let a = lp.add_var(0.0, 1.0, 5.0);
+            let b = lp.add_var(0.0, 1.0, 4.0);
+            let c = lp.add_var(0.0, 1.0, 3.0);
+            let fixed = lp.add_var(2.0, 2.0, 1.0); // contributes 2 to the objective
+            lp.add_row(Row::le(4.0).coef(a, 2.0).coef(b, 3.0).coef(c, 1.0));
+            lp.add_row(Row::le(4.0).coef(a, 2.0).coef(b, 3.0).coef(c, 1.0)); // duplicate
+            lp.add_row(Row::le(3.0).coef(fixed, 1.0)); // singleton, satisfied
+            MilpProblem::new(lp, vec![a, b, c])
+        };
+        let plain = build()
+            .solve_with(&MilpOptions { presolve: Some(false), ..Default::default() })
+            .unwrap();
+        let pre = build()
+            .solve_with(&MilpOptions { presolve: Some(true), ..Default::default() })
+            .unwrap();
+        assert!((plain.objective - 10.0).abs() < 1e-6, "obj={}", plain.objective);
+        assert!((pre.objective - plain.objective).abs() < 1e-9);
+        assert_eq!(pre.x.len(), plain.x.len());
+        for (p, q) in pre.x.iter().zip(&plain.x) {
+            assert!((p - q).abs() < 1e-7, "{:?} vs {:?}", pre.x, plain.x);
+        }
     }
 }

@@ -1,19 +1,21 @@
-//! MILP model and solution types.
+//! MILP model and solution types, backed by the shared [`Model`] IR.
 
 use crate::budget::{SolveBudget, SolveOutcome};
 use crate::lp::{LpProblem, VarId};
 use crate::milp::branch_bound::{self, MilpOptions};
+use crate::model::Model;
 use crate::OptimError;
 
-/// A mixed-integer linear program: an [`LpProblem`] plus a set of variables
-/// restricted to integer values.
+/// A mixed-integer linear program: a [`Model`] whose integrality marks are
+/// enforced by branch and bound.
 ///
-/// Integrality is enforced by branch and bound; the listed variables should
-/// have finite bounds (binaries use `[0, 1]`).
+/// This wrapper holds nothing but the model — the integer set lives on the
+/// model itself ([`Model::set_integer`]), so cloning a `MilpProblem` shares
+/// constraint storage copy-on-write like any model clone. The listed
+/// variables should have finite bounds (binaries use `[0, 1]`).
 #[derive(Debug, Clone)]
 pub struct MilpProblem {
-    pub(crate) lp: LpProblem,
-    pub(crate) integers: Vec<VarId>,
+    pub(crate) model: Model,
 }
 
 /// Solution of a MILP.
@@ -42,25 +44,34 @@ impl MilpSolution {
 }
 
 impl MilpProblem {
-    /// Wraps an LP with integrality requirements on `integers`.
-    pub fn new(lp: LpProblem, integers: Vec<VarId>) -> MilpProblem {
-        MilpProblem { lp, integers }
+    /// Wraps an LP with integrality requirements on `integers` (recorded on
+    /// the model itself).
+    pub fn new(mut lp: LpProblem, integers: Vec<VarId>) -> MilpProblem {
+        for v in integers {
+            lp.set_integer(v);
+        }
+        MilpProblem { model: lp }
+    }
+
+    /// Wraps a model that already carries its integrality marks.
+    pub fn from_model(model: Model) -> MilpProblem {
+        MilpProblem { model }
     }
 
     /// The underlying LP relaxation.
     pub fn lp(&self) -> &LpProblem {
-        &self.lp
+        &self.model
     }
 
     /// Mutable access to the underlying LP (e.g. to adjust the objective
     /// between solves, as Algorithm 1 of the paper does per DLR line).
     pub fn lp_mut(&mut self) -> &mut LpProblem {
-        &mut self.lp
+        &mut self.model
     }
 
     /// The integer-restricted variables.
     pub fn integers(&self) -> &[VarId] {
-        &self.integers
+        self.model.integers()
     }
 
     /// Solves with default options.

@@ -8,8 +8,13 @@
 //! either the multiplier is zero or the constraint slack is zero. Relaxations
 //! stay tight and no big-M enters the model.
 //!
-//! A problem is an [`crate::lp::LpProblem`] plus a list of pairs
-//! `(a, b)` of nonnegative variables required to satisfy `x_a * x_b = 0`.
+//! A problem is a [`Model`] whose complementarity pairs `(a, b)` of
+//! nonnegative variables (recorded via [`Model::add_pair`]) must satisfy
+//! `x_a * x_b = 0`. Like the MILP front end, [`MpecProblem`] holds nothing
+//! but the model. The root model is presolved once when enabled (via
+//! [`MpecOptions::presolve`] or `ED_PRESOLVE`) — presolve never eliminates
+//! pair columns, so branching happens on the mapped pair variables of the
+//! reduced model and the final point is mapped back exactly.
 //!
 //! # Example
 //!
@@ -31,7 +36,10 @@
 //! ```
 
 use crate::budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
+use crate::lp::simplex;
 use crate::lp::{LpProblem, Sense, SimplexOptions, VarId};
+use crate::model::presolve::{self, Postsolve};
+use crate::model::Model;
 use crate::OptimError;
 
 /// Options for the complementarity branch-and-bound solver.
@@ -48,6 +56,9 @@ pub struct MpecOptions {
     pub simplex: SimplexOptions,
     /// Optional known feasible objective (problem sense) used for pruning.
     pub incumbent_hint: Option<f64>,
+    /// Presolve the root model before branching: `Some(flag)` forces it,
+    /// `None` defers to the `ED_PRESOLVE` environment variable.
+    pub presolve: Option<bool>,
 }
 
 impl Default for MpecOptions {
@@ -58,6 +69,7 @@ impl Default for MpecOptions {
             gap_abs: 1e-7,
             simplex: SimplexOptions::default(),
             incumbent_hint: None,
+            presolve: None,
         }
     }
 }
@@ -87,11 +99,10 @@ impl MpecSolution {
 }
 
 /// An LP with complementarity constraints between pairs of nonnegative
-/// variables.
+/// variables, all stored on the backing [`Model`].
 #[derive(Debug, Clone)]
 pub struct MpecProblem {
-    lp: LpProblem,
-    pairs: Vec<(VarId, VarId)>,
+    model: Model,
 }
 
 fn to_internal(sense: Sense, obj: f64) -> f64 {
@@ -101,41 +112,50 @@ fn to_internal(sense: Sense, obj: f64) -> f64 {
     }
 }
 
+/// Maximum scaled complementarity violation of a point over `pairs`.
+fn violation(pairs: &[(VarId, VarId)], x: &[f64], tol_scale: f64) -> Option<(usize, f64)> {
+    let mut worst: Option<(usize, f64)> = None;
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        let va = x[a.index()].max(0.0);
+        let vb = x[b.index()].max(0.0);
+        let prod = va * vb / va.max(vb).max(tol_scale);
+        if prod > worst.map_or(0.0, |(_, w)| w) {
+            worst = Some((i, prod));
+        }
+    }
+    worst
+}
+
 impl MpecProblem {
-    /// Wraps an LP with complementarity pairs `x_a * x_b = 0`.
+    /// Wraps an LP with complementarity pairs `x_a * x_b = 0` (recorded on
+    /// the model itself).
     ///
     /// Both variables of each pair are expected to have lower bound `>= 0`.
-    pub fn new(lp: LpProblem, pairs: Vec<(VarId, VarId)>) -> MpecProblem {
-        MpecProblem { lp, pairs }
+    pub fn new(mut lp: LpProblem, pairs: Vec<(VarId, VarId)>) -> MpecProblem {
+        for (a, b) in pairs {
+            lp.add_pair(a, b);
+        }
+        MpecProblem { model: lp }
+    }
+
+    /// Wraps a model that already carries its complementarity pairs.
+    pub fn from_model(model: Model) -> MpecProblem {
+        MpecProblem { model }
     }
 
     /// The underlying LP relaxation.
     pub fn lp(&self) -> &LpProblem {
-        &self.lp
+        &self.model
     }
 
     /// Mutable access to the underlying LP.
     pub fn lp_mut(&mut self) -> &mut LpProblem {
-        &mut self.lp
+        &mut self.model
     }
 
     /// The complementarity pairs.
     pub fn pairs(&self) -> &[(VarId, VarId)] {
-        &self.pairs
-    }
-
-    /// Maximum scaled complementarity violation of a point.
-    fn violation(&self, x: &[f64], tol_scale: f64) -> Option<(usize, f64)> {
-        let mut worst: Option<(usize, f64)> = None;
-        for (i, &(a, b)) in self.pairs.iter().enumerate() {
-            let va = x[a.index()].max(0.0);
-            let vb = x[b.index()].max(0.0);
-            let prod = va * vb / va.max(vb).max(tol_scale);
-            if prod > worst.map_or(0.0, |(_, w)| w) {
-                worst = Some((i, prod));
-            }
-        }
-        worst
+        self.model.pairs()
     }
 
     /// Solves with default options.
@@ -178,20 +198,22 @@ impl MpecProblem {
         options: &MpecOptions,
         budget: &SolveBudget,
     ) -> Result<SolveOutcome<MpecSolution>, OptimError> {
-        let sense = self.lp.sense();
-        for &(a, b) in &self.pairs {
-            for v in [a, b] {
-                let (l, u) = self.lp.bounds(v);
-                if l > 0.0 || u < 0.0 {
-                    return Err(OptimError::InvalidModel {
-                        what: format!(
-                            "complementarity variable {v:?} must admit 0 (bounds [{l}, {u}])"
-                        ),
-                    });
-                }
-            }
-        }
-        let mut lp = self.lp.clone();
+        // Model-level validation covers the complementarity-variable bound
+        // requirement (each pair variable must admit 0).
+        self.model.validate()?;
+        let sense = self.model.sense();
+
+        // Root presolve (once). Pair columns survive presolve by contract.
+        let use_presolve = options.presolve.unwrap_or_else(presolve::env_enabled);
+        let (mut lp, post): (Model, Option<Postsolve>) = if use_presolve {
+            let pre = presolve::presolve(&self.model)?;
+            (pre.reduced, Some(pre.postsolve))
+        } else {
+            (self.model.clone(), None)
+        };
+        let offset = post.as_ref().map_or(0.0, Postsolve::obj_offset);
+        let restore = |x: &[f64]| post.as_ref().map_or_else(|| x.to_vec(), |p| p.restore_x(x));
+        let pairs: Vec<(VarId, VarId)> = lp.pairs().to_vec();
 
         struct Node {
             /// Variables forced to zero (their ub is set to 0).
@@ -199,10 +221,10 @@ impl MpecProblem {
             bound: f64,
         }
 
-        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        let mut incumbent: Option<(Vec<f64>, f64)> = None; // (reduced x, internal obj)
         let mut incumbent_cut = options
             .incumbent_hint
-            .map(|h| to_internal(sense, h))
+            .map(|h| to_internal(sense, h - offset))
             .unwrap_or(f64::INFINITY);
         let mut nodes = 0usize;
         let mut lp_iterations = 0usize;
@@ -226,6 +248,17 @@ impl MpecProblem {
             }
             nodes += 1;
 
+            // A branch fixes variables to zero, which is only consistent
+            // with bounds that admit zero. The original model guarantees
+            // that for every pair variable (validated above), but presolve
+            // may tighten a lower bound above zero (a singleton row like
+            // `x >= 1` becomes the bound x ∈ [1, u]); overwriting such a
+            // bound with [0, 0] would silently drop that constraint, so
+            // the branch is infeasible instead.
+            if node.fixed.iter().any(|&v| lp.bounds(v).0 > options.comp_tol) {
+                continue;
+            }
+
             let saved: Vec<(VarId, f64, f64)> = node
                 .fixed
                 .iter()
@@ -237,7 +270,7 @@ impl MpecProblem {
             for &v in &node.fixed {
                 lp.set_bounds(v, 0.0, 0.0);
             }
-            let result = lp.solve_budgeted(&options.simplex, &budget.wall_only());
+            let result = simplex::solve_budgeted(&lp, &options.simplex, &budget.wall_only());
             for &(v, l, u) in &saved {
                 lp.set_bounds(v, l, u);
             }
@@ -262,9 +295,9 @@ impl MpecProblem {
                 continue;
             }
 
-            match self.violation(&sol.x, 1.0) {
+            match violation(&pairs, &sol.x, 1.0) {
                 Some((pair, viol)) if viol > options.comp_tol => {
-                    let (a, b) = self.pairs[pair];
+                    let (a, b) = pairs[pair];
                     // Branch: fix the smaller-valued side to zero first
                     // (pushed last so it pops first).
                     let mut fix_a = node.fixed.clone();
@@ -295,9 +328,9 @@ impl MpecProblem {
         if let Some(t) = tripped {
             return Ok(SolveOutcome::Partial(Partial {
                 tripped: t,
-                x: incumbent.as_ref().map(|(x, _)| x.clone()),
-                objective: incumbent.as_ref().map(|&(_, o)| to_internal(sense, o)),
-                bound: Some(to_internal(sense, frontier_bound)),
+                x: incumbent.as_ref().map(|(x, _)| restore(x)),
+                objective: incumbent.as_ref().map(|&(_, o)| to_internal(sense, o) + offset),
+                bound: Some(to_internal(sense, frontier_bound) + offset),
                 iterations: lp_iterations,
                 nodes,
             }));
@@ -308,12 +341,12 @@ impl MpecProblem {
                 let proved =
                     stack.is_empty() || frontier_bound >= incumbent_cut - options.gap_abs;
                 Ok(SolveOutcome::Solved(MpecSolution {
-                    objective: to_internal(sense, internal_obj),
+                    objective: to_internal(sense, internal_obj) + offset,
                     best_bound: to_internal(
                         sense,
                         if proved { internal_obj } else { frontier_bound },
-                    ),
-                    x,
+                    ) + offset,
+                    x: restore(&x),
                     proved_optimal: proved,
                     nodes,
                     lp_iterations,
@@ -326,7 +359,7 @@ impl MpecProblem {
                     Err(OptimError::NodeLimit {
                         limit: options.max_nodes,
                         incumbent: None,
-                        bound: to_internal(sense, frontier_bound),
+                        bound: to_internal(sense, frontier_bound) + offset,
                     })
                 }
             }
@@ -377,6 +410,33 @@ mod tests {
     }
 
     #[test]
+    fn presolve_bound_tightening_keeps_branching_sound() {
+        // Presolve turns the singleton rows into tightened lower bounds;
+        // the branch that fixes such a variable to zero must be treated as
+        // infeasible, not allowed to overwrite the bound with [0, 0].
+        // Both sides forced positive -> infeasible even after presolve.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 2.0, 0.0);
+        let y = lp.add_var(0.0, 2.0, 0.0);
+        lp.add_row(Row::ge(1.0).coef(x, 1.0));
+        lp.add_row(Row::ge(1.0).coef(y, 1.0));
+        let opts = MpecOptions { presolve: Some(true), ..Default::default() };
+        let res = MpecProblem::new(lp, vec![(x, y)]).solve_with(&opts);
+        assert!(matches!(res, Err(OptimError::Infeasible)), "{res:?}");
+
+        // One side forced positive -> the other side of the pair settles
+        // at zero; the problem stays feasible and optimal.
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var(0.0, 2.0, 1.0);
+        let y = lp.add_var(0.0, 2.0, 1.0);
+        lp.add_row(Row::ge(1.0).coef(x, 1.0));
+        let sol = MpecProblem::new(lp, vec![(x, y)]).solve_with(&opts).unwrap();
+        assert!(sol.proved_optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-9, "obj {}", sol.objective);
+        assert!(sol.x[1].abs() < 1e-9, "y must be zero: {:?}", sol.x);
+    }
+
+    #[test]
     fn chain_of_pairs() {
         // max x1 + x2 + x3, x1 ⟂ x2, x2 ⟂ x3, all in [0,1]:
         // optimum picks x1 = x3 = 1, x2 = 0 -> 2.
@@ -399,5 +459,32 @@ mod tests {
         let opts = MpecOptions { incumbent_hint: Some(1.5), ..Default::default() };
         let sol = mpec.solve_with(&opts).unwrap();
         assert!((sol.objective - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn presolve_keeps_pairs_and_optimum() {
+        // Add a fixed variable and a redundant row so presolve has work to
+        // do; the pair itself must survive and the optimum must match.
+        let build = || {
+            let mut lp = LpProblem::maximize();
+            let x = lp.add_var(0.0, 2.0, 1.0);
+            let y = lp.add_var(0.0, 2.0, 1.0);
+            let fixed = lp.add_var(1.0, 1.0, 3.0);
+            lp.add_row(Row::le(3.0).coef(x, 1.0).coef(y, 1.0));
+            lp.add_row(Row::le(6.0).coef(x, 2.0).coef(y, 2.0)); // dominated duplicate
+            lp.add_row(Row::le(5.0).coef(fixed, 1.0)); // singleton on the fixed var
+            MpecProblem::new(lp, vec![(x, y)])
+        };
+        let plain = build()
+            .solve_with(&MpecOptions { presolve: Some(false), ..Default::default() })
+            .unwrap();
+        let pre = build()
+            .solve_with(&MpecOptions { presolve: Some(true), ..Default::default() })
+            .unwrap();
+        assert!((plain.objective - 5.0).abs() < 1e-7, "obj={}", plain.objective);
+        assert!((pre.objective - plain.objective).abs() < 1e-9);
+        for (p, q) in pre.x.iter().zip(&plain.x) {
+            assert!((p - q).abs() < 1e-7, "{:?} vs {:?}", pre.x, plain.x);
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::budget::{Partial, SolveBudget, SolveOutcome};
 use crate::lp::{LpProblem, Row};
-use crate::qp::problem::{QpProblem, QpSolution};
+use crate::qp::problem::{DenseQp, QpSolution};
 use crate::OptimError;
 use ed_linalg::{dot, Lu, Matrix};
 
@@ -44,7 +44,7 @@ impl Default for QpOptions {
 /// in, which keeps the subsequent active-set path short (a zero-objective
 /// start can land at an arbitrary far-away vertex and force thousands of
 /// zigzag steps across a congested polytope).
-fn feasible_start(qp: &QpProblem) -> Result<Vec<f64>, OptimError> {
+fn feasible_start(qp: &DenseQp) -> Result<Vec<f64>, OptimError> {
     let mut lp = LpProblem::minimize();
     let vars: Vec<_> = (0..qp.n)
         .map(|j| lp.add_var(f64::NEG_INFINITY, f64::INFINITY, qp.c[j]))
@@ -75,7 +75,7 @@ fn feasible_start(qp: &QpProblem) -> Result<Vec<f64>, OptimError> {
 /// `(step direction, equality duals, working-set duals)` from one KKT solve.
 type EqpStep = (Vec<f64>, Vec<f64>, Vec<f64>);
 
-fn eqp_step(qp: &QpProblem, x: &[f64], w: &[usize], reg: f64) -> Result<EqpStep, OptimError> {
+fn eqp_step(qp: &DenseQp, x: &[f64], w: &[usize], reg: f64) -> Result<EqpStep, OptimError> {
     let n = qp.n;
     let me = qp.a_eq.len();
     let mw = w.len();
@@ -123,7 +123,7 @@ fn eqp_step(qp: &QpProblem, x: &[f64], w: &[usize], reg: f64) -> Result<EqpStep,
 /// if degeneracy stalls it (heavily-tied vertices can cycle; perturbation
 /// breaks the ties, and the perturbed optimum is within the perturbation
 /// magnitude of the true one).
-pub(crate) fn solve(qp: &QpProblem, options: &QpOptions) -> Result<QpSolution, OptimError> {
+pub(crate) fn solve(qp: &DenseQp, options: &QpOptions) -> Result<QpSolution, OptimError> {
     match solve_budgeted(qp, options, &SolveBudget::unlimited())? {
         SolveOutcome::Solved(sol) => Ok(sol),
         SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
@@ -135,7 +135,7 @@ pub(crate) fn solve(qp: &QpProblem, options: &QpOptions) -> Result<QpSolution, O
 /// method keeps primal feasible throughout — so the partial incumbent is
 /// always usable as a dispatch.
 pub(crate) fn solve_budgeted(
-    qp: &QpProblem,
+    qp: &DenseQp,
     options: &QpOptions,
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<QpSolution>, OptimError> {
@@ -185,7 +185,7 @@ pub(crate) fn solve_budgeted(
 /// Builds a [`Partial`] from a failed pass, recovering the feasible
 /// incumbent an [`OptimError::IterationLimit`] now carries.
 fn partial_from_limit(
-    qp: &QpProblem,
+    qp: &DenseQp,
     err: &OptimError,
     tripped: crate::budget::BudgetTripped,
     options: &QpOptions,
@@ -206,7 +206,7 @@ fn partial_from_limit(
 }
 
 fn solve_once(
-    qp: &QpProblem,
+    qp: &DenseQp,
     options: &QpOptions,
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<QpSolution>, OptimError> {

@@ -13,7 +13,7 @@
 //! parameter.
 
 use crate::budget::{Partial, SolveBudget, SolveOutcome};
-use crate::qp::problem::{QpProblem, QpSolution};
+use crate::qp::problem::{DenseQp, QpSolution};
 use crate::OptimError;
 use ed_linalg::{dot, Lu, Matrix};
 
@@ -43,7 +43,7 @@ impl Default for IpmOptions {
 ///   certificate-free stall with large primal residual (practical
 ///   infeasibility detection).
 /// - [`OptimError::IterationLimit`] / [`OptimError::Numerical`] otherwise.
-pub(crate) fn solve(qp: &QpProblem, options: &IpmOptions) -> Result<QpSolution, OptimError> {
+pub(crate) fn solve(qp: &DenseQp, options: &IpmOptions) -> Result<QpSolution, OptimError> {
     match solve_budgeted(qp, options, &SolveBudget::unlimited())? {
         SolveOutcome::Solved(sol) => Ok(sol),
         SolveOutcome::Partial(_) => unreachable!("an unlimited budget cannot trip"),
@@ -54,7 +54,7 @@ pub(crate) fn solve(qp: &QpProblem, options: &IpmOptions) -> Result<QpSolution, 
 /// feasible, so a budget trip returns `x: None` — callers must fall back to
 /// another rung rather than dispatch a half-converged interior point.
 pub(crate) fn solve_budgeted(
-    qp: &QpProblem,
+    qp: &DenseQp,
     options: &IpmOptions,
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<QpSolution>, OptimError> {
@@ -248,7 +248,7 @@ mod tests {
     use crate::qp::{QpMethod, QpOptions, QpProblem};
 
     fn solve_ipm(qp: &QpProblem) -> QpSolution {
-        solve(qp, &IpmOptions::default()).unwrap()
+        solve(&qp.dense(), &IpmOptions::default()).unwrap()
     }
 
     #[test]
@@ -295,7 +295,7 @@ mod tests {
         qp.set_quadratic_diag(&[2.0]);
         qp.add_ineq(&[1.0], 0.0);
         qp.add_ineq(&[-1.0], -1.0);
-        let r = solve(&qp, &IpmOptions::default());
+        let r = solve(&qp.dense(), &IpmOptions::default());
         assert!(r.is_err());
     }
 

@@ -17,9 +17,9 @@
 //! equality-constrained QP steps (dense KKT solves) with blocking-constraint
 //! additions and multiplier-driven deletions.
 
-mod active_set;
-mod ipm;
-mod problem;
+pub(crate) mod active_set;
+pub(crate) mod ipm;
+pub(crate) mod problem;
 
 pub use active_set::QpOptions;
 pub use ipm::IpmOptions;

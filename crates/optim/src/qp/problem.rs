@@ -1,6 +1,7 @@
-//! QP model and solution types.
+//! QP model and solution types, backed by the shared [`Model`] IR.
 
 use crate::budget::{SolveBudget, SolveOutcome};
+use crate::model::{Model, Row, RowSense, Sense, VarId};
 use crate::qp::active_set::{self, QpOptions};
 use crate::OptimError;
 use ed_linalg::Matrix;
@@ -8,7 +9,11 @@ use ed_linalg::Matrix;
 /// A convex quadratic program `min 0.5 x'Hx + c'x` subject to linear
 /// equalities and inequalities.
 ///
-/// Variable bounds are expressed as inequality rows (helpers
+/// The problem data lives in a shared sparse [`Model`]: this type is a thin
+/// front end that keeps the historical dense-row building API (`add_eq` /
+/// `add_ineq` with coefficient slices) and the eq/ineq dual-indexing
+/// convention of [`QpSolution`], while holding no constraint storage of its
+/// own. Variable bounds are expressed as inequality rows (helpers
 /// [`QpProblem::add_bounds`] build them for you).
 ///
 /// # Example
@@ -31,13 +36,11 @@ use ed_linalg::Matrix;
 /// ```
 #[derive(Debug, Clone)]
 pub struct QpProblem {
-    pub(crate) n: usize,
-    pub(crate) h: Matrix,
-    pub(crate) c: Vec<f64>,
-    pub(crate) a_eq: Vec<Vec<f64>>,
-    pub(crate) b_eq: Vec<f64>,
-    pub(crate) a_in: Vec<Vec<f64>>,
-    pub(crate) b_in: Vec<f64>,
+    pub(crate) model: Model,
+    /// Model row indices of equality rows, in `add_eq` order.
+    pub(crate) eq_rows: Vec<usize>,
+    /// Model row indices of inequality rows, in `add_ineq` order.
+    pub(crate) ineq_rows: Vec<usize>,
 }
 
 /// Solution of a QP.
@@ -57,33 +60,157 @@ pub struct QpSolution {
     pub iterations: usize,
 }
 
+/// Dense minimization view of a QP-capable [`Model`], the working format of
+/// the active-set and interior-point kernels (both are dense `O(n^3)`
+/// methods, so expanding the sparse columns once up front costs nothing).
+///
+/// Rows split by sense: `Eq` rows land in `a_eq`, `Le` rows in `a_in`,
+/// `Ge` rows are negated into `a_in`, and finite variable bounds become
+/// singleton `a_in` rows. `sign` records the original optimization sense
+/// (+1 Min, −1 Max); `h`/`c` are pre-negated for Max so the kernels always
+/// minimize.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseQp {
+    pub(crate) n: usize,
+    pub(crate) h: Matrix,
+    pub(crate) c: Vec<f64>,
+    pub(crate) a_eq: Vec<Vec<f64>>,
+    pub(crate) b_eq: Vec<f64>,
+    pub(crate) a_in: Vec<Vec<f64>>,
+    pub(crate) b_in: Vec<f64>,
+    /// Model row index behind each `a_eq` row.
+    pub(crate) eq_src: Vec<usize>,
+    /// Provenance of each `a_in` row.
+    pub(crate) ineq_src: Vec<IneqSrc>,
+    /// +1 for a Min model, −1 for Max.
+    pub(crate) sign: f64,
+}
+
+/// Where a dense inequality row came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IneqSrc {
+    /// A model row (`negated` when it was a `Ge` row).
+    Row {
+        /// Model row index.
+        row: usize,
+        /// `true` when the row arrived as `>=` and was negated into `<=`.
+        negated: bool,
+    },
+    /// Finite lower bound of a variable (`-x_j <= -lb`).
+    Lower(usize),
+    /// Finite upper bound of a variable (`x_j <= ub`).
+    Upper(usize),
+}
+
+impl DenseQp {
+    /// Expands a model into the dense minimization form.
+    pub(crate) fn from_model(model: &Model) -> DenseQp {
+        let n = model.num_vars();
+        let sign = match model.sense {
+            Sense::Min => 1.0,
+            Sense::Max => -1.0,
+        };
+        let mut h = Matrix::zeros(n, n);
+        for &(i, j, q) in model.quad_terms() {
+            h[(i, j)] += sign * q;
+        }
+        let c: Vec<f64> = model.obj.iter().map(|&v| sign * v).collect();
+
+        let mut a_eq = Vec::new();
+        let mut b_eq = Vec::new();
+        let mut eq_src = Vec::new();
+        let mut a_in = Vec::new();
+        let mut b_in = Vec::new();
+        let mut ineq_src = Vec::new();
+        for (i, row) in model.rows_view().into_iter().enumerate() {
+            let mut dense = vec![0.0; n];
+            for (j, v) in row {
+                dense[j] += v;
+            }
+            match model.row_sense[i] {
+                RowSense::Eq => {
+                    a_eq.push(dense);
+                    b_eq.push(model.rhs[i]);
+                    eq_src.push(i);
+                }
+                RowSense::Le => {
+                    a_in.push(dense);
+                    b_in.push(model.rhs[i]);
+                    ineq_src.push(IneqSrc::Row { row: i, negated: false });
+                }
+                RowSense::Ge => {
+                    a_in.push(dense.iter().map(|v| -v).collect());
+                    b_in.push(-model.rhs[i]);
+                    ineq_src.push(IneqSrc::Row { row: i, negated: true });
+                }
+            }
+        }
+        for j in 0..n {
+            if model.lb[j].is_finite() {
+                let mut a = vec![0.0; n];
+                a[j] = -1.0;
+                a_in.push(a);
+                b_in.push(-model.lb[j]);
+                ineq_src.push(IneqSrc::Lower(j));
+            }
+            if model.ub[j].is_finite() {
+                let mut a = vec![0.0; n];
+                a[j] = 1.0;
+                a_in.push(a);
+                b_in.push(model.ub[j]);
+                ineq_src.push(IneqSrc::Upper(j));
+            }
+        }
+        DenseQp { n, h, c, a_eq, b_eq, a_in, b_in, eq_src, ineq_src, sign }
+    }
+
+    /// Objective value (of the minimization form) at a point.
+    pub(crate) fn objective_value(&self, x: &[f64]) -> f64 {
+        let hx = self.h.matvec(x).expect("shape checked");
+        0.5 * ed_linalg::dot(x, &hx) + ed_linalg::dot(&self.c, x)
+    }
+
+    /// Maximum constraint violation at a point (0 means feasible).
+    pub(crate) fn infeasibility(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0_f64;
+        for (a, &b) in self.a_eq.iter().zip(&self.b_eq) {
+            worst = worst.max((ed_linalg::dot(a, x) - b).abs());
+        }
+        for (a, &b) in self.a_in.iter().zip(&self.b_in) {
+            worst = worst.max(ed_linalg::dot(a, x) - b);
+        }
+        worst.max(0.0)
+    }
+}
+
 impl QpProblem {
     /// Creates a QP with `n` variables, zero objective and no constraints.
     pub fn new(n: usize) -> QpProblem {
-        QpProblem {
-            n,
-            h: Matrix::zeros(n, n),
-            c: vec![0.0; n],
-            a_eq: Vec::new(),
-            b_eq: Vec::new(),
-            a_in: Vec::new(),
-            b_in: Vec::new(),
+        let mut model = Model::minimize();
+        for _ in 0..n {
+            model.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0);
         }
+        QpProblem { model, eq_rows: Vec::new(), ineq_rows: Vec::new() }
     }
 
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
-        self.n
+        self.model.num_vars()
     }
 
     /// Number of equality rows.
     pub fn num_eq(&self) -> usize {
-        self.a_eq.len()
+        self.eq_rows.len()
     }
 
     /// Number of inequality rows.
     pub fn num_ineq(&self) -> usize {
-        self.a_in.len()
+        self.ineq_rows.len()
+    }
+
+    /// Read access to the backing model.
+    pub fn model(&self) -> &Model {
+        &self.model
     }
 
     /// Sets the full Hessian `H` (must be `n x n`, symmetric PSD).
@@ -92,8 +219,17 @@ impl QpProblem {
     ///
     /// Panics if the shape is not `n x n`.
     pub fn set_quadratic(&mut self, h: Matrix) {
-        assert_eq!((h.rows(), h.cols()), (self.n, self.n), "Hessian shape mismatch");
-        self.h = h;
+        let n = self.num_vars();
+        assert_eq!((h.rows(), h.cols()), (n, n), "Hessian shape mismatch");
+        self.model.clear_quad();
+        for i in 0..n {
+            for j in 0..n {
+                let v = h[(i, j)];
+                if v != 0.0 {
+                    self.model.add_quad(VarId(i), VarId(j), v);
+                }
+            }
+        }
     }
 
     /// Sets a diagonal Hessian from its diagonal entries.
@@ -102,8 +238,14 @@ impl QpProblem {
     ///
     /// Panics if `diag.len() != n`.
     pub fn set_quadratic_diag(&mut self, diag: &[f64]) {
-        assert_eq!(diag.len(), self.n, "diagonal length mismatch");
-        self.h = Matrix::from_diag(diag);
+        let n = self.num_vars();
+        assert_eq!(diag.len(), n, "diagonal length mismatch");
+        self.model.clear_quad();
+        for (j, &d) in diag.iter().enumerate() {
+            if d != 0.0 {
+                self.model.add_quad(VarId(j), VarId(j), d);
+            }
+        }
     }
 
     /// Sets the linear cost vector `c`.
@@ -112,8 +254,10 @@ impl QpProblem {
     ///
     /// Panics if `c.len() != n`.
     pub fn set_linear(&mut self, c: &[f64]) {
-        assert_eq!(c.len(), self.n, "linear cost length mismatch");
-        self.c = c.to_vec();
+        assert_eq!(c.len(), self.num_vars(), "linear cost length mismatch");
+        for (j, &v) in c.iter().enumerate() {
+            self.model.set_objective_coef(VarId(j), v);
+        }
     }
 
     /// Adds an equality row `a'x = b`.
@@ -122,9 +266,10 @@ impl QpProblem {
     ///
     /// Panics if `a.len() != n`.
     pub fn add_eq(&mut self, a: &[f64], b: f64) {
-        assert_eq!(a.len(), self.n, "eq row length mismatch");
-        self.a_eq.push(a.to_vec());
-        self.b_eq.push(b);
+        assert_eq!(a.len(), self.num_vars(), "eq row length mismatch");
+        let row = Row::eq(b).coefs(a.iter().enumerate().map(|(j, &c)| (VarId(j), c)));
+        let id = self.model.add_row(row);
+        self.eq_rows.push(id.index());
     }
 
     /// Adds an inequality row `a'x <= b` and returns its index.
@@ -133,10 +278,11 @@ impl QpProblem {
     ///
     /// Panics if `a.len() != n`.
     pub fn add_ineq(&mut self, a: &[f64], b: f64) -> usize {
-        assert_eq!(a.len(), self.n, "ineq row length mismatch");
-        self.a_in.push(a.to_vec());
-        self.b_in.push(b);
-        self.a_in.len() - 1
+        assert_eq!(a.len(), self.num_vars(), "ineq row length mismatch");
+        let row = Row::le(b).coefs(a.iter().enumerate().map(|(j, &c)| (VarId(j), c)));
+        let id = self.model.add_row(row);
+        self.ineq_rows.push(id.index());
+        self.ineq_rows.len() - 1
     }
 
     /// Adds `lb <= x_j <= ub` as (up to) two inequality rows; infinite bounds
@@ -147,16 +293,17 @@ impl QpProblem {
     ///
     /// Panics if `j >= n`.
     pub fn add_bounds(&mut self, j: usize, lb: f64, ub: f64) -> (Option<usize>, Option<usize>) {
-        assert!(j < self.n, "variable index out of range");
+        let n = self.num_vars();
+        assert!(j < n, "variable index out of range");
         let mut lo = None;
         let mut hi = None;
         if lb.is_finite() {
-            let mut a = vec![0.0; self.n];
+            let mut a = vec![0.0; n];
             a[j] = -1.0;
             lo = Some(self.add_ineq(&a, -lb));
         }
         if ub.is_finite() {
-            let mut a = vec![0.0; self.n];
+            let mut a = vec![0.0; n];
             a[j] = 1.0;
             hi = Some(self.add_ineq(&a, ub));
         }
@@ -169,9 +316,7 @@ impl QpProblem {
     ///
     /// Panics if `x.len() != n`.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.n);
-        let hx = self.h.matvec(x).expect("shape checked");
-        0.5 * ed_linalg::dot(x, &hx) + ed_linalg::dot(&self.c, x)
+        self.model.objective_value(x)
     }
 
     /// Maximum constraint violation at a point (0 means feasible).
@@ -180,14 +325,15 @@ impl QpProblem {
     ///
     /// Panics if `x.len() != n`.
     pub fn infeasibility(&self, x: &[f64]) -> f64 {
-        let mut worst = 0.0_f64;
-        for (a, &b) in self.a_eq.iter().zip(&self.b_eq) {
-            worst = worst.max((ed_linalg::dot(a, x) - b).abs());
-        }
-        for (a, &b) in self.a_in.iter().zip(&self.b_in) {
-            worst = worst.max(ed_linalg::dot(a, x) - b);
-        }
-        worst.max(0.0)
+        self.model.infeasibility(x)
+    }
+
+    /// Expands the backing model into the dense solver view. Because every
+    /// variable here has infinite bounds and rows arrive through
+    /// `add_eq`/`add_ineq`, the dense eq/ineq row order matches the
+    /// historical `QpSolution` dual indexing exactly.
+    pub(crate) fn dense(&self) -> DenseQp {
+        DenseQp::from_model(&self.model)
     }
 
     /// Solves with default options.
@@ -208,15 +354,16 @@ impl QpProblem {
     /// Same as [`QpProblem::solve`].
     pub fn solve_with(&self, options: &QpOptions) -> Result<QpSolution, OptimError> {
         use crate::qp::QpMethod;
+        let qp = self.dense();
         match options.method {
-            QpMethod::ActiveSet => active_set::solve(self, options),
-            QpMethod::InteriorPoint => crate::qp::ipm::solve(self, &options.ipm),
-            QpMethod::Auto => match active_set::solve(self, options) {
+            QpMethod::ActiveSet => active_set::solve(&qp, options),
+            QpMethod::InteriorPoint => crate::qp::ipm::solve(&qp, &options.ipm),
+            QpMethod::Auto => match active_set::solve(&qp, options) {
                 Ok(sol) => Ok(sol),
                 // Degenerate stalls and numerical breakdowns route to the
                 // interior-point method; genuine infeasibility does not.
                 Err(OptimError::IterationLimit { .. }) | Err(OptimError::Numerical { .. }) => {
-                    crate::qp::ipm::solve(self, &options.ipm)
+                    crate::qp::ipm::solve(&qp, &options.ipm)
                 }
                 Err(e) => Err(e),
             },
@@ -242,16 +389,17 @@ impl QpProblem {
         budget: &SolveBudget,
     ) -> Result<SolveOutcome<QpSolution>, OptimError> {
         use crate::qp::QpMethod;
+        let qp = self.dense();
         match options.method {
-            QpMethod::ActiveSet => active_set::solve_budgeted(self, options, budget),
-            QpMethod::InteriorPoint => crate::qp::ipm::solve_budgeted(self, &options.ipm, budget),
-            QpMethod::Auto => match active_set::solve_budgeted(self, options, budget) {
+            QpMethod::ActiveSet => active_set::solve_budgeted(&qp, options, budget),
+            QpMethod::InteriorPoint => crate::qp::ipm::solve_budgeted(&qp, &options.ipm, budget),
+            QpMethod::Auto => match active_set::solve_budgeted(&qp, options, budget) {
                 Ok(SolveOutcome::Solved(sol)) => Ok(SolveOutcome::Solved(sol)),
                 Ok(SolveOutcome::Partial(p)) => {
                     if budget.wall_tripped().is_some() {
                         return Ok(SolveOutcome::Partial(p));
                     }
-                    match crate::qp::ipm::solve_budgeted(self, &options.ipm, budget) {
+                    match crate::qp::ipm::solve_budgeted(&qp, &options.ipm, budget) {
                         Ok(SolveOutcome::Solved(sol)) => Ok(SolveOutcome::Solved(sol)),
                         // The active-set partial carries a feasible iterate;
                         // prefer it over an infeasible interior partial.
@@ -259,7 +407,7 @@ impl QpProblem {
                     }
                 }
                 Err(OptimError::IterationLimit { .. }) | Err(OptimError::Numerical { .. }) => {
-                    crate::qp::ipm::solve_budgeted(self, &options.ipm, budget)
+                    crate::qp::ipm::solve_budgeted(&qp, &options.ipm, budget)
                 }
                 Err(e) => Err(e),
             },
@@ -322,5 +470,37 @@ mod tests {
         let v = qp.objective_value(&[1.0, 2.0]);
         // 0.5*(2*1 + 4*4) + (1 - 2) = 9 - 1 = 8
         assert!((v - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrapper_holds_no_constraint_storage() {
+        // The model carries the rows; the wrapper only tracks index maps.
+        let mut qp = QpProblem::new(2);
+        qp.add_eq(&[1.0, 1.0], 2.0);
+        qp.add_ineq(&[1.0, 0.0], 1.5);
+        assert_eq!(qp.model().num_rows(), 2);
+        assert_eq!(qp.num_eq(), 1);
+        assert_eq!(qp.num_ineq(), 1);
+        let d = qp.dense();
+        assert_eq!(d.a_eq.len(), 1);
+        assert_eq!(d.a_in.len(), 1);
+        assert_eq!(d.eq_src, vec![0]);
+        assert_eq!(d.ineq_src, vec![IneqSrc::Row { row: 1, negated: false }]);
+    }
+
+    #[test]
+    fn dense_view_negates_ge_rows_and_expands_bounds() {
+        let mut m = Model::minimize();
+        let x = m.add_var(0.0, 2.0, 1.0);
+        m.add_quad(x, x, 2.0);
+        m.add_row(Row::ge(0.5).coef(x, 1.0));
+        let d = DenseQp::from_model(&m);
+        assert_eq!(d.a_eq.len(), 0);
+        // Ge row negated + two bound rows.
+        assert_eq!(d.a_in.len(), 3);
+        assert_eq!(d.a_in[0], vec![-1.0]);
+        assert_eq!(d.b_in[0], -0.5);
+        assert_eq!(d.ineq_src[1], IneqSrc::Lower(0));
+        assert_eq!(d.ineq_src[2], IneqSrc::Upper(0));
     }
 }

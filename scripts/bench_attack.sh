@@ -6,8 +6,11 @@
 # Runs the exact MPEC sweep on the 118-bus-class case at 1/2/4/N worker
 # threads, checks that the results are bit-identical across thread counts,
 # and writes the wall clocks to BENCH_attack.json (or the given path).
-# The JSON records `hardware_threads` — interpret speedups accordingly on
-# core-starved machines.
+# The sweep presolves the shared KKT model once; the JSON records the full
+# vs reduced model dimensions, the presolve `reduction_ratio`, and the
+# per-family exact-solve counts (`mpec_solves` / `milp_solves`) alongside
+# the timings. It also records `hardware_threads` — interpret speedups
+# accordingly on core-starved machines.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

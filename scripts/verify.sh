@@ -34,6 +34,11 @@ run cargo build --release --offline --workspace
 # thread count (ED_THREADS is read by ed-par).
 run env ED_THREADS=1 cargo test -q --offline --workspace
 run env ED_THREADS=4 cargo test -q --offline --workspace
+# ... and with the model presolve both off and on (ED_PRESOLVE routes every
+# env-gated solve entry point through presolve/postsolve; results must be
+# indistinguishable either way).
+run env ED_PRESOLVE=0 cargo test -q --offline --workspace
+run env ED_PRESOLVE=1 cargo test -q --offline --workspace
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "verify: OK"
