@@ -35,7 +35,7 @@ const NODE_LIMIT: usize = 2;
 /// Timed repetitions per thread count (minimum wall clock is reported).
 const REPS: usize = 2;
 
-fn config_for(net: &ed_powerflow::Network, threads: usize) -> AttackConfig {
+fn config_for(net: &ed_powerflow::Network, threads: usize, certify: bool) -> AttackConfig {
     let dlr = congested_dlr_lines(net, DLR_LINES);
     let (lo, hi) = dlr_bounds_for(net, &dlr);
     let u_d: Vec<f64> = dlr.iter().map(|l| net.lines()[l.0].rating_mva).collect();
@@ -46,6 +46,11 @@ fn config_for(net: &ed_powerflow::Network, threads: usize) -> AttackConfig {
             node_limit: NODE_LIMIT,
             threads: Some(threads),
             presolve: Some(true),
+            // Pinned (not env-deferred) so the JSON's timings mean the same
+            // thing on every host: the scaling runs pay for certification
+            // exactly like the production default, and the certify-off run
+            // below isolates its overhead.
+            certify: Some(certify),
             ..Default::default()
         })
 }
@@ -92,7 +97,7 @@ fn main() {
     let mut deterministic = true;
     let mut sweep: Option<ed_core::attack::SweepReport> = None;
     for &threads in &thread_counts {
-        let config = config_for(&net, threads);
+        let config = config_for(&net, threads, true);
         let mut best_ms = f64::INFINITY;
         let mut result = None;
         for _ in 0..REPS {
@@ -124,6 +129,82 @@ fn main() {
     let four_ms = runs.iter().find(|(t, _)| *t == 4).map(|(_, ms)| *ms).unwrap_or(f64::NAN);
     let speedup_4t = seq_ms / four_ms;
 
+    // The cost of trust: one more timed sweep at the widest thread count
+    // with certification off. The delta against the matching certify-on
+    // run above is the end-to-end certify overhead (audit passes plus any
+    // repair re-solves they triggered).
+    let off_config = config_for(&net, hardware, false);
+    let mut certify_off_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let r = optimal_attack(&net, &off_config).expect("certify-off sweep solves");
+        certify_off_ms = certify_off_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            r.sweep.certified + r.sweep.cert_repaired + r.sweep.uncertified,
+            0,
+            "certify-off sweeps must not produce certificates"
+        );
+    }
+    let certify_on_ms =
+        runs.iter().find(|(t, _)| *t == hardware).map(|(_, ms)| *ms).unwrap_or(f64::NAN);
+    let certify_overhead_pct = 100.0 * (certify_on_ms - certify_off_ms) / certify_off_ms;
+    eprintln!(
+        "  certify: on {certify_on_ms:.1} ms vs off {certify_off_ms:.1} ms \
+         ({certify_overhead_pct:+.1}% overhead)"
+    );
+
+    // The node-capped 118-bus sweep above can only record its certificate
+    // counters vacuously (every subproblem hits the node budget and keeps
+    // its heuristic floor). The 3- and 6-bus exact sweeps complete every
+    // subproblem, so they pin the substantive invariant: every exact
+    // solve certifies at default tolerances. Unseeded — with the corner
+    // heuristic's incumbent hint the exact solves prune at the root and
+    // there is nothing to certify.
+    let mut case_objs: Vec<String> = Vec::new();
+    let small_cases: [(&str, ed_powerflow::Network, AttackConfig); 2] = {
+        let three = ed_cases::three_bus();
+        let three_cfg = AttackConfig::new(ed_cases::three_bus::dlr_lines())
+            .bounds(100.0, 200.0)
+            .true_ratings(vec![130.0, 120.0]);
+        let six = ed_cases::six_bus();
+        let dlr = vec![ed_powerflow::LineId(4), ed_powerflow::LineId(8)];
+        let u_d: Vec<f64> = dlr.iter().map(|l| 0.9 * six.lines()[l.0].rating_mva).collect();
+        let lo: Vec<f64> = dlr.iter().map(|l| 0.5 * six.lines()[l.0].rating_mva).collect();
+        let hi: Vec<f64> = dlr.iter().map(|l| 2.0 * six.lines()[l.0].rating_mva).collect();
+        let six_cfg = AttackConfig::new(dlr).bounds_per_line(lo, hi).true_ratings(u_d);
+        [("three_bus", three, three_cfg), ("six_bus", six, six_cfg)]
+    };
+    for (name, case_net, mut config) in small_cases {
+        config.options.certify = Some(true);
+        config.options.use_heuristic = false;
+        let t0 = Instant::now();
+        let r = optimal_attack(&case_net, &config).expect("small-case sweep solves");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(r.sweep.uncertified, 0, "{name}: every exact solve must certify");
+        assert!(r.sweep.certified >= 1, "{name}: at least one exact solve must complete");
+        eprintln!(
+            "  {name}: {} certified, {} repaired, {} uncertified ({:.1} ms sweep, \
+             {:.2} ms certifying)",
+            r.sweep.certified,
+            r.sweep.cert_repaired,
+            r.sweep.uncertified,
+            wall_ms,
+            r.sweep.certify_ms
+        );
+        case_objs.push(format!(
+            "    {{\"case\": \"{name}\", \"subproblems\": {}, \"certified\": {}, \
+             \"cert_repaired\": {}, \"uncertified\": {}, \"heuristic_floor\": {}, \
+             \"certify_ms\": {:.3}, \"wall_ms\": {:.3}}}",
+            r.subproblems.len(),
+            r.sweep.certified,
+            r.sweep.cert_repaired,
+            r.sweep.uncertified,
+            r.sweep.heuristic_floor,
+            r.sweep.certify_ms,
+            wall_ms
+        ));
+    }
+
     let sweep = sweep.expect("at least one sweep ran");
     let run_objs: Vec<String> = runs
         .iter()
@@ -141,11 +222,26 @@ fn main() {
         sweep.reduced_nnz,
         sweep.reduction_ratio()
     );
+    let certify_obj = format!(
+        "{{\n    \"on_wall_ms\": {certify_on_ms:.3},\n    \
+         \"off_wall_ms\": {certify_off_ms:.3},\n    \
+         \"overhead_pct\": {certify_overhead_pct:.2},\n    \
+         \"certify_ms\": {:.3},\n    \"certified\": {},\n    \
+         \"cert_repaired\": {},\n    \"uncertified\": {},\n    \
+         \"heuristic_floor\": {},\n    \"exact_cases\": [\n{}\n    ]\n  }}",
+        sweep.certify_ms,
+        sweep.certified,
+        sweep.cert_repaired,
+        sweep.uncertified,
+        sweep.heuristic_floor,
+        case_objs.join(",\n")
+    );
     let json = format!(
         "{{\n  \"case\": \"ieee118_like\",\n  \"buses\": {},\n  \"lines\": {},\n  \
          \"dlr_lines\": {},\n  \"subproblems\": {},\n  \"node_limit\": {},\n  \
          \"hardware_threads\": {},\n  \"repetitions\": {},\n  \"runs\": [\n{}\n  ],\n  \
          \"speedup_4t\": {:.3},\n  \"deterministic\": {},\n  \"presolve\": {},\n  \
+         \"certify\": {},\n  \
          \"mpec_solves\": {},\n  \"milp_solves\": {},\n  \"heuristic_evaluations\": {}\n}}\n",
         net.num_buses(),
         net.num_lines(),
@@ -158,6 +254,7 @@ fn main() {
         speedup_4t,
         deterministic,
         presolve_obj,
+        certify_obj,
         sweep.mpec_solves,
         sweep.milp_solves,
         sweep.heuristic_evaluations

@@ -25,7 +25,7 @@ use crate::attack::{AttackConfig, ViolationMetric};
 use crate::CoreError;
 use ed_optim::budget::BudgetTripped;
 use ed_optim::model::presolve;
-use ed_optim::PresolveStats;
+use ed_optim::{Certificate, PresolveStats, Solution, Tolerances};
 use ed_powerflow::{LineId, Network};
 
 /// Why a subproblem's exact solve did not complete. The sweep is isolated:
@@ -38,6 +38,27 @@ pub enum SubproblemFault {
     Budget(BudgetTripped),
     /// The solver failed numerically (singular basis, cycling, …).
     Numerical(String),
+}
+
+/// Why a subproblem ran without a usable heuristic incumbent — the reason
+/// code behind what used to be a bare `heuristic_missing` flag, so
+/// degradation records and certificate stats compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedlessCause {
+    /// Every heuristic candidate that could have seeded this
+    /// (line, direction) was rejected: the defender's dispatch under it was
+    /// infeasible (alarm-tripping), so no valid floor exists.
+    CandidatesInfeasible {
+        /// Candidates whose dispatch was evaluated successfully (none of
+        /// which produced a finite flow for this slot).
+        evaluated: usize,
+        /// Candidates rejected as dispatch-infeasible.
+        infeasible: usize,
+    },
+    /// Heuristic seeding was switched off
+    /// ([`BilevelOptions::use_heuristic`] `= false`), so the exact solve
+    /// ran unseeded by choice.
+    Disabled,
 }
 
 /// Result of one (line, direction) subproblem in Algorithm 1's loop.
@@ -57,11 +78,19 @@ pub struct SubproblemOutcome {
     /// Why the exact solve degraded, if it did. `None` means the subproblem
     /// completed normally.
     pub fault: Option<SubproblemFault>,
-    /// `true` when the heuristic produced no usable incumbent for this
-    /// (line, direction) — its candidate was infeasible or empty, so the
-    /// subproblem ran unseeded and any degraded fallback has no floor.
-    /// The seed silently skipped such candidates; this flag surfaces them.
-    pub heuristic_missing: bool,
+    /// `Some(cause)` when the heuristic produced no usable incumbent for
+    /// this (line, direction) — the subproblem ran unseeded and any
+    /// degraded fallback has no floor. The cause says why (the seed used to
+    /// silently skip such candidates; this surfaces them with provenance).
+    pub heuristic_missing: Option<SeedlessCause>,
+    /// Independent certificate of the exact solution against the
+    /// full-space KKT model (`None` when no exact solution was produced or
+    /// certification is disabled).
+    pub certificate: Option<Certificate>,
+    /// `true` when the primary solve's certificate failed and the
+    /// alternate-reformulation repair produced the accepted (certified)
+    /// solution.
+    pub cert_repaired: bool,
 }
 
 /// Model-size and solver accounting for one Algorithm 1 sweep: how big the
@@ -91,6 +120,22 @@ pub struct SweepReport {
     pub milp_solves: usize,
     /// Candidate dispatches evaluated by the corner/greedy heuristic.
     pub heuristic_evaluations: usize,
+    /// Subproblems whose exact solution certified on the first try.
+    pub certified: usize,
+    /// Subproblems certified only after the alternate-reformulation
+    /// repair replaced the primary solution.
+    pub cert_repaired: usize,
+    /// Subproblems whose exact solution failed certification even after
+    /// repair — their values are flagged untrusted.
+    pub uncertified: usize,
+    /// Subproblems whose reported value is the heuristic incumbent rather
+    /// than an exact solution (pruned at the seed, budget-tripped without
+    /// an incumbent, or numerically faulted).
+    pub heuristic_floor: usize,
+    /// Wall-clock milliseconds spent in certification (and any repair
+    /// re-solves it triggered) across the sweep. Timing only — never part
+    /// of determinism fingerprints.
+    pub certify_ms: f64,
 }
 
 impl SweepReport {
@@ -211,9 +256,8 @@ pub fn optimal_attack_with(
         reduced_rows,
         reduced_nnz,
         presolve: prepared.stats().copied(),
-        mpec_solves: 0,
-        milp_solves: 0,
         heuristic_evaluations: heuristic.evaluated,
+        ..Default::default()
     };
 
     if exact {
@@ -244,6 +288,16 @@ pub fn optimal_attack_with(
                     BilevelSolver::BigM { .. } => sweep.milp_solves += 1,
                 }
             }
+            sweep.certify_ms += rec.certify_ms;
+            match &rec.outcome.certificate {
+                Some(c) if c.passed() && rec.outcome.cert_repaired => sweep.cert_repaired += 1,
+                Some(c) if c.passed() => sweep.certified += 1,
+                Some(_) => sweep.uncertified += 1,
+                None => {}
+            }
+            if rec.candidate.is_none() {
+                sweep.heuristic_floor += 1;
+            }
             if let Some((violation, overload, ua, dispatch, target)) = rec.candidate {
                 if best.as_ref().is_none_or(|(v, ..)| violation > *v) {
                     best = Some((violation, overload, ua, dispatch, target));
@@ -269,7 +323,12 @@ pub fn optimal_attack_with(
                     proved_optimal: false,
                     nodes: 0,
                     fault: None,
-                    heuristic_missing: !usable,
+                    heuristic_missing: (!usable).then_some(SeedlessCause::CandidatesInfeasible {
+                        evaluated: heuristic.evaluated,
+                        infeasible: heuristic.infeasible,
+                    }),
+                    certificate: None,
+                    cert_repaired: false,
                 });
             }
         }
@@ -324,6 +383,36 @@ struct SubproblemRecord {
     /// Whether an exact solve was actually dispatched (pre-build deadline
     /// skips are not attempts); feeds the per-family solve counts.
     attempted: bool,
+    /// Wall-clock milliseconds spent certifying (and repairing) this
+    /// subproblem's solution. Timing only.
+    certify_ms: f64,
+}
+
+/// Certifies one subproblem solution against the **full-space** KKT model:
+/// the audit model is a fresh clone of the shared base with the same flow
+/// objective installed, so it shares nothing with the presolve/postsolve
+/// path the solution came through. MPEC/MILP report no duals, so this is a
+/// primal + complementarity + objective-consistency certificate
+/// (`dual_checked = false`).
+fn certify_solution(
+    prepared: &PreparedKkt,
+    line: LineId,
+    dir: f64,
+    scale: f64,
+    sol: &SubproblemSolution,
+) -> Certificate {
+    let mut audit = prepared.base().clone();
+    audit.set_flow_objective(line, dir, scale);
+    let probe = Solution {
+        x: sol.x.clone(),
+        objective: sol.objective,
+        row_duals: Vec::new(),
+        reduced_costs: Vec::new(),
+        proved_optimal: sol.proved_optimal,
+        iterations: 0,
+        nodes: sol.nodes,
+    };
+    ed_optim::certify(&audit.lp, &probe, &Tolerances::default())
 }
 
 /// One (line, direction) subproblem of Algorithm 1, runnable from any
@@ -351,7 +440,17 @@ fn run_subproblem(
     // every degraded path falls back to.
     let d = if dir > 0.0 { 0 } else { 1 };
     let heuristic_flow = heuristic.best_flow[k][d];
-    let heuristic_missing = !heuristic_flow.is_finite() || heuristic.best_ua[k][d].is_empty();
+    let unusable = !heuristic_flow.is_finite() || heuristic.best_ua[k][d].is_empty();
+    let heuristic_missing = if unusable {
+        Some(SeedlessCause::CandidatesInfeasible {
+            evaluated: heuristic.evaluated,
+            infeasible: heuristic.infeasible,
+        })
+    } else if !options.use_heuristic {
+        Some(SeedlessCause::Disabled)
+    } else {
+        None
+    };
     let heuristic_violation = if heuristic_flow.is_finite() {
         metric_value(config.metric, heuristic_flow, config.u_d[k])
     } else {
@@ -370,9 +469,12 @@ fn run_subproblem(
                 nodes: 0,
                 fault: Some(SubproblemFault::Budget(tripped)),
                 heuristic_missing,
+                certificate: None,
+                cert_repaired: false,
             },
             candidate: None,
             attempted: false,
+            certify_ms: 0.0,
         };
     }
 
@@ -384,35 +486,71 @@ fn run_subproblem(
     } else {
         None
     };
+    let use_certify = options.certify.unwrap_or_else(ed_optim::certify::env_enabled);
     match solve_subproblem(prepared, line, dir, scale, options, hint) {
-        SubproblemAttempt::Solved(SubproblemSolution {
-            objective,
-            ua_mw,
-            flow_mw,
-            dispatch_mw,
-            proved_optimal,
-            nodes,
-        }) => {
-            let violation = objective + offset;
-            options.budget.record_nodes(nodes);
+        SubproblemAttempt::Solved(mut sol) => {
+            let mut certificate = None;
+            let mut cert_repaired = false;
+            let mut certify_ms = 0.0;
+            if use_certify {
+                let t0 = std::time::Instant::now();
+                let cert = certify_solution(prepared, line, dir, scale, &sol);
+                if cert.passed() {
+                    certificate = Some(cert);
+                } else {
+                    // Repair: one re-solve with the alternate
+                    // complementarity reformulation (big-M ↔ pair
+                    // branching) — an independent code path unlikely to
+                    // share whatever fault corrupted the primary answer.
+                    let mut alt = options.clone();
+                    alt.solver = match options.solver {
+                        BilevelSolver::Mpec => BilevelSolver::BigM { big_m: 1e5 },
+                        BilevelSolver::BigM { .. } => BilevelSolver::Mpec,
+                    };
+                    if let SubproblemAttempt::Solved(repaired) =
+                        solve_subproblem(prepared, line, dir, scale, &alt, hint)
+                    {
+                        let repaired_cert =
+                            certify_solution(prepared, line, dir, scale, &repaired);
+                        if repaired_cert.passed() {
+                            sol = repaired;
+                            certificate = Some(repaired_cert);
+                            cert_repaired = true;
+                        }
+                    }
+                    // Neither answer certified: keep the primary one,
+                    // flagged by its failing certificate.
+                    if certificate.is_none() {
+                        certificate = Some(cert);
+                    }
+                }
+                certify_ms = t0.elapsed().as_secs_f64() * 1e3;
+            }
+            let untrusted = certificate.as_ref().is_some_and(|c| !c.passed());
+            let violation = sol.objective + offset;
+            options.budget.record_nodes(sol.nodes);
             SubproblemRecord {
                 outcome: SubproblemOutcome {
                     line,
                     direction: dir as i8,
                     violation,
-                    proved_optimal,
-                    nodes,
+                    // An uncertified answer must not claim proof.
+                    proved_optimal: sol.proved_optimal && !untrusted,
+                    nodes: sol.nodes,
                     fault: None,
                     heuristic_missing,
+                    certificate,
+                    cert_repaired,
                 },
                 candidate: Some((
                     violation,
-                    dir * flow_mw - config.u_d[k],
-                    ua_mw,
-                    dispatch_mw,
+                    dir * sol.flow_mw - config.u_d[k],
+                    sol.ua_mw,
+                    sol.dispatch_mw,
                     (line, dir as i8),
                 )),
                 attempted: true,
+                certify_ms,
             }
         }
         SubproblemAttempt::Pruned => SubproblemRecord {
@@ -426,9 +564,12 @@ fn run_subproblem(
                 nodes: 0,
                 fault: None,
                 heuristic_missing,
+                certificate: None,
+                cert_repaired: false,
             },
             candidate: None,
             attempted: true,
+            certify_ms: 0.0,
         },
         SubproblemAttempt::Budget(tripped, incumbent) => {
             // Budget trip: keep the better of the solver's partial
@@ -447,6 +588,8 @@ fn run_subproblem(
                     nodes,
                     fault: Some(SubproblemFault::Budget(tripped)),
                     heuristic_missing,
+                    certificate: None,
+                    cert_repaired: false,
                 },
                 candidate: incumbent.map(|sol| {
                     (
@@ -458,6 +601,7 @@ fn run_subproblem(
                     )
                 }),
                 attempted: true,
+                certify_ms: 0.0,
             }
         }
         SubproblemAttempt::Faulted(e) => SubproblemRecord {
@@ -471,9 +615,12 @@ fn run_subproblem(
                 nodes: 0,
                 fault: Some(SubproblemFault::Numerical(e.to_string())),
                 heuristic_missing,
+                certificate: None,
+                cert_repaired: false,
             },
             candidate: None,
             attempted: true,
+            certify_ms: 0.0,
         },
     }
 }

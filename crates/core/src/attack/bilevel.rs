@@ -54,6 +54,13 @@ pub struct BilevelOptions {
     /// subproblem is an objective patch on the reduced model: `Some(flag)`
     /// forces it, `None` defers to the `ED_PRESOLVE` environment variable.
     pub presolve: Option<bool>,
+    /// Independently certify every exact subproblem solution against the
+    /// full-space KKT model (primal feasibility, complementarity,
+    /// objective consistency); a failed certificate triggers one repair
+    /// re-solve with the alternate reformulation. `Some(flag)` forces it,
+    /// `None` defers to the `ED_CERTIFY` environment variable (default
+    /// **on**).
+    pub certify: Option<bool>,
 }
 
 impl Default for BilevelOptions {
@@ -65,6 +72,7 @@ impl Default for BilevelOptions {
             budget: SolveBudget::unlimited(),
             threads: None,
             presolve: None,
+            certify: None,
         }
     }
 }
@@ -85,6 +93,10 @@ pub struct SubproblemSolution {
     pub proved_optimal: bool,
     /// Nodes explored.
     pub nodes: usize,
+    /// The full-space KKT solution vector (restored from the reduced
+    /// model), kept so the sweep can certify the answer against the
+    /// original model.
+    pub x: Vec<f64>,
 }
 
 /// What one subproblem attempt produced. Faults and budget trips are data,
@@ -140,6 +152,7 @@ pub(crate) fn solve_subproblem(
             dispatch_mw: prepared.base().dispatch_at(&x),
             proved_optimal,
             nodes,
+            x,
         }
     };
     let outcome = match options.solver {

@@ -27,6 +27,10 @@ pub struct HeuristicResult {
     pub best_ua: Vec<[Vec<f64>; 2]>,
     /// Candidates whose dispatch was evaluated.
     pub evaluated: usize,
+    /// Candidates rejected because the defender's dispatch was infeasible
+    /// under them (they would trip the operator's alarm). Together with
+    /// `evaluated` this explains *why* a subproblem ran unseeded.
+    pub infeasible: usize,
 }
 
 impl HeuristicResult {
@@ -86,6 +90,7 @@ fn empty_result(n: usize) -> HeuristicResult {
         best_flow: vec![[f64::NEG_INFINITY; 2]; n],
         best_ua: vec![[Vec::new(), Vec::new()]; n],
         evaluated: 0,
+        infeasible: 0,
     }
 }
 
@@ -125,9 +130,12 @@ pub fn corner_heuristic(net: &Network, config: &AttackConfig) -> Result<Heuristi
     })
     .map_err(|e| CoreError::Parallel { what: e.to_string() })?;
     for (ua, evaluation) in candidates.iter().zip(evaluations) {
-        if let Some(flows) = evaluation? {
-            result.evaluated += 1;
-            fold_candidate(&mut result, ua, &flows);
+        match evaluation? {
+            Some(flows) => {
+                result.evaluated += 1;
+                fold_candidate(&mut result, ua, &flows);
+            }
+            None => result.infeasible += 1,
         }
     }
     finalize(config, &mut result);
@@ -151,9 +159,12 @@ pub fn greedy_heuristic(net: &Network, config: &AttackConfig) -> Result<Heuristi
     let demand = config.effective_demand(net);
     let mut result = empty_result(n);
     let mut current = config.u_d.clone();
-    if let Some(flows) = evaluate_candidate(net, config, &demand, &current)? {
-        result.evaluated += 1;
-        fold_candidate(&mut result, &current, &flows);
+    match evaluate_candidate(net, config, &demand, &current)? {
+        Some(flows) => {
+            result.evaluated += 1;
+            fold_candidate(&mut result, &current, &flows);
+        }
+        None => result.infeasible += 1,
     }
     let score = |r: &HeuristicResult| r.best_violation_pct(&config.u_d);
     for _pass in 0..3 {
@@ -166,13 +177,16 @@ pub fn greedy_heuristic(net: &Network, config: &AttackConfig) -> Result<Heuristi
                 let mut trial = current.clone();
                 trial[k] = candidate_value;
                 let before = score(&result);
-                if let Some(flows) = evaluate_candidate(net, config, &demand, &trial)? {
-                    result.evaluated += 1;
-                    fold_candidate(&mut result, &trial, &flows);
-                    if score(&result) > before + 1e-9 {
-                        current = trial;
-                        improved = true;
+                match evaluate_candidate(net, config, &demand, &trial)? {
+                    Some(flows) => {
+                        result.evaluated += 1;
+                        fold_candidate(&mut result, &trial, &flows);
+                        if score(&result) > before + 1e-9 {
+                            current = trial;
+                            improved = true;
+                        }
                     }
+                    None => result.infeasible += 1,
                 }
             }
         }

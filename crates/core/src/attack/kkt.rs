@@ -360,11 +360,13 @@ impl PreparedKkt {
     }
 
     /// Maps a reduced solution vector back to the original variable space
-    /// (tolerates extra appended entries, e.g. big-M indicator binaries).
+    /// (tolerates extra appended entries, e.g. big-M indicator binaries —
+    /// they are dropped, so the result always has exactly the base model's
+    /// variable count and can be certified against it).
     pub fn restore(&self, x_red: &[f64]) -> Vec<f64> {
         match &self.postsolve {
             Some(post) => post.restore_x(x_red),
-            None => x_red.to_vec(),
+            None => x_red[..self.base.lp.num_vars().min(x_red.len())].to_vec(),
         }
     }
 }

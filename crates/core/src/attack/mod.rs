@@ -24,8 +24,8 @@ mod heuristic;
 pub mod kkt;
 
 pub use algorithm1::{
-    optimal_attack, optimal_attack_with, AttackResult, SubproblemFault, SubproblemOutcome,
-    SweepReport,
+    optimal_attack, optimal_attack_with, AttackResult, SeedlessCause, SubproblemFault,
+    SubproblemOutcome, SweepReport,
 };
 pub use bilevel::{BilevelOptions, BilevelSolver, SubproblemSolution};
 pub use evaluate::{evaluate_attack, run_timeline, AttackOutcome, TimelinePoint};

@@ -13,12 +13,14 @@ mod loss;
 mod lp_form;
 mod qp_form;
 mod resilient;
+mod safety;
 
 pub use dcopf::{DcOpf, Dispatch, Formulation};
 pub use loss::loss_adjusted_dispatch;
 pub use resilient::{
     Degradation, DegradationReason, DispatchRung, ResilientDispatch, ResilientDispatcher,
 };
+pub use safety::{SafetyGate, SafetyLimits, SafetyReport, SafetyViolation};
 
 /// Raw budgeted solver output shared by the LP and QP forms: the
 /// `(generation, nodal price)` vectors, or a typed partial/error.

@@ -28,7 +28,7 @@
 //! factorization. The ladder records which rung produced the result and
 //! why each earlier rung failed.
 
-use crate::dispatch::{lp_form, qp_form, DcOpf, Dispatch, Formulation};
+use crate::dispatch::{lp_form, qp_form, DcOpf, Dispatch, Formulation, SafetyGate, SafetyReport};
 use crate::CoreError;
 use ed_optim::budget::{BudgetTripped, SolveBudget, SolveOutcome};
 use ed_optim::model::{ActiveSetSolver, IpmSolver, Solver};
@@ -72,6 +72,11 @@ pub enum DegradationReason {
     BadInput(String),
     /// The rung was skipped because the shared deadline had already passed.
     DeadlineExhausted,
+    /// The rung's dispatch failed the independent safety-gate audit
+    /// (imbalance, limit violation, or flows inconsistent with the claimed
+    /// operating point). The dispatch is still returned — the field needs
+    /// *a* set-point — but it is never stored as last-known-good.
+    SafetyGate(SafetyReport),
 }
 
 /// One ladder step that did not produce a clean result.
@@ -94,6 +99,10 @@ pub struct ResilientDispatch {
     pub rung: DispatchRung,
     /// Why each earlier rung failed; empty for a clean first-rung solve.
     pub degradations: Vec<Degradation>,
+    /// Independent safety-gate audit of the returned dispatch against this
+    /// interval's demand and operator-visible ratings. `None` only when the
+    /// inputs failed sanitization (nothing trustworthy to audit against).
+    pub safety: Option<SafetyReport>,
 }
 
 impl ResilientDispatch {
@@ -149,14 +158,24 @@ impl ResilientDispatcher {
         let problem = DcOpf::new(net).demand(demand_mw).ratings(ratings_mw);
         let mut degradations = Vec::new();
 
-        // Input sanitization runs before any solver touches the data.
+        // Input sanitization runs before any solver touches the data. When
+        // it fails there is nothing trustworthy to audit against, so the
+        // safety gate is skipped for this interval.
         if let Err(e) = problem.validate() {
             degradations.push(Degradation {
                 rung: DispatchRung::ActiveSetQp,
                 reason: DegradationReason::BadInput(e.to_string()),
             });
-            return self.fall_to_last_known_good(degradations, e);
+            return self.fall_to_last_known_good(degradations, e, None);
         }
+
+        // Every dispatch this call returns is audited by the same gate (one
+        // susceptance factorization shared across all rungs).
+        let audit = Audit {
+            gate: SafetyGate::new(net).ok(),
+            demand: demand_mw,
+            ratings: ratings_mw,
+        };
 
         let formulation = Formulation::Auto.resolve(net);
         let all_quadratic = net.gens().iter().all(|g| g.cost.is_strictly_convex());
@@ -165,7 +184,9 @@ impl ResilientDispatcher {
         if all_quadratic {
             // Rung 1: active-set QP.
             match self.try_qp(&problem, formulation, &ActiveSetSolver::default(), budget) {
-                RungOutcome::Clean(d) => return self.accept(d, DispatchRung::ActiveSetQp, degradations),
+                RungOutcome::Clean(d) => {
+                    return self.accept(d, DispatchRung::ActiveSetQp, degradations, &audit)
+                }
                 RungOutcome::Degraded(d, tripped) => {
                     degradations.push(Degradation {
                         rung: DispatchRung::ActiveSetQp,
@@ -173,11 +194,7 @@ impl ResilientDispatcher {
                     });
                     // A feasible incumbent is already in hand; do not spend
                     // the (likely exhausted) budget on further rungs.
-                    return Ok(ResilientDispatch {
-                        dispatch: d,
-                        rung: DispatchRung::ActiveSetQp,
-                        degradations,
-                    });
+                    return Ok(audit.flag_only(d, DispatchRung::ActiveSetQp, degradations));
                 }
                 RungOutcome::FailedPartial(tripped) => {
                     degradations.push(Degradation {
@@ -201,7 +218,7 @@ impl ResilientDispatcher {
             } else {
                 match self.try_qp(&problem, formulation, &IpmSolver::default(), budget) {
                     RungOutcome::Clean(d) => {
-                        return self.accept(d, DispatchRung::InteriorPoint, degradations)
+                        return self.accept(d, DispatchRung::InteriorPoint, degradations, &audit)
                     }
                     // Interior partials carry no feasible x; treat as failed.
                     RungOutcome::Degraded(_, tripped) | RungOutcome::FailedPartial(tripped) => {
@@ -233,17 +250,15 @@ impl ResilientDispatcher {
                     .collect()
             });
             match self.try_lp(&problem, formulation, lin_cost.as_deref(), budget) {
-                RungOutcome::Clean(d) => return self.accept_lp(d, degradations, all_quadratic),
+                RungOutcome::Clean(d) => {
+                    return self.accept_lp(d, degradations, all_quadratic, &audit)
+                }
                 RungOutcome::Degraded(d, tripped) => {
                     degradations.push(Degradation {
                         rung: DispatchRung::LpApprox,
                         reason: DegradationReason::PartialIncumbent(tripped),
                     });
-                    return Ok(ResilientDispatch {
-                        dispatch: d,
-                        rung: DispatchRung::LpApprox,
-                        degradations,
-                    });
+                    return Ok(audit.flag_only(d, DispatchRung::LpApprox, degradations));
                 }
                 RungOutcome::FailedPartial(tripped) => {
                     degradations.push(Degradation {
@@ -260,17 +275,26 @@ impl ResilientDispatcher {
         }
 
         // Rung 4: last-known-good.
-        self.fall_to_last_known_good(degradations, last_err)
+        self.fall_to_last_known_good(degradations, last_err, Some(&audit))
     }
 
     fn accept(
         &mut self,
         dispatch: Dispatch,
         rung: DispatchRung,
-        degradations: Vec<Degradation>,
+        mut degradations: Vec<Degradation>,
+        audit: &Audit<'_>,
     ) -> Result<ResilientDispatch, CoreError> {
-        self.last_known_good = Some(dispatch.clone());
-        Ok(ResilientDispatch { dispatch, rung, degradations })
+        let safety = audit.check(&dispatch);
+        if safety.as_ref().is_none_or(SafetyReport::passed) {
+            self.last_known_good = Some(dispatch.clone());
+        } else if let Some(report) = &safety {
+            degradations.push(Degradation {
+                rung,
+                reason: DegradationReason::SafetyGate(report.clone()),
+            });
+        }
+        Ok(ResilientDispatch { dispatch, rung, degradations, safety })
     }
 
     fn accept_lp(
@@ -278,6 +302,7 @@ impl ResilientDispatcher {
         dispatch: Dispatch,
         mut degradations: Vec<Degradation>,
         approximated: bool,
+        audit: &Audit<'_>,
     ) -> Result<ResilientDispatch, CoreError> {
         if approximated && degradations.is_empty() {
             // Shouldn't happen (LP only runs for quadratic costs after the
@@ -287,14 +312,14 @@ impl ResilientDispatcher {
                 reason: DegradationReason::Solver("cost model linearized".into()),
             });
         }
-        self.last_known_good = Some(dispatch.clone());
-        Ok(ResilientDispatch { dispatch, rung: DispatchRung::LpApprox, degradations })
+        self.accept(dispatch, DispatchRung::LpApprox, degradations, audit)
     }
 
     fn fall_to_last_known_good(
         &self,
-        degradations: Vec<Degradation>,
+        mut degradations: Vec<Degradation>,
         last_err: CoreError,
+        audit: Option<&Audit<'_>>,
     ) -> Result<ResilientDispatch, CoreError> {
         match &self.last_known_good {
             Some(d) => {
@@ -303,10 +328,22 @@ impl ResilientDispatcher {
                 for v in &mut dispatch.lmp {
                     *v = f64::NAN;
                 }
+                // The stale dispatch is audited against *today's* demand and
+                // ratings (flag-only: it is the last resort either way).
+                let safety = audit.and_then(|a| a.check(&dispatch));
+                if let Some(report) = &safety {
+                    if !report.passed() {
+                        degradations.push(Degradation {
+                            rung: DispatchRung::LastKnownGood,
+                            reason: DegradationReason::SafetyGate(report.clone()),
+                        });
+                    }
+                }
                 Ok(ResilientDispatch {
                     dispatch,
                     rung: DispatchRung::LastKnownGood,
                     degradations,
+                    safety,
                 })
             }
             None => Err(last_err),
@@ -390,6 +427,42 @@ impl ResilientDispatcher {
             Err(CoreError::Optim(ed_optim::OptimError::Infeasible)) => RungOutcome::Infeasible,
             Err(e) => RungOutcome::Failed(DegradationReason::Solver(e.to_string()), e),
         }
+    }
+}
+
+/// The per-interval safety audit shared by every rung of one
+/// [`ResilientDispatcher::dispatch`] call.
+struct Audit<'a> {
+    /// `None` only if the susceptance factorization failed (degenerate
+    /// network); dispatches then carry `safety: None`.
+    gate: Option<SafetyGate<'a>>,
+    demand: &'a [f64],
+    ratings: &'a [f64],
+}
+
+impl Audit<'_> {
+    fn check(&self, dispatch: &Dispatch) -> Option<SafetyReport> {
+        self.gate.as_ref().map(|g| g.check(self.demand, self.ratings, dispatch))
+    }
+
+    /// Packages a degraded (already-not-stored) dispatch with its audit:
+    /// a failed gate is recorded but does not change the rung choice.
+    fn flag_only(
+        &self,
+        dispatch: Dispatch,
+        rung: DispatchRung,
+        mut degradations: Vec<Degradation>,
+    ) -> ResilientDispatch {
+        let safety = self.check(&dispatch);
+        if let Some(report) = &safety {
+            if !report.passed() {
+                degradations.push(Degradation {
+                    rung,
+                    reason: DegradationReason::SafetyGate(report.clone()),
+                });
+            }
+        }
+        ResilientDispatch { dispatch, rung, degradations, safety }
     }
 }
 
@@ -501,6 +574,27 @@ mod tests {
         let total: f64 = r.dispatch.p_mw.iter().sum();
         assert!((total - demand.iter().sum::<f64>()).abs() < 1e-6, "balance violated");
         assert!(r.dispatch.lmp.iter().all(|v| v.is_nan()), "partial LMPs must be NaN");
+    }
+
+    #[test]
+    fn safety_audit_attached_to_fresh_dispatches() {
+        let net = quad_net();
+        let demand = net.demand_vector_mw();
+        let ratings = net.static_ratings_mva();
+        let mut rd = ResilientDispatcher::new();
+        let clean = rd.dispatch(&net, &demand, &ratings, &SolveBudget::unlimited()).unwrap();
+        assert!(clean.safety.as_ref().is_some_and(SafetyReport::passed), "{:?}", clean.safety);
+        // A budget-partial incumbent is still a physically valid dispatch
+        // and must also carry a passing audit.
+        let expired = SolveBudget::with_deadline(std::time::Duration::ZERO);
+        let partial = rd.dispatch(&net, &demand, &ratings, &expired).unwrap();
+        assert!(partial.safety.as_ref().is_some_and(SafetyReport::passed), "{:?}", partial.safety);
+        // Bad input skips the audit (nothing trustworthy to check against).
+        let mut bad = ratings.clone();
+        bad[0] = f64::NAN;
+        let lkg = rd.dispatch(&net, &demand, &bad, &SolveBudget::unlimited()).unwrap();
+        assert_eq!(lkg.rung, DispatchRung::LastKnownGood);
+        assert!(lkg.safety.is_none());
     }
 
     #[test]

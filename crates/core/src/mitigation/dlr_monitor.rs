@@ -1,0 +1,275 @@
+//! Physics-anchored DLR plausibility monitor.
+//!
+//! [`BoundsCheck`](crate::mitigation::BoundsCheck) is the "typical
+//! out-of-bound check" the paper's attack provably passes, and
+//! [`TrendCheck`](crate::mitigation::TrendCheck) works in absolute MW. The
+//! [`DlrMonitor`] combines the two ideas and anchors them to the conductor
+//! physics in `ed_dlr`: ratings are judged *fractionally* against each
+//! line's static rating, with a ceiling/floor envelope derived from the
+//! [`ThermalModel`]'s best-case/worst-case weather ratio. A real DLR cannot
+//! exceed what ideal weather makes physically possible, cannot sit far
+//! below the worst-case static value, and cannot move faster than weather
+//! does — a memory overwrite can do all three.
+
+use ed_dlr::{ThermalModel, Weather};
+
+/// Why a reported rating was flagged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DlrFlag {
+    /// The reported value is NaN or infinite.
+    NonFinite {
+        /// Line index within the monitored set.
+        line: usize,
+    },
+    /// The rating moved faster between readings than weather plausibly
+    /// allows (fractional step over `max_step_frac`).
+    RateOfChange {
+        /// Line index within the monitored set.
+        line: usize,
+        /// Previous reading, MW.
+        prev_mw: f64,
+        /// Current reading, MW.
+        now_mw: f64,
+    },
+    /// Above the physical ceiling: more capacity than the thermal model
+    /// yields under the most favorable weather.
+    AboveEnvelope {
+        /// Line index within the monitored set.
+        line: usize,
+        /// Reported rating, MW.
+        reported_mw: f64,
+        /// Ceiling the check used, MW.
+        ceiling_mw: f64,
+    },
+    /// Below the worst-case floor: less capacity than calm-hot-noon
+    /// conditions produce (minus slack), which no weather explains.
+    BelowEnvelope {
+        /// Line index within the monitored set.
+        line: usize,
+        /// Reported rating, MW.
+        reported_mw: f64,
+        /// Floor the check used, MW.
+        floor_mw: f64,
+    },
+    /// Inconsistent with concurrently measured weather: the thermal model
+    /// under the actual weather predicts a rating far from the reported
+    /// one.
+    WeatherMismatch {
+        /// Line index within the monitored set.
+        line: usize,
+        /// Reported rating, MW.
+        reported_mw: f64,
+        /// Model-predicted rating under the measured weather, MW.
+        expected_mw: f64,
+    },
+}
+
+impl DlrFlag {
+    /// The monitored-line index this flag refers to.
+    pub fn line(&self) -> usize {
+        match *self {
+            DlrFlag::NonFinite { line }
+            | DlrFlag::RateOfChange { line, .. }
+            | DlrFlag::AboveEnvelope { line, .. }
+            | DlrFlag::BelowEnvelope { line, .. }
+            | DlrFlag::WeatherMismatch { line, .. } => line,
+        }
+    }
+}
+
+/// Stateful plausibility monitor over one fixed set of DLR lines.
+///
+/// Prime it with the lines' static ratings (the per-line physical anchor),
+/// then feed successive readings through [`observe`](DlrMonitor::observe).
+#[derive(Debug, Clone)]
+pub struct DlrMonitor {
+    /// Largest fractional change allowed between consecutive readings
+    /// (`0.3` = 30% per reading; weather-driven ratings drift far slower).
+    pub max_step_frac: f64,
+    /// Ceiling as a multiple of the static rating. The default derives it
+    /// from the [`ThermalModel`]: best-case weather over worst-case.
+    pub ceiling_frac: f64,
+    /// Floor as a multiple of the static rating (the static rating *is*
+    /// the worst case; the slack below it absorbs model error).
+    pub floor_frac: f64,
+    /// Allowed fractional deviation from the weather-predicted rating in
+    /// [`check_weather`](DlrMonitor::check_weather).
+    pub weather_tol_frac: f64,
+    thermal: ThermalModel,
+    worst_static_mva: f64,
+    baseline: Option<Vec<f64>>,
+    last: Option<Vec<f64>>,
+}
+
+impl Default for DlrMonitor {
+    fn default() -> Self {
+        let thermal = ThermalModel::default();
+        // Physical ceiling/floor ratio for this conductor class: cold windy
+        // night vs hot calm noon. Dimensionless, so it transfers to any
+        // line via its static rating.
+        let best = thermal.rating_mva(&Weather { ambient_c: 0.0, wind_ms: 8.0 }, 0.0);
+        let worst = thermal.static_rating_mva(40.0);
+        DlrMonitor {
+            max_step_frac: 0.3,
+            ceiling_frac: best / worst,
+            floor_frac: 0.6,
+            weather_tol_frac: 0.5,
+            thermal,
+            worst_static_mva: worst,
+            baseline: None,
+            last: None,
+        }
+    }
+}
+
+impl DlrMonitor {
+    /// Anchors the envelope to each monitored line's static rating and
+    /// clears reading history.
+    pub fn prime(&mut self, static_ratings_mw: &[f64]) {
+        self.baseline = Some(static_ratings_mw.to_vec());
+        self.last = None;
+    }
+
+    /// Feeds the next reading. Returns every flag raised: non-finite
+    /// values, over-fast changes since the previous reading, and (when
+    /// primed) envelope violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reading length changes between calls or differs from
+    /// the primed baseline.
+    pub fn observe(&mut self, reported_mw: &[f64]) -> Vec<DlrFlag> {
+        let mut flags = Vec::new();
+        for (line, &u) in reported_mw.iter().enumerate() {
+            if !u.is_finite() {
+                flags.push(DlrFlag::NonFinite { line });
+            }
+        }
+        if let Some(prev) = &self.last {
+            assert_eq!(prev.len(), reported_mw.len(), "reading length changed");
+            for (line, (&now, &before)) in reported_mw.iter().zip(prev).enumerate() {
+                if !now.is_finite() || !before.is_finite() {
+                    continue;
+                }
+                let scale = before.abs().max(1e-9);
+                if (now - before).abs() > self.max_step_frac * scale {
+                    flags.push(DlrFlag::RateOfChange { line, prev_mw: before, now_mw: now });
+                }
+            }
+        }
+        if let Some(base) = &self.baseline {
+            assert_eq!(base.len(), reported_mw.len(), "reading not aligned with baseline");
+            for (line, (&u, &b)) in reported_mw.iter().zip(base).enumerate() {
+                if !u.is_finite() {
+                    continue;
+                }
+                let ceiling = self.ceiling_frac * b;
+                let floor = self.floor_frac * b;
+                if u > ceiling {
+                    flags.push(DlrFlag::AboveEnvelope { line, reported_mw: u, ceiling_mw: ceiling });
+                } else if u < floor {
+                    flags.push(DlrFlag::BelowEnvelope { line, reported_mw: u, floor_mw: floor });
+                }
+            }
+        }
+        self.last = Some(reported_mw.to_vec());
+        flags
+    }
+
+    /// Cross-checks a reading against concurrently measured weather: the
+    /// thermal model predicts each line's rating as
+    /// `static · rating(weather)/rating(worst-case)`; reports deviating by
+    /// more than `weather_tol_frac` are flagged. Stateless — does not
+    /// advance the reading history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor was not primed or lengths disagree.
+    pub fn check_weather(
+        &self,
+        reported_mw: &[f64],
+        weather: &Weather,
+        sun_fraction: f64,
+    ) -> Vec<DlrFlag> {
+        let base = self.baseline.as_ref().expect("check_weather requires a primed monitor");
+        assert_eq!(base.len(), reported_mw.len(), "reading not aligned with baseline");
+        let frac = self.thermal.rating_mva(weather, sun_fraction) / self.worst_static_mva;
+        reported_mw
+            .iter()
+            .zip(base)
+            .enumerate()
+            .filter_map(|(line, (&u, &b))| {
+                let expected = frac * b;
+                (u.is_finite() && (u - expected).abs() > self.weather_tol_frac * expected)
+                    .then_some(DlrFlag::WeatherMismatch { line, reported_mw: u, expected_mw: expected })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_envelope_is_physical() {
+        let m = DlrMonitor::default();
+        assert!(m.ceiling_frac > 1.2, "best-case weather should beat worst-case: {}", m.ceiling_frac);
+        assert!(m.ceiling_frac < 5.0, "ceiling ratio implausibly large: {}", m.ceiling_frac);
+    }
+
+    #[test]
+    fn weather_paced_drift_passes() {
+        let mut m = DlrMonitor::default();
+        m.prime(&[160.0, 160.0]);
+        assert!(m.observe(&[150.0, 155.0]).is_empty());
+        assert!(m.observe(&[160.0, 150.0]).is_empty());
+    }
+
+    #[test]
+    fn attack_step_is_flagged_by_rate_of_change() {
+        // The paper's strategy A lands ua = (100, 200) in one shot; from a
+        // plausible prior reading (150, 150), the jump on line 1 is 33%.
+        let mut m = DlrMonitor::default();
+        m.prime(&[160.0, 160.0]);
+        m.observe(&[150.0, 150.0]);
+        let flags = m.observe(&[100.0, 200.0]);
+        assert!(flags.iter().any(|f| matches!(f, DlrFlag::RateOfChange { line: 0, .. })), "{flags:?}");
+        assert!(flags.iter().any(|f| matches!(f, DlrFlag::RateOfChange { line: 1, .. })), "{flags:?}");
+    }
+
+    #[test]
+    fn envelope_flags_unphysical_values() {
+        let mut m = DlrMonitor::default();
+        m.prime(&[160.0]);
+        let high = m.observe(&[160.0 * m.ceiling_frac + 50.0]);
+        assert!(matches!(high[0], DlrFlag::AboveEnvelope { line: 0, .. }), "{high:?}");
+        let mut m2 = DlrMonitor::default();
+        m2.prime(&[160.0]);
+        let low = m2.observe(&[40.0]);
+        assert!(matches!(low[0], DlrFlag::BelowEnvelope { line: 0, .. }), "{low:?}");
+    }
+
+    #[test]
+    fn nan_reading_flagged() {
+        let mut m = DlrMonitor::default();
+        m.prime(&[160.0]);
+        let flags = m.observe(&[f64::NAN]);
+        assert!(matches!(flags[0], DlrFlag::NonFinite { line: 0 }));
+    }
+
+    #[test]
+    fn weather_consistency_check() {
+        let m = {
+            let mut m = DlrMonitor::default();
+            m.prime(&[160.0]);
+            m
+        };
+        let w = Weather { ambient_c: 40.0, wind_ms: 0.61 };
+        // Under worst-case weather the expected rating is the static one;
+        // reporting it passes, reporting double flags.
+        assert!(m.check_weather(&[160.0], &w, 1.0).is_empty());
+        let flags = m.check_weather(&[320.0], &w, 1.0);
+        assert!(matches!(flags[0], DlrFlag::WeatherMismatch { line: 0, .. }), "{flags:?}");
+    }
+}

@@ -16,11 +16,16 @@
 //! - [`replica`] — "intrusion-tolerant replication": run two independent
 //!   dispatch implementations on independently-read inputs and flag any
 //!   disagreement (N-version programming, item iii).
+//! - [`dlr_monitor`] — physics-anchored plausibility monitor: fractional
+//!   rate-of-change plus a thermal-model envelope and weather-consistency
+//!   cross-check, feeding the EMS pipeline's safety gate.
 
 pub mod checks;
+pub mod dlr_monitor;
 pub mod replica;
 pub mod robust_dispatch;
 
 pub use checks::{BoundsCheck, TrendCheck};
+pub use dlr_monitor::{DlrFlag, DlrMonitor};
 pub use replica::{replica_check, ReplicaVerdict};
 pub use robust_dispatch::{robust_dispatch, RobustConfig, RobustDispatch};

@@ -16,6 +16,7 @@
 use crate::packages::EmsPackage;
 use crate::EmsError;
 use ed_core::dispatch::{ResilientDispatch, ResilientDispatcher};
+use ed_core::mitigation::{DlrFlag, DlrMonitor};
 use ed_core::SolveBudget;
 use ed_powerflow::{Network, NetworkBuilder};
 use ed_rng::{Rng, SeedableRng, StdRng};
@@ -190,15 +191,24 @@ pub struct FaultReport {
     pub sanitized_lines: Vec<usize>,
     /// The ratings vector the dispatcher actually used.
     pub ratings_used_mw: Vec<f64>,
-    /// The dispatch outcome: rung used and degradations recorded.
+    /// Flags the DLR plausibility monitor raised on the *raw* (pre-
+    /// sanitization) rating reading, with the healthy static ratings as the
+    /// previous observation.
+    pub dlr_flags: Vec<DlrFlag>,
+    /// The dispatch outcome: rung used, degradations recorded, and the
+    /// safety-gate audit of the final dispatch.
     pub dispatch: ResilientDispatch,
 }
 
 impl FaultReport {
-    /// `true` when the cycle survived without a single degradation —
-    /// typically only for an empty plan.
+    /// `true` when the cycle survived without a single degradation and the
+    /// final dispatch passed its safety audit — typically only for an
+    /// empty plan.
     pub fn unscathed(&self) -> bool {
-        self.scan_retries == 0 && self.sanitized_lines.is_empty() && self.dispatch.is_clean()
+        self.scan_retries == 0
+            && self.sanitized_lines.is_empty()
+            && self.dispatch.is_clean()
+            && self.dispatch.safety.as_ref().is_some_and(|s| s.passed())
     }
 }
 
@@ -302,6 +312,13 @@ pub fn run_faulted_cycle(
         victim.read_ratings_mw()
     })?;
 
+    // The plausibility monitor sees what the EMS read, before anything is
+    // cleaned up: the point is to flag the corruption itself.
+    let mut monitor = DlrMonitor::default();
+    monitor.prime(&static_ratings);
+    monitor.observe(&static_ratings);
+    let dlr_flags = monitor.observe(&raw_ratings);
+
     // Sanitization: non-finite / non-positive ratings never reach a
     // solver; each is replaced by the line's static rating and flagged.
     let mut sanitized_lines = Vec::new();
@@ -320,6 +337,7 @@ pub fn run_faulted_cycle(
         scan_retries,
         sanitized_lines,
         ratings_used_mw: ratings_used,
+        dlr_flags,
         dispatch,
     })
 }
@@ -348,6 +366,14 @@ mod tests {
         let r = run_faulted_cycle(EmsPackage::PowerWorld, &net(), &plan).unwrap();
         assert_eq!(r.sanitized_lines, vec![1]);
         assert!(r.ratings_used_mw.iter().all(|v| v.is_finite()));
+        // The monitor flagged the raw reading independently of sanitization.
+        assert!(
+            r.dlr_flags.iter().any(|f| matches!(f, DlrFlag::NonFinite { line: 1 })),
+            "{:?}",
+            r.dlr_flags
+        );
+        // And the dispatch that finally went out is physically audited.
+        assert!(r.dispatch.safety.as_ref().is_some_and(|s| s.passed()), "{:?}", r.dispatch.safety);
     }
 
     #[test]

@@ -7,7 +7,9 @@ use crate::memory::hexdump;
 use crate::packages::EmsPackage;
 use crate::EmsError;
 use ed_core::attack::{optimal_attack, AttackConfig};
-use ed_core::dispatch::Dispatch;
+use ed_core::dispatch::{Dispatch, SafetyGate, SafetyReport};
+use ed_core::mitigation::{DlrFlag, DlrMonitor};
+use ed_core::CoreError;
 use ed_powerflow::Network;
 
 /// Full record of one end-to-end attack run.
@@ -31,6 +33,16 @@ pub struct CaseStudyReport {
     pub memory_before: String,
     /// Hexdump around the first corrupted parameter, after corruption.
     pub memory_after: String,
+    /// Independent safety-gate audit of the pre-attack dispatch against the
+    /// *true* ratings (expected to pass).
+    pub pre_gate: SafetyReport,
+    /// The same audit of the post-attack dispatch. The corrupted dispatch
+    /// is feasible for the EMS's (manipulated) view but overloads the true
+    /// ratings — this report is where the defense-in-depth loop closes.
+    pub post_gate: SafetyReport,
+    /// Flags the DLR plausibility monitor raised on the corrupted rating
+    /// reading (primed on the static ratings, previous reading = truth).
+    pub dlr_flags: Vec<DlrFlag>,
 }
 
 impl CaseStudyReport {
@@ -93,6 +105,18 @@ pub fn run_case_study(
     // The EMS control loop runs again on corrupted memory.
     let post_dispatch = victim.run_ed(net)?;
 
+    // Defense-in-depth instruments, running beside (not inside) the EMS:
+    // the DLR monitor watches the rating readings the EMS consumed, and the
+    // safety gate audits both dispatches against the true physics.
+    let mut monitor = DlrMonitor::default();
+    monitor.prime(&net.static_ratings_mva());
+    monitor.observe(&true_ratings);
+    let dlr_flags = monitor.observe(&victim.read_ratings_mw()?);
+    let gate = SafetyGate::new(net).map_err(|e| EmsError::from(CoreError::from(e)))?;
+    let demand = net.demand_vector_mw();
+    let pre_gate = gate.check(&demand, &true_ratings, &pre_dispatch);
+    let post_gate = gate.check(&demand, &true_ratings, &post_dispatch);
+
     let util = |d: &Dispatch| -> Vec<f64> {
         d.flows_mw
             .iter()
@@ -109,6 +133,9 @@ pub fn run_case_study(
         corruptions,
         memory_before,
         memory_after,
+        pre_gate,
+        post_gate,
+        dlr_flags,
     })
 }
 
@@ -154,6 +181,22 @@ mod tests {
             assert!((a - b).abs() < 1e-6, "dispatches must agree");
         }
         assert_eq!(pw.violated_lines(), pt.violated_lines());
+    }
+
+    /// The defense-in-depth loop: the EMS itself is fooled (its dispatch is
+    /// feasible for the corrupted ratings), but the independent safety gate
+    /// flags the post-attack dispatch against the true physics, and the
+    /// DLR monitor flags the corrupted reading itself.
+    #[test]
+    fn safety_gate_and_monitor_catch_the_attack() {
+        let net = ed_cases::three_bus();
+        let report = run_case_study(EmsPackage::PowerWorld, &net, &config(), 11).unwrap();
+        assert!(report.pre_gate.passed(), "{:?}", report.pre_gate);
+        assert!(report.post_gate.has_overload(), "{:?}", report.post_gate);
+        assert!(
+            !report.dlr_flags.is_empty(),
+            "a one-shot overwrite must trip the rate-of-change monitor"
+        );
     }
 
     #[test]

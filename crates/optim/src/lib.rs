@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod certify;
 mod error;
 pub mod lp;
 pub mod milp;
@@ -54,6 +55,10 @@ pub mod mpec;
 pub mod qp;
 
 pub use budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
+pub use certify::{
+    certify, CertStatus, Certificate, CertifiedOutcome, CertifiedSolver, RepairStep, Residuals,
+    Tolerances, Trust, Witness,
+};
 pub use error::OptimError;
 pub use model::{
     ActiveSetSolver, BranchBoundSolver, IpmSolver, Model, MpecSolver, Postsolve, PresolveOptions,

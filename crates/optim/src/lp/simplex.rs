@@ -50,16 +50,25 @@ pub struct SimplexOptions {
     pub feas_tol: f64,
     /// Pricing rule to start with (may switch to Bland on degeneracy).
     pub pricing: Pricing,
+    /// Fault-injection hook: when `Some(seed)`, one entry of the solution
+    /// vector is corrupted *after* the solve completes, leaving the
+    /// reported objective and duals stale — simulating a basis-memory
+    /// fault that escapes the solver's own checks. Exists so the
+    /// certification tests can prove such faults are caught; never set in
+    /// production paths.
+    pub inject_basis_fault: Option<u64>,
 }
 
 impl Default for SimplexOptions {
     fn default() -> Self {
+        let tol = crate::certify::Tolerances::default();
         SimplexOptions {
             max_iterations: 50_000,
             refactor_interval: 128,
-            opt_tol: 1e-9,
-            feas_tol: 1e-7,
+            opt_tol: tol.opt,
+            feas_tol: tol.feas,
             pricing: Pricing::Dantzig,
+            inject_basis_fault: None,
         }
     }
 }
@@ -648,7 +657,7 @@ pub(crate) fn solve_budgeted(
 
     // Assemble the solution.
     let n = t.n_structural;
-    let x: Vec<f64> = t.x[..n].to_vec();
+    let mut x: Vec<f64> = t.x[..n].to_vec();
     let y_min = t.duals(&cost)?;
     let sign = match lp.sense {
         Sense::Min => 1.0,
@@ -659,6 +668,15 @@ pub(crate) fn solve_budgeted(
         .map(|j| sign * t.reduced_cost(j, &cost, &y_min))
         .collect();
     let objective = lp.objective_value(&x);
+    if let Some(seed) = options.inject_basis_fault {
+        if n > 0 {
+            // Corrupt one primal entry after the objective and duals were
+            // read — the stale bookkeeping is exactly what an undetected
+            // basis-memory fault looks like from the outside.
+            let j = (seed as usize) % n;
+            x[j] += 1.0 + 0.25 * x[j].abs();
+        }
+    }
     Ok(SolveOutcome::Solved(LpSolution {
         status: LpStatus::Optimal,
         objective,

@@ -36,10 +36,11 @@ pub struct MilpOptions {
 
 impl Default for MilpOptions {
     fn default() -> Self {
+        let tol = crate::certify::Tolerances::default();
         MilpOptions {
             max_nodes: 100_000,
-            int_tol: 1e-6,
-            gap_abs: 1e-6,
+            int_tol: tol.int,
+            gap_abs: tol.gap,
             simplex: SimplexOptions::default(),
             incumbent_hint: None,
             presolve: None,

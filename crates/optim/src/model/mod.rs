@@ -391,6 +391,21 @@ impl Model {
         &self.pairs
     }
 
+    /// A clone with the combinatorial side conditions — integer marks and
+    /// complementarity pairs — dropped. This is the model each LP/QP node
+    /// relaxation actually solves, and the model a relaxation solution
+    /// should be *certified* against: auditing a root relaxation against
+    /// the paired model would report the (expected) pair violations
+    /// instead of solver faults. Bounds, rows, and quadratic terms are
+    /// untouched; the matrix is shared copy-on-write, so this is cheap.
+    #[must_use]
+    pub fn continuous_relaxation(&self) -> Model {
+        let mut relaxed = self.clone();
+        relaxed.integers.clear();
+        relaxed.pairs.clear();
+        relaxed
+    }
+
     /// The stored entries of constraint column `j` as `(row, coef)` pairs in
     /// increasing row order (duplicates possible; consumers coalesce).
     pub(crate) fn col(&self, j: usize) -> &[(usize, f64)] {
@@ -508,9 +523,45 @@ impl Model {
         if presolve::env_enabled() {
             let pre = presolve::presolve(self)?;
             let sol = simplex::solve(&pre.reduced, options)?;
-            return Ok(pre.postsolve.restore_lp_solution(sol));
+            return Ok(self.audit_postsolve(options, pre.postsolve.restore_lp_solution(sol)));
         }
         simplex::solve(self, options)
+    }
+
+    /// Post-postsolve audit (gated by `ED_CERTIFY`, default on): certifies
+    /// a presolve-restored solution against *this* — the original,
+    /// un-presolved — model. A failed certificate means the presolve or the
+    /// postsolve mapping corrupted the answer; the repair is to re-solve
+    /// directly without presolve, keeping whichever of the two certifies
+    /// (falling back to the restored answer so callers' own ladders see the
+    /// same shape either way).
+    fn audit_postsolve(&self, options: &SimplexOptions, restored: LpSolution) -> LpSolution {
+        if !crate::certify::env_enabled() {
+            return restored;
+        }
+        let tol = crate::certify::Tolerances {
+            feas: options.feas_tol,
+            opt: options.opt_tol,
+            ..crate::certify::Tolerances::default()
+        };
+        let as_solution = |s: &LpSolution| Solution {
+            x: s.x.clone(),
+            objective: s.objective,
+            row_duals: s.duals.clone(),
+            reduced_costs: s.reduced_costs.clone(),
+            proved_optimal: true,
+            iterations: s.iterations,
+            nodes: 0,
+        };
+        if crate::certify::certify(self, &as_solution(&restored), &tol).passed() {
+            return restored;
+        }
+        match simplex::solve(self, options) {
+            Ok(direct) if crate::certify::certify(self, &as_solution(&direct), &tol).passed() => {
+                direct
+            }
+            _ => restored,
+        }
     }
 
     /// Solves under a cooperative [`SolveBudget`]. Exhausting the budget is
@@ -533,9 +584,9 @@ impl Model {
         if presolve::env_enabled() {
             let pre = presolve::presolve(self)?;
             return Ok(match simplex::solve_budgeted(&pre.reduced, options, budget)? {
-                SolveOutcome::Solved(sol) => {
-                    SolveOutcome::Solved(pre.postsolve.restore_lp_solution(sol))
-                }
+                SolveOutcome::Solved(sol) => SolveOutcome::Solved(
+                    self.audit_postsolve(options, pre.postsolve.restore_lp_solution(sol)),
+                ),
                 SolveOutcome::Partial(p) => {
                     SolveOutcome::Partial(pre.postsolve.restore_partial(p))
                 }

@@ -60,7 +60,8 @@ pub struct PresolveOptions {
 
 impl Default for PresolveOptions {
     fn default() -> PresolveOptions {
-        PresolveOptions { scale: true, feas_tol: 1e-7, int_tol: 1e-6 }
+        let tol = crate::certify::Tolerances::default();
+        PresolveOptions { scale: true, feas_tol: tol.feas, int_tol: tol.int }
     }
 }
 

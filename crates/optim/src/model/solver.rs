@@ -16,6 +16,7 @@
 //!   continuous model instead.
 
 use crate::budget::{Partial, SolveBudget, SolveOutcome};
+use crate::certify::Tolerances;
 use crate::lp::SimplexOptions;
 use crate::milp::{MilpOptions, MilpProblem};
 use crate::model::Model;
@@ -63,6 +64,27 @@ pub trait Solver {
         model: &Model,
         budget: &SolveBudget,
     ) -> Result<SolveOutcome<Solution>, OptimError>;
+
+    /// A copy of this solver with its numerical tolerances retargeted to
+    /// `tol` (mapping each family's option fields from the unified
+    /// [`Tolerances`] vocabulary). Used by the certification repair ladder
+    /// to re-solve with tightened tolerances.
+    fn with_tolerances(&self, tol: &Tolerances) -> Box<dyn Solver>;
+}
+
+/// Maps the unified tolerance vocabulary onto simplex options.
+fn simplex_with(mut options: SimplexOptions, tol: &Tolerances) -> SimplexOptions {
+    options.opt_tol = tol.opt;
+    options.feas_tol = tol.feas;
+    options
+}
+
+/// Maps the unified tolerance vocabulary onto active-set/IPM QP options.
+fn qp_with(mut options: QpOptions, tol: &Tolerances) -> QpOptions {
+    options.feas_tol = tol.feas;
+    options.step_tol = tol.opt;
+    options.ipm.tol = tol.opt;
+    options
 }
 
 /// LP via the bounded-variable revised simplex (ignores nothing: rejects
@@ -98,6 +120,10 @@ impl Solver for SimplexSolver {
             iterations: s.iterations,
             nodes: 0,
         }))
+    }
+
+    fn with_tolerances(&self, tol: &Tolerances) -> Box<dyn Solver> {
+        Box::new(SimplexSolver { options: simplex_with(self.options.clone(), tol) })
     }
 }
 
@@ -180,6 +206,10 @@ impl Solver for ActiveSetSolver {
             }
         }
     }
+
+    fn with_tolerances(&self, tol: &Tolerances) -> Box<dyn Solver> {
+        Box::new(ActiveSetSolver { options: qp_with(self.options.clone(), tol) })
+    }
 }
 
 /// QP via the primal-dual interior-point method (integrality marks and
@@ -210,6 +240,12 @@ impl Solver for IpmSolver {
                 Ok(SolveOutcome::Partial(qp_reprice_partial(model, dense.sign, p)))
             }
         }
+    }
+
+    fn with_tolerances(&self, tol: &Tolerances) -> Box<dyn Solver> {
+        let mut options = self.options.clone();
+        options.tol = tol.opt;
+        Box::new(IpmSolver { options })
     }
 }
 
@@ -265,6 +301,10 @@ impl Solver for QpAutoSolver {
             Err(e) => Err(e),
         }
     }
+
+    fn with_tolerances(&self, tol: &Tolerances) -> Box<dyn Solver> {
+        Box::new(QpAutoSolver { options: qp_with(self.options.clone(), tol) })
+    }
 }
 
 /// MILP via branch and bound on the model's integrality marks (a model
@@ -303,6 +343,14 @@ impl Solver for BranchBoundSolver {
             nodes: s.nodes,
         }))
     }
+
+    fn with_tolerances(&self, tol: &Tolerances) -> Box<dyn Solver> {
+        let mut options = self.options.clone();
+        options.int_tol = tol.int;
+        options.gap_abs = tol.gap;
+        options.simplex = simplex_with(options.simplex, tol);
+        Box::new(BranchBoundSolver { options })
+    }
 }
 
 /// MPEC via branching on the model's complementarity pairs.
@@ -338,6 +386,14 @@ impl Solver for MpecSolver {
             iterations: s.lp_iterations,
             nodes: s.nodes,
         }))
+    }
+
+    fn with_tolerances(&self, tol: &Tolerances) -> Box<dyn Solver> {
+        let mut options = self.options.clone();
+        options.comp_tol = tol.feas;
+        options.gap_abs = 100.0 * tol.opt;
+        options.simplex = simplex_with(options.simplex, tol);
+        Box::new(MpecSolver { options })
     }
 }
 

@@ -63,10 +63,13 @@ pub struct MpecOptions {
 
 impl Default for MpecOptions {
     fn default() -> Self {
+        let tol = crate::certify::Tolerances::default();
         MpecOptions {
             max_nodes: 20_000,
-            comp_tol: 1e-7,
-            gap_abs: 1e-7,
+            comp_tol: tol.feas,
+            // Complementarity incumbents land on LP vertices, so the gap
+            // closes to simplex precision: two orders above `opt`.
+            gap_abs: 100.0 * tol.opt,
             simplex: SimplexOptions::default(),
             incumbent_hint: None,
             presolve: None,

@@ -26,11 +26,12 @@ pub struct QpOptions {
 
 impl Default for QpOptions {
     fn default() -> Self {
+        let tol = crate::certify::Tolerances::default();
         QpOptions {
             method: crate::qp::QpMethod::Auto,
             max_iterations: 200,
-            feas_tol: 1e-7,
-            step_tol: 1e-9,
+            feas_tol: tol.feas,
+            step_tol: tol.opt,
             kkt_regularization: 1e-12,
             ipm: crate::qp::IpmOptions::default(),
         }

@@ -31,7 +31,11 @@ pub struct IpmOptions {
 
 impl Default for IpmOptions {
     fn default() -> Self {
-        IpmOptions { max_iterations: 120, tol: 1e-9, sigma: 0.15 }
+        IpmOptions {
+            max_iterations: 120,
+            tol: crate::certify::Tolerances::default().opt,
+            sigma: 0.15,
+        }
     }
 }
 

@@ -115,6 +115,44 @@ pub fn solve_with(
     Ok(DcFlow { theta_rad: theta, flow_mw })
 }
 
+/// [`solve_with`] for injections that may not balance exactly: the surplus
+/// is absorbed at the slack bus (the physical behavior of the reference
+/// generator) instead of being rejected, and returned alongside the flow so
+/// the caller can judge it. Used by independent post-dispatch audits, which
+/// must recompute flows even for a *bad* dispatch — rejecting imbalance
+/// outright would blind the audit to exactly the dispatches it exists to
+/// catch.
+///
+/// # Errors
+///
+/// - [`PowerflowError::DimensionMismatch`] if `injections_mw.len()` differs
+///   from the bus count.
+/// - [`PowerflowError::Linalg`] if the reduced susceptance matrix is
+///   singular.
+pub fn solve_absorbing_slack(
+    net: &Network,
+    cache: &FactorCache,
+    injections_mw: &[f64],
+) -> Result<(DcFlow, f64), PowerflowError> {
+    let n = net.num_buses();
+    if injections_mw.len() != n {
+        return Err(PowerflowError::DimensionMismatch {
+            expected: format!("{n} bus injections"),
+            found: format!("{}", injections_mw.len()),
+        });
+    }
+    let surplus: f64 = injections_mw.iter().sum();
+    let slack = net.slack().0;
+    let inj_pu: Vec<f64> = injections_mw
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (if i == slack { p - surplus } else { p }) / net.base_mva())
+        .collect();
+    let theta = cache.angles_for_injections_pu(&inj_pu)?;
+    let flow_mw = flows_from_angles(net, &theta);
+    Ok((DcFlow { theta_rad: theta, flow_mw }, surplus))
+}
+
 /// Line flows (MW) implied by a vector of bus angles (radians).
 ///
 /// # Panics
@@ -205,6 +243,26 @@ mod tests {
         let net = paper_three_bus();
         let f = solve(&net, &[120.0, 180.0, -300.0]).unwrap();
         assert_eq!(f.theta_rad[net.slack().0], 0.0);
+    }
+
+    #[test]
+    fn absorbing_slack_matches_balanced_solve() {
+        let net = paper_three_bus();
+        let cache = FactorCache::build(&net).unwrap();
+        let inj = [120.0, 180.0, -300.0];
+        let (f, surplus) = solve_absorbing_slack(&net, &cache, &inj).unwrap();
+        assert!(surplus.abs() < 1e-9);
+        let exact = solve(&net, &inj).unwrap();
+        for (a, b) in f.flow_mw.iter().zip(&exact.flow_mw) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // A 30 MW surplus is absorbed at the slack: same as the balanced
+        // case where the slack injection is 30 MW lower.
+        let (g, s) = solve_absorbing_slack(&net, &cache, &[150.0, 180.0, -300.0]).unwrap();
+        assert!((s - 30.0).abs() < 1e-9);
+        for (a, b) in g.flow_mw.iter().zip(&exact.flow_mw) {
+            assert!((a - b).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -11,6 +11,12 @@
 # per-family exact-solve counts (`mpec_solves` / `milp_solves`) alongside
 # the timings. It also records `hardware_threads` — interpret speedups
 # accordingly on core-starved machines.
+#
+# The `certify` object tracks the cost of trust: wall clocks of the widest
+# sweep with the independent certificate audit on vs off (`overhead_pct`),
+# the time spent inside certification itself (`certify_ms`), and the
+# certificate counters (`certified` / `cert_repaired` / `uncertified` /
+# `heuristic_floor`) of the certify-on run.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

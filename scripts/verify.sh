@@ -39,6 +39,11 @@ run env ED_THREADS=4 cargo test -q --offline --workspace
 # indistinguishable either way).
 run env ED_PRESOLVE=0 cargo test -q --offline --workspace
 run env ED_PRESOLVE=1 cargo test -q --offline --workspace
+# ... and with solution certification both off and on (ED_CERTIFY gates the
+# independent certificate audit + repair ladder; default is on, and turning
+# it off must never change any solver *answer* — only whether it is audited).
+run env ED_CERTIFY=0 cargo test -q --offline --workspace
+run env ED_CERTIFY=1 cargo test -q --offline --workspace
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "verify: OK"

@@ -36,7 +36,7 @@ fn fingerprint(r: &AttackResult) -> Fp {
         r.subproblems
             .iter()
             .map(|s| {
-                (s.line.0, s.direction, s.violation.to_bits(), s.proved_optimal, s.nodes, s.heuristic_missing)
+                (s.line.0, s.direction, s.violation.to_bits(), s.proved_optimal, s.nodes, s.heuristic_missing.is_some())
             })
             .collect(),
     )
@@ -166,7 +166,7 @@ fn heuristic_only_mode_reports_flagged_subproblem_records() {
         assert!(s.fault.is_none());
         assert!(!s.proved_optimal);
         // The corner sweep seeds every (line, direction) on this case.
-        assert!(!s.heuristic_missing, "line {} dir {}", s.line.0, s.direction);
+        assert!(s.heuristic_missing.is_none(), "line {} dir {}", s.line.0, s.direction);
         assert!(s.violation.is_finite());
     }
 }
