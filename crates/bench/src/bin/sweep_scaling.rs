@@ -75,6 +75,12 @@ fn fingerprint(r: &AttackResult) -> Fp {
 }
 
 fn main() {
+    // The scaling and certify measurements below are the ED_TRACE=0
+    // baseline: the recorder is forced off regardless of the environment,
+    // so every instrumented call site pays only its disabled-path cost
+    // (one atomic load). The dedicated trace block further down flips the
+    // recorder on for the ED_TRACE=1 comparison.
+    ed_obs::set_enabled(false);
     let net = ed_cases::ieee118_like();
     let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut thread_counts = vec![1usize, 2, 4, hardware];
@@ -205,6 +211,110 @@ fn main() {
         ));
     }
 
+    // ---- Observability cost and per-stage breakdown. Everything above
+    // ran with the recorder disabled, so the hardware-thread certify-on
+    // wall clock doubles as the ED_TRACE=0 reference. One more sweep with
+    // the recorder on gives the ED_TRACE=1 wall plus the per-stage
+    // (presolve / simplex / B&B / certify / heuristic / powerflow)
+    // time-and-iteration report; a second traced sweep proves the attached
+    // trace's deterministic projection is byte-identical across runs.
+    let trace_off_ms = certify_on_ms;
+    let mut trace_cfg = config_for(&net, hardware, true);
+    trace_cfg.options.trace = Some(true);
+    ed_obs::set_enabled(true);
+    ed_obs::reset();
+    let t0 = Instant::now();
+    let traced = optimal_attack(&net, &trace_cfg).expect("traced sweep solves");
+    let trace_on_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stages = ed_obs::snapshot();
+    let fp_first =
+        traced.trace.as_ref().expect("trace forced on").deterministic_json();
+    let repeat = optimal_attack(&net, &trace_cfg).expect("traced sweep repeats");
+    let trace_deterministic =
+        fp_first == repeat.trace.as_ref().expect("trace forced on").deterministic_json();
+    ed_obs::set_enabled(false);
+    if !trace_deterministic {
+        eprintln!("TRACE DETERMINISM VIOLATION: repeated traced runs diverged");
+    }
+
+    // Disabled-path calibration: the per-call cost of an instrumentation
+    // point when tracing is off (one relaxed atomic load and a branch).
+    // Scaled by the number of events the traced run actually fired — spans
+    // plus timer samples, tripled for the counter calls that ride along
+    // with every timer — this bounds what the instrumentation costs a
+    // production (ED_TRACE=0) sweep. `scripts/verify.sh` asserts the bound
+    // stays under 2%.
+    const CALIBRATION_CALLS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..CALIBRATION_CALLS {
+        ed_obs::counter("bench.calibration", 1);
+    }
+    let disabled_call_ns = t0.elapsed().as_secs_f64() * 1e9 / CALIBRATION_CALLS as f64;
+    let timer_samples: u64 = stages.timings.iter().map(|(_, t)| t.count).sum();
+    let instrumentation_calls = 3 * (stages.spans.len() as u64 + timer_samples);
+    let disabled_overhead_pct =
+        100.0 * (instrumentation_calls as f64 * disabled_call_ns) / (trace_off_ms * 1e6);
+    let trace_overhead_pct = 100.0 * (trace_on_ms - trace_off_ms) / trace_off_ms;
+    eprintln!(
+        "  trace: off {trace_off_ms:.1} ms vs on {trace_on_ms:.1} ms \
+         ({trace_overhead_pct:+.1}% enabled overhead); disabled path \
+         {disabled_call_ns:.1} ns/call x {instrumentation_calls} calls = \
+         {disabled_overhead_pct:.4}% bound, deterministic = {trace_deterministic}"
+    );
+
+    let stage = |timing: &str, extra: &[(&str, u64)]| -> String {
+        let ms = stages.timing(timing).map_or(0.0, |t| t.total_ms);
+        let count = stages.timing(timing).map_or(0, |t| t.count);
+        let mut fields = format!("\"total_ms\": {ms:.3}, \"count\": {count}");
+        for (k, v) in extra {
+            fields.push_str(&format!(", \"{k}\": {v}"));
+        }
+        format!("{{{fields}}}")
+    };
+    let c = |name: &str| stages.counter(name);
+    let stages_obj = format!(
+        "{{\n      \"presolve\": {},\n      \"simplex\": {},\n      \"bb\": {},\n      \
+         \"certify\": {},\n      \"heuristic\": {},\n      \"powerflow\": {}\n    }}",
+        stage(
+            "optim.presolve",
+            &[
+                ("rows_removed", c("optim.presolve.rows_removed")),
+                ("cols_removed", c("optim.presolve.cols_removed")),
+                ("nnz_removed", c("optim.presolve.nnz_removed")),
+            ]
+        ),
+        stage(
+            "optim.simplex",
+            &[("solves", c("optim.simplex.solves")), ("iterations", c("optim.simplex.iterations"))]
+        ),
+        stage(
+            "optim.bb",
+            &[
+                ("solves", c("optim.bb.solves")),
+                ("nodes", c("optim.bb.nodes")),
+                ("pruned", c("optim.bb.pruned")),
+            ]
+        ),
+        stage(
+            "optim.certify",
+            &[("audits", c("optim.certify.audits")), ("failed", c("optim.certify.failed"))]
+        ),
+        stage("attack.heuristic", &[("evaluations", traced.sweep.heuristic_evaluations as u64)]),
+        stage(
+            "powerflow.factor.build",
+            &[("hits", c("powerflow.factor.hits")), ("misses", c("powerflow.factor.misses"))]
+        ),
+    );
+    let trace_obj = format!(
+        "{{\n    \"off_wall_ms\": {trace_off_ms:.3},\n    \"on_wall_ms\": {trace_on_ms:.3},\n    \
+         \"on_overhead_pct\": {trace_overhead_pct:.2},\n    \
+         \"disabled_call_ns\": {disabled_call_ns:.2},\n    \
+         \"instrumentation_calls\": {instrumentation_calls},\n    \
+         \"disabled_overhead_pct\": {disabled_overhead_pct:.4},\n    \
+         \"deterministic\": {trace_deterministic},\n    \
+         \"stages\": {stages_obj},\n    \"sweep_counters\": {fp_first}\n  }}"
+    );
+
     let sweep = sweep.expect("at least one sweep ran");
     let run_objs: Vec<String> = runs
         .iter()
@@ -241,7 +351,7 @@ fn main() {
          \"dlr_lines\": {},\n  \"subproblems\": {},\n  \"node_limit\": {},\n  \
          \"hardware_threads\": {},\n  \"repetitions\": {},\n  \"runs\": [\n{}\n  ],\n  \
          \"speedup_4t\": {:.3},\n  \"deterministic\": {},\n  \"presolve\": {},\n  \
-         \"certify\": {},\n  \
+         \"certify\": {},\n  \"trace\": {},\n  \
          \"mpec_solves\": {},\n  \"milp_solves\": {},\n  \"heuristic_evaluations\": {}\n}}\n",
         net.num_buses(),
         net.num_lines(),
@@ -255,12 +365,18 @@ fn main() {
         deterministic,
         presolve_obj,
         certify_obj,
+        trace_obj,
         sweep.mpec_solves,
         sweep.milp_solves,
         sweep.heuristic_evaluations
     );
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_attack.json".to_string());
     std::fs::write(&out, &json).expect("write benchmark JSON");
+    // Full span-level trace of the ED_TRACE=1 sweep (wall-clock content,
+    // not committed): the input for `scripts/trace_report.sh`.
+    let trace_out = format!("{}.trace.json", out.trim_end_matches(".json"));
+    std::fs::write(&trace_out, stages.to_json()).expect("write trace JSON");
+    eprintln!("wrote {trace_out} (pretty-print with scripts/trace_report.sh {trace_out})");
     eprintln!(
         "wrote {out}: speedup_4t = {speedup_4t:.2}x, deterministic = {deterministic}, \
          presolve reduction = {:.1}%",

@@ -50,6 +50,7 @@ impl Default for SyntheticConfig {
 /// inconsistent (fewer lines than buses, more generators than buses, or
 /// fewer than 3 buses).
 pub fn synthetic(config: &SyntheticConfig) -> Result<Network, PowerflowError> {
+    let _t = ed_obs::timer("cases.synthetic");
     let n = config.buses;
     if n < 3 {
         return Err(PowerflowError::InvalidNetwork {

@@ -168,6 +168,15 @@ pub struct AttackResult {
     pub total_nodes: usize,
     /// Model-size and solve accounting for the sweep.
     pub sweep: SweepReport,
+    /// Deterministic observability trace for the sweep, attached when
+    /// tracing is on ([`BilevelOptions::trace`] / `ED_TRACE=1`): one span
+    /// per subproblem labeled `L<line><+|->`, sweep counters, and timing
+    /// histograms. Assembled in the index-ordered reduction — span IDs are
+    /// subproblem indices and every counter is an exact integer tally, so
+    /// [`ed_obs::TraceReport::deterministic_json`] is byte-identical
+    /// across thread counts and repeated runs. Wall-clock content lives
+    /// only in `timings`/`dur_ms`, never in the deterministic projection.
+    pub trace: Option<ed_obs::TraceReport>,
 }
 
 impl AttackResult {
@@ -203,10 +212,16 @@ pub fn optimal_attack_with(
     exact: bool,
 ) -> Result<AttackResult, CoreError> {
     config.validate(net)?;
-    let heuristic = if config.dlr_lines.len() <= 12 {
-        corner_heuristic(net, config)?
-    } else {
-        greedy_heuristic(net, config)?
+    let trace_on = config.options.trace.unwrap_or_else(ed_obs::enabled);
+    let _sweep_span = ed_obs::span("attack.sweep");
+    let heuristic = {
+        let _span = ed_obs::span("attack.heuristic");
+        let _t = ed_obs::timer("attack.heuristic");
+        if config.dlr_lines.len() <= 12 {
+            corner_heuristic(net, config)?
+        } else {
+            greedy_heuristic(net, config)?
+        }
     };
     if heuristic.evaluated == 0 {
         return Err(CoreError::DispatchInfeasible);
@@ -237,6 +252,10 @@ pub fn optimal_attack_with(
 
     let mut subproblems = Vec::new();
     let mut total_nodes = 0usize;
+    let mut lp_iterations = 0usize;
+    // Per-subproblem wall clocks in index order (timing only — excluded
+    // from the deterministic trace projection).
+    let mut walls: Vec<f64> = Vec::new();
 
     // The invariant KKT blocks (primal/dual feasibility, stationarity,
     // complementarity pairs) are assembled exactly once and — unless
@@ -279,9 +298,18 @@ pub fn optimal_attack_with(
         })
         .map_err(|e| CoreError::Parallel { what: e.to_string() })?;
         // Reduce in subproblem index order with the same strict `>` the
-        // sequential loop used: bit-identical at any thread count.
+        // sequential loop used: bit-identical at any thread count. EVERY
+        // cross-thread tally — nodes, simplex iterations, certificate
+        // counts, certify_ms, and the trace counters derived from them —
+        // merges here and only here, so repeated runs at any `ED_THREADS`
+        // report identical accounting (wall-clock values aside, which are
+        // kept out of the deterministic projection by construction).
         for rec in records {
             total_nodes += rec.outcome.nodes;
+            lp_iterations += rec.lp_iterations;
+            if trace_on {
+                walls.push(rec.wall_ms);
+            }
             if rec.attempted {
                 match options.solver {
                     BilevelSolver::Mpec => sweep.mpec_solves += 1,
@@ -351,6 +379,8 @@ pub fn optimal_attack_with(
     };
     // Snap solver-noise-level positives to a clean zero.
     let ucap_pct = if ucap_pct < 1e-9 { 0.0 } else { ucap_pct };
+    let trace =
+        trace_on.then(|| build_trace(&sweep, &subproblems, total_nodes, lp_iterations, &walls));
     Ok(AttackResult {
         ucap_pct,
         overload_mw: overload,
@@ -360,7 +390,63 @@ pub fn optimal_attack_with(
         subproblems,
         total_nodes,
         sweep,
+        trace,
     })
+}
+
+/// Assembles the sweep's deterministic [`ed_obs::TraceReport`] from the
+/// index-ordered reduction's tallies. Span IDs are subproblem indices
+/// (+1), not recorder IDs, so the attached trace is identical at any
+/// thread count; wall-clock content is confined to `timings` and span
+/// `dur_ms`/`self_ms`, which the deterministic projection excludes.
+fn build_trace(
+    sweep: &SweepReport,
+    subproblems: &[SubproblemOutcome],
+    total_nodes: usize,
+    lp_iterations: usize,
+    walls: &[f64],
+) -> ed_obs::TraceReport {
+    let mut t = ed_obs::TraceReport::new();
+    t.add_counter("sweep.subproblems", subproblems.len() as u64);
+    t.add_counter("sweep.nodes", total_nodes as u64);
+    t.add_counter("sweep.lp_iterations", lp_iterations as u64);
+    t.add_counter("sweep.mpec_solves", sweep.mpec_solves as u64);
+    t.add_counter("sweep.milp_solves", sweep.milp_solves as u64);
+    t.add_counter("sweep.heuristic_evaluations", sweep.heuristic_evaluations as u64);
+    t.add_counter("sweep.certified", sweep.certified as u64);
+    t.add_counter("sweep.cert_repaired", sweep.cert_repaired as u64);
+    t.add_counter("sweep.uncertified", sweep.uncertified as u64);
+    t.add_counter("sweep.heuristic_floor", sweep.heuristic_floor as u64);
+    t.add_counter("sweep.full_vars", sweep.full_vars as u64);
+    t.add_counter("sweep.full_rows", sweep.full_rows as u64);
+    t.add_counter("sweep.full_nnz", sweep.full_nnz as u64);
+    t.add_counter("sweep.reduced_vars", sweep.reduced_vars as u64);
+    t.add_counter("sweep.reduced_rows", sweep.reduced_rows as u64);
+    t.add_counter("sweep.reduced_nnz", sweep.reduced_nnz as u64);
+    if let Some(p) = &sweep.presolve {
+        t.add_counter("sweep.presolve.rows_removed", p.rows_removed() as u64);
+        t.add_counter("sweep.presolve.cols_removed", p.cols_removed() as u64);
+        t.add_counter("sweep.presolve.nnz_removed", p.nnz_removed() as u64);
+    }
+    for (i, s) in subproblems.iter().enumerate() {
+        let wall = walls.get(i).copied().unwrap_or(0.0);
+        if !walls.is_empty() {
+            t.add_timing("attack.subproblem", wall);
+        }
+        t.spans.push(ed_obs::SpanRecord {
+            id: (i + 1) as u64,
+            parent: None,
+            name: "attack.subproblem".to_string(),
+            label: Some(format!("L{}{}", s.line.0, if s.direction > 0 { '+' } else { '-' })),
+            start_ms: 0.0,
+            dur_ms: wall,
+            self_ms: wall,
+        });
+    }
+    if sweep.certify_ms > 0.0 {
+        t.add_timing("attack.certify", sweep.certify_ms);
+    }
+    t
 }
 
 fn metric_value(metric: ViolationMetric, flow: f64, ud: f64) -> f64 {
@@ -386,6 +472,12 @@ struct SubproblemRecord {
     /// Wall-clock milliseconds spent certifying (and repairing) this
     /// subproblem's solution. Timing only.
     certify_ms: f64,
+    /// Simplex iterations the exact solve spent (exact integer tally;
+    /// merged in the index-ordered reduction).
+    lp_iterations: usize,
+    /// Wall clock of the whole subproblem, milliseconds. Timing only —
+    /// measured only when tracing is on, `0.0` otherwise.
+    wall_ms: f64,
 }
 
 /// Certifies one subproblem solution against the **full-space** KKT model:
@@ -418,8 +510,31 @@ fn certify_solution(
 /// One (line, direction) subproblem of Algorithm 1, runnable from any
 /// worker thread. Clones the shared (presolved) base model and patches only
 /// its objective row; never errors — faults and budget trips become flagged
-/// outcomes exactly as in the sequential sweep.
+/// outcomes exactly as in the sequential sweep. Opens a recorder span
+/// labeled with the E_D line + direction, and stamps the record with its
+/// wall clock when tracing is on.
 fn run_subproblem(
+    config: &AttackConfig,
+    heuristic: &HeuristicResult,
+    prepared: &PreparedKkt,
+    options: &BilevelOptions,
+    k: usize,
+    line: LineId,
+    dir: f64,
+) -> SubproblemRecord {
+    let _span = ed_obs::span_labeled("attack.subproblem", || {
+        format!("L{}{}", line.0, if dir > 0.0 { '+' } else { '-' })
+    });
+    let trace_on = options.trace.unwrap_or_else(ed_obs::enabled);
+    let t0 = trace_on.then(std::time::Instant::now);
+    let mut rec = run_subproblem_inner(config, heuristic, prepared, options, k, line, dir);
+    if let Some(t0) = t0 {
+        rec.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    }
+    rec
+}
+
+fn run_subproblem_inner(
     config: &AttackConfig,
     heuristic: &HeuristicResult,
     prepared: &PreparedKkt,
@@ -475,6 +590,8 @@ fn run_subproblem(
             candidate: None,
             attempted: false,
             certify_ms: 0.0,
+            lp_iterations: 0,
+            wall_ms: 0.0,
         };
     }
 
@@ -551,6 +668,8 @@ fn run_subproblem(
                 )),
                 attempted: true,
                 certify_ms,
+                lp_iterations: sol.lp_iterations,
+                wall_ms: 0.0,
             }
         }
         SubproblemAttempt::Pruned => SubproblemRecord {
@@ -570,13 +689,17 @@ fn run_subproblem(
             candidate: None,
             attempted: true,
             certify_ms: 0.0,
+            lp_iterations: 0,
+            wall_ms: 0.0,
         },
         SubproblemAttempt::Budget(tripped, incumbent) => {
             // Budget trip: keep the better of the solver's partial
             // incumbent and the heuristic floor.
-            let (violation, nodes) = match &incumbent {
-                Some(sol) => ((sol.objective + offset).max(heuristic_violation), sol.nodes),
-                None => (heuristic_violation, 0),
+            let (violation, nodes, lp_iterations) = match &incumbent {
+                Some(sol) => {
+                    ((sol.objective + offset).max(heuristic_violation), sol.nodes, sol.lp_iterations)
+                }
+                None => (heuristic_violation, 0, 0),
             };
             options.budget.record_nodes(nodes);
             SubproblemRecord {
@@ -602,6 +725,8 @@ fn run_subproblem(
                 }),
                 attempted: true,
                 certify_ms: 0.0,
+                lp_iterations,
+                wall_ms: 0.0,
             }
         }
         SubproblemAttempt::Faulted(e) => SubproblemRecord {
@@ -621,6 +746,8 @@ fn run_subproblem(
             candidate: None,
             attempted: true,
             certify_ms: 0.0,
+            lp_iterations: 0,
+            wall_ms: 0.0,
         },
     }
 }

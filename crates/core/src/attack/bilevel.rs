@@ -61,6 +61,14 @@ pub struct BilevelOptions {
     /// `None` defers to the `ED_CERTIFY` environment variable (default
     /// **on**).
     pub certify: Option<bool>,
+    /// Attach a deterministic [`ed_obs::TraceReport`] to the
+    /// [`AttackResult`](crate::attack::AttackResult): per-subproblem spans
+    /// labeled with the E_D line + direction, sweep counters, and timing
+    /// histograms, all assembled in the index-ordered reduction so the
+    /// counters are byte-identical across thread counts and repeated
+    /// runs. `Some(flag)` forces it, `None` defers to the `ED_TRACE`
+    /// environment variable (default **off**).
+    pub trace: Option<bool>,
 }
 
 impl Default for BilevelOptions {
@@ -73,6 +81,7 @@ impl Default for BilevelOptions {
             threads: None,
             presolve: None,
             certify: None,
+            trace: None,
         }
     }
 }
@@ -93,6 +102,10 @@ pub struct SubproblemSolution {
     pub proved_optimal: bool,
     /// Nodes explored.
     pub nodes: usize,
+    /// Total simplex iterations across the node relaxations that produced
+    /// this solution (observability; never part of determinism
+    /// fingerprints' float content — it is an exact integer tally).
+    pub lp_iterations: usize,
     /// The full-space KKT solution vector (restored from the reduced
     /// model), kept so the sweep can certify the answer against the
     /// original model.
@@ -143,18 +156,20 @@ pub(crate) fn solve_subproblem(
     // The reduced model's objective differs from the original by `offset`;
     // hints and reported objectives convert at this boundary.
     let hint = incumbent_hint.map(|h| h - offset);
-    let package = |x_red: &[f64], objective: f64, proved_optimal: bool, nodes: usize| {
-        let x = prepared.restore(x_red);
-        SubproblemSolution {
-            objective: objective + offset,
-            ua_mw: prepared.base().ua_at(&x),
-            flow_mw: prepared.base().flow_at(&x, target),
-            dispatch_mw: prepared.base().dispatch_at(&x),
-            proved_optimal,
-            nodes,
-            x,
-        }
-    };
+    let package =
+        |x_red: &[f64], objective: f64, proved_optimal: bool, nodes: usize, lp_iterations: usize| {
+            let x = prepared.restore(x_red);
+            SubproblemSolution {
+                objective: objective + offset,
+                ua_mw: prepared.base().ua_at(&x),
+                flow_mw: prepared.base().flow_at(&x, target),
+                dispatch_mw: prepared.base().dispatch_at(&x),
+                proved_optimal,
+                nodes,
+                lp_iterations,
+                x,
+            }
+        };
     let outcome = match options.solver {
         BilevelSolver::Mpec => {
             // The reduced model carries its (remapped) complementarity
@@ -172,6 +187,7 @@ pub(crate) fn solve_subproblem(
                     sol.objective,
                     sol.proved_optimal,
                     sol.nodes,
+                    sol.lp_iterations,
                 )),
                 SolveOutcome::Partial(p) => SolveOutcome::Partial(p),
             })
@@ -200,6 +216,7 @@ pub(crate) fn solve_subproblem(
                     sol.objective,
                     sol.proved_optimal,
                     sol.nodes,
+                    sol.lp_iterations,
                 )),
                 SolveOutcome::Partial(p) => SolveOutcome::Partial(p),
             })
@@ -209,7 +226,7 @@ pub(crate) fn solve_subproblem(
         Ok(SolveOutcome::Solved(sol)) => SubproblemAttempt::Solved(sol),
         Ok(SolveOutcome::Partial(p)) => {
             let incumbent = match (&p.x, p.objective) {
-                (Some(x), Some(obj)) => Some(package(x, obj, false, p.nodes)),
+                (Some(x), Some(obj)) => Some(package(x, obj, false, p.nodes, p.iterations)),
                 _ => None,
             };
             SubproblemAttempt::Budget(p.tripped, incumbent)

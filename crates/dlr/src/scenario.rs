@@ -121,6 +121,7 @@ impl ScenarioBuilder {
     /// Panics if a DLR line id is out of range for the network or `steps`
     /// is zero.
     pub fn build(self) -> Scenario {
+        let _t = ed_obs::timer("dlr.scenario.build");
         assert!(self.steps > 0, "scenario needs at least one step");
         for (l, _) in &self.dlr {
             assert!(l.0 < self.static_ratings.len(), "DLR line {l:?} out of range");

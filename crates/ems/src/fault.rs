@@ -257,6 +257,8 @@ pub fn run_faulted_cycle(
     net: &Network,
     plan: &FaultPlan,
 ) -> Result<FaultReport, EmsError> {
+    let _span = ed_obs::span_labeled("ems.faulted_cycle", || package.name().to_string());
+    let _t = ed_obs::timer("ems.faulted_cycle");
     let mut rng = StdRng::seed_from_u64(plan.seed);
     let static_ratings = net.static_ratings_mva();
 
@@ -283,8 +285,11 @@ pub fn run_faulted_cycle(
         debug_assert!(r.is_clean() || dispatcher.last_known_good().is_some());
     }
 
-    // Memory-level faults.
+    // Memory-level faults. Each injection lands in the event log, so a
+    // trace of a faulted run shows exactly what was corrupted and when.
     for f in &plan.faults {
+        ed_obs::event("ems.fault", || format!("{f:?}"));
+        ed_obs::counter("ems.faults_injected", 1);
         let (line, value) = match f {
             FaultKind::NanRating { line } => (*line, Some(f64::NAN)),
             FaultKind::InfRating { line } => (*line, Some(f64::INFINITY)),
@@ -329,6 +334,9 @@ pub fn run_faulted_cycle(
             sanitized_lines.push(l);
         }
     }
+
+    ed_obs::counter("ems.scan_retries", u64::from(scan_retries));
+    ed_obs::counter("ems.sanitized_ratings", sanitized_lines.len() as u64);
 
     let dispatch = dispatcher.dispatch(net, &demand, &ratings_used, &plan.budget())?;
 

@@ -75,47 +75,72 @@ pub fn run_case_study(
     config: &AttackConfig,
     seed: u64,
 ) -> Result<CaseStudyReport, EmsError> {
+    let _span = ed_obs::span_labeled("ems.case_study", || package.name().to_string());
     // Boot the victim EMS with the true DLR values in its memory.
     let true_ratings = config.true_ratings_vector(net);
-    let mut victim = package.build(net, &true_ratings, seed)?;
-    let pre_dispatch = victim.run_ed(net)?;
+    let (mut victim, pre_dispatch) = {
+        let _s = ed_obs::span("ems.boot");
+        let _t = ed_obs::timer("ems.boot");
+        let victim = package.build(net, &true_ratings, seed)?;
+        let pre_dispatch = victim.run_ed(net)?;
+        (victim, pre_dispatch)
+    };
 
     // Offline phase: signature from a separate reference build.
     let reference = package.build(net, &true_ratings, seed ^ 0xDEAD)?;
     let exploit = Exploit::new(package.rating_signature(&reference)).tainted_only();
 
     // Attack generation (Sections II-III).
-    let attack = optimal_attack(net, config)?;
+    let attack = {
+        let _s = ed_obs::span("ems.optimize");
+        let _t = ed_obs::timer("ems.optimize");
+        optimal_attack(net, config)?
+    };
 
     let dump_at = victim.rating_addrs[config.dlr_lines[0].0];
     let memory_before = hexdump(&victim.memory, dump_at.saturating_sub(0x10), 0x30);
 
     // Memory corruption (Section VI).
     let mut corruptions = Vec::new();
-    for (k, line) in config.dlr_lines.iter().enumerate() {
-        let old = config.u_d[k];
-        let new = attack.ua_mw[k];
-        if (old - new).abs() < 1e-9 {
-            continue;
+    {
+        let _s = ed_obs::span("ems.corrupt");
+        let _t = ed_obs::timer("ems.corrupt");
+        for (k, line) in config.dlr_lines.iter().enumerate() {
+            let old = config.u_d[k];
+            let new = attack.ua_mw[k];
+            if (old - new).abs() < 1e-9 {
+                continue;
+            }
+            corruptions.push(exploit.corrupt(&mut victim, line.0, old, new)?);
         }
-        corruptions.push(exploit.corrupt(&mut victim, line.0, old, new)?);
     }
+    ed_obs::counter("ems.corruptions", corruptions.len() as u64);
     let memory_after = hexdump(&victim.memory, dump_at.saturating_sub(0x10), 0x30);
 
     // The EMS control loop runs again on corrupted memory.
-    let post_dispatch = victim.run_ed(net)?;
+    let post_dispatch = {
+        let _s = ed_obs::span("ems.actuate");
+        let _t = ed_obs::timer("ems.actuate");
+        victim.run_ed(net)?
+    };
 
     // Defense-in-depth instruments, running beside (not inside) the EMS:
     // the DLR monitor watches the rating readings the EMS consumed, and the
     // safety gate audits both dispatches against the true physics.
-    let mut monitor = DlrMonitor::default();
-    monitor.prime(&net.static_ratings_mva());
-    monitor.observe(&true_ratings);
-    let dlr_flags = monitor.observe(&victim.read_ratings_mw()?);
-    let gate = SafetyGate::new(net).map_err(|e| EmsError::from(CoreError::from(e)))?;
-    let demand = net.demand_vector_mw();
-    let pre_gate = gate.check(&demand, &true_ratings, &pre_dispatch);
-    let post_gate = gate.check(&demand, &true_ratings, &post_dispatch);
+    let (dlr_flags, pre_gate, post_gate) = {
+        let _s = ed_obs::span("ems.audit");
+        let _t = ed_obs::timer("ems.audit");
+        let mut monitor = DlrMonitor::default();
+        monitor.prime(&net.static_ratings_mva());
+        monitor.observe(&true_ratings);
+        let dlr_flags = monitor.observe(&victim.read_ratings_mw()?);
+        ed_obs::counter("ems.dlr_flags", dlr_flags.len() as u64);
+        let gate = SafetyGate::new(net).map_err(|e| EmsError::from(CoreError::from(e)))?;
+        let demand = net.demand_vector_mw();
+        let pre_gate = gate.check(&demand, &true_ratings, &pre_dispatch);
+        let post_gate = gate.check(&demand, &true_ratings, &post_dispatch);
+        (dlr_flags, pre_gate, post_gate)
+    };
 
     let util = |d: &Dispatch| -> Vec<f64> {
         d.flows_mw

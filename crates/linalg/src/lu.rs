@@ -46,6 +46,7 @@ impl Lu {
     /// - [`LinalgError::Singular`] if a pivot smaller than `1e-12` relative
     ///   to the matrix scale is encountered.
     pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        ed_obs::counter("linalg.lu.factors", 1);
         if !a.is_square() {
             return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
         }

@@ -308,6 +308,18 @@ impl Worst {
 /// dual vectors get a primal-side certificate with
 /// [`Certificate::dual_checked`] `= false`.
 pub fn certify(model: &Model, sol: &Solution, tol: &Tolerances) -> Certificate {
+    let _t = ed_obs::timer("optim.certify");
+    let cert = certify_inner(model, sol, tol);
+    if ed_obs::enabled() {
+        ed_obs::counter("optim.certify.audits", 1);
+        if !cert.passed() {
+            ed_obs::counter("optim.certify.failed", 1);
+        }
+    }
+    cert
+}
+
+fn certify_inner(model: &Model, sol: &Solution, tol: &Tolerances) -> Certificate {
     let n = model.num_vars();
     let m = model.num_rows();
 

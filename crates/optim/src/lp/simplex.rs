@@ -605,6 +605,25 @@ pub(crate) fn solve_budgeted(
     options: &SimplexOptions,
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<LpSolution>, OptimError> {
+    let _t = ed_obs::timer("optim.simplex");
+    let out = solve_budgeted_inner(lp, options, budget);
+    if ed_obs::enabled() {
+        let iterations = match &out {
+            Ok(SolveOutcome::Solved(s)) => s.iterations,
+            Ok(SolveOutcome::Partial(p)) => p.iterations,
+            Err(_) => 0,
+        };
+        ed_obs::counter("optim.simplex.solves", 1);
+        ed_obs::counter("optim.simplex.iterations", iterations as u64);
+    }
+    out
+}
+
+fn solve_budgeted_inner(
+    lp: &Model,
+    options: &SimplexOptions,
+    budget: &SolveBudget,
+) -> Result<SolveOutcome<LpSolution>, OptimError> {
     let mut t = Tableau::build(lp);
     t.install_artificials()?;
 

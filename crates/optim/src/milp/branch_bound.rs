@@ -86,6 +86,28 @@ pub(crate) fn solve_budgeted(
     options: &MilpOptions,
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<MilpSolution>, OptimError> {
+    let _t = ed_obs::timer("optim.bb");
+    let mut pruned = 0usize;
+    let out = solve_budgeted_inner(milp, options, budget, &mut pruned);
+    if ed_obs::enabled() {
+        let nodes = match &out {
+            Ok(SolveOutcome::Solved(s)) => s.nodes,
+            Ok(SolveOutcome::Partial(p)) => p.nodes,
+            Err(_) => 0,
+        };
+        ed_obs::counter("optim.bb.solves", 1);
+        ed_obs::counter("optim.bb.nodes", nodes as u64);
+        ed_obs::counter("optim.bb.pruned", pruned as u64);
+    }
+    out
+}
+
+fn solve_budgeted_inner(
+    milp: &MilpProblem,
+    options: &MilpOptions,
+    budget: &SolveBudget,
+    pruned: &mut usize,
+) -> Result<SolveOutcome<MilpSolution>, OptimError> {
     milp.model.validate()?;
     let sense = milp.model.sense();
 
@@ -115,6 +137,7 @@ pub(crate) fn solve_budgeted(
     while let Some(node) = stack.pop() {
         // Bound-based pruning against the incumbent (or hint).
         if node.bound >= incumbent_cut - options.gap_abs {
+            *pruned += 1;
             continue;
         }
         if !budget.is_unlimited() {
@@ -159,7 +182,10 @@ pub(crate) fn solve_budgeted(
                 tripped = Some(p.tripped);
                 break;
             }
-            Err(OptimError::Infeasible) => continue,
+            Err(OptimError::Infeasible) => {
+                *pruned += 1;
+                continue;
+            }
             Err(OptimError::Unbounded) => {
                 // An unbounded relaxation at any node means the MILP cannot
                 // be certified; surface it.
@@ -170,6 +196,7 @@ pub(crate) fn solve_budgeted(
         lp_iterations += sol.iterations;
         let node_obj = to_internal(sense, sol.objective);
         if node_obj >= incumbent_cut - options.gap_abs {
+            *pruned += 1;
             continue;
         }
 

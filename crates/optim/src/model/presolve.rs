@@ -189,6 +189,20 @@ pub fn presolve(model: &Model) -> Result<Presolved, OptimError> {
 ///
 /// Same as [`presolve`].
 pub fn presolve_with(model: &Model, opts: &PresolveOptions) -> Result<Presolved, OptimError> {
+    let _t = ed_obs::timer("optim.presolve");
+    let out = presolve_with_inner(model, opts);
+    if ed_obs::enabled() {
+        ed_obs::counter("optim.presolve.runs", 1);
+        if let Ok(pre) = &out {
+            ed_obs::counter("optim.presolve.rows_removed", pre.stats.rows_removed() as u64);
+            ed_obs::counter("optim.presolve.cols_removed", pre.stats.cols_removed() as u64);
+            ed_obs::counter("optim.presolve.nnz_removed", pre.stats.nnz_removed() as u64);
+        }
+    }
+    out
+}
+
+fn presolve_with_inner(model: &Model, opts: &PresolveOptions) -> Result<Presolved, OptimError> {
     let n = model.num_vars();
     let m = model.num_rows();
 

@@ -201,6 +201,28 @@ impl MpecProblem {
         options: &MpecOptions,
         budget: &SolveBudget,
     ) -> Result<SolveOutcome<MpecSolution>, OptimError> {
+        let _t = ed_obs::timer("optim.bb");
+        let mut pruned = 0usize;
+        let out = self.solve_budgeted_inner(options, budget, &mut pruned);
+        if ed_obs::enabled() {
+            let nodes = match &out {
+                Ok(SolveOutcome::Solved(s)) => s.nodes,
+                Ok(SolveOutcome::Partial(p)) => p.nodes,
+                Err(_) => 0,
+            };
+            ed_obs::counter("optim.bb.solves", 1);
+            ed_obs::counter("optim.bb.nodes", nodes as u64);
+            ed_obs::counter("optim.bb.pruned", pruned as u64);
+        }
+        out
+    }
+
+    fn solve_budgeted_inner(
+        &self,
+        options: &MpecOptions,
+        budget: &SolveBudget,
+        pruned: &mut usize,
+    ) -> Result<SolveOutcome<MpecSolution>, OptimError> {
         // Model-level validation covers the complementarity-variable bound
         // requirement (each pair variable must admit 0).
         self.model.validate()?;
@@ -236,6 +258,7 @@ impl MpecProblem {
 
         while let Some(node) = stack.pop() {
             if node.bound >= incumbent_cut - options.gap_abs {
+                *pruned += 1;
                 continue;
             }
             if !budget.is_unlimited() {
@@ -259,6 +282,7 @@ impl MpecProblem {
             // bound with [0, 0] would silently drop that constraint, so
             // the branch is infeasible instead.
             if node.fixed.iter().any(|&v| lp.bounds(v).0 > options.comp_tol) {
+                *pruned += 1;
                 continue;
             }
 
@@ -288,13 +312,17 @@ impl MpecProblem {
                     tripped = Some(p.tripped);
                     break;
                 }
-                Err(OptimError::Infeasible) => continue,
+                Err(OptimError::Infeasible) => {
+                    *pruned += 1;
+                    continue;
+                }
                 Err(OptimError::Unbounded) => return Err(OptimError::Unbounded),
                 Err(e) => return Err(e),
             };
             lp_iterations += sol.iterations;
             let node_obj = to_internal(sense, sol.objective);
             if node_obj >= incumbent_cut - options.gap_abs {
+                *pruned += 1;
                 continue;
             }
 

@@ -140,6 +140,25 @@ pub(crate) fn solve_budgeted(
     options: &QpOptions,
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<QpSolution>, OptimError> {
+    let _t = ed_obs::timer("optim.activeset");
+    let out = solve_budgeted_inner(qp, options, budget);
+    if ed_obs::enabled() {
+        let iterations = match &out {
+            Ok(SolveOutcome::Solved(s)) => s.iterations,
+            Ok(SolveOutcome::Partial(p)) => p.iterations,
+            Err(_) => 0,
+        };
+        ed_obs::counter("optim.activeset.solves", 1);
+        ed_obs::counter("optim.activeset.iterations", iterations as u64);
+    }
+    out
+}
+
+fn solve_budgeted_inner(
+    qp: &DenseQp,
+    options: &QpOptions,
+    budget: &SolveBudget,
+) -> Result<SolveOutcome<QpSolution>, OptimError> {
     match solve_once(qp, options, budget) {
         Ok(out) => Ok(out),
         Err(first @ (OptimError::IterationLimit { .. } | OptimError::Numerical { .. })) => {

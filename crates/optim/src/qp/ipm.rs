@@ -62,6 +62,25 @@ pub(crate) fn solve_budgeted(
     options: &IpmOptions,
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<QpSolution>, OptimError> {
+    let _t = ed_obs::timer("optim.ipm");
+    let out = solve_budgeted_inner(qp, options, budget);
+    if ed_obs::enabled() {
+        let iterations = match &out {
+            Ok(SolveOutcome::Solved(s)) => s.iterations,
+            Ok(SolveOutcome::Partial(p)) => p.iterations,
+            Err(_) => 0,
+        };
+        ed_obs::counter("optim.ipm.solves", 1);
+        ed_obs::counter("optim.ipm.iterations", iterations as u64);
+    }
+    out
+}
+
+fn solve_budgeted_inner(
+    qp: &DenseQp,
+    options: &IpmOptions,
+    budget: &SolveBudget,
+) -> Result<SolveOutcome<QpSolution>, OptimError> {
     let n = qp.n;
     let me = qp.a_eq.len();
     let mi = qp.a_in.len();

@@ -104,6 +104,8 @@ where
     if n == 0 {
         return Ok(Vec::new());
     }
+    ed_obs::counter("par.maps", 1);
+    ed_obs::counter("par.items", n as u64);
     let threads = threads.clamp(1, n);
     if threads == 1 {
         let mut out = Vec::with_capacity(n);

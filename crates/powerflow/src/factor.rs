@@ -38,6 +38,10 @@ impl FactorCache {
     /// Returns [`PowerflowError::Linalg`] if the reduced matrix is singular
     /// (cannot happen for a connected, validated network).
     pub fn build(net: &Network) -> Result<FactorCache, PowerflowError> {
+        // A build is a factorization miss: downstream solves served from
+        // the cached LU count as hits.
+        let _t = ed_obs::timer("powerflow.factor.build");
+        ed_obs::counter("powerflow.factor.misses", 1);
         let n = net.num_buses();
         let slack = net.slack().0;
         let keep: Vec<usize> = (0..n).filter(|&i| i != slack).collect();
@@ -77,6 +81,7 @@ impl FactorCache {
     ///
     /// Returns [`PowerflowError::Linalg`] on a length mismatch.
     pub fn solve_reduced(&self, rhs: &[f64]) -> Result<Vec<f64>, PowerflowError> {
+        ed_obs::counter("powerflow.factor.hits", 1);
         Ok(self.lu.solve(rhs)?)
     }
 

@@ -17,6 +17,15 @@
 # the time spent inside certification itself (`certify_ms`), and the
 # certificate counters (`certified` / `cert_repaired` / `uncertified` /
 # `heuristic_floor`) of the certify-on run.
+#
+# The `trace` object tracks the cost and content of observability (ed-obs):
+# wall clocks of the sweep with ED_TRACE off vs on, a calibrated bound on
+# what the *disabled* instrumentation costs a production sweep
+# (`disabled_overhead_pct` — scripts/verify.sh asserts < 2%), whether the
+# counters-only trace projection was byte-identical across two traced runs
+# (`deterministic`), and the per-stage breakdown (presolve / simplex / B&B /
+# certify / heuristic / powerflow). The full span dump goes to
+# <output>.trace.json — pretty-print it with scripts/trace_report.sh.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Pretty-print the top spans of a TraceReport JSON by self-time.
+#
+# Usage: scripts/trace_report.sh <trace.json> [N]
+#
+# Works on any JSON produced by `TraceReport::to_json()` (e.g. a file
+# written from `ed_obs::snapshot().to_json()`, or the bench's trace
+# export). The exporter writes one span object per line precisely so this
+# script needs no JSON parser — each span line is sliced with sed and
+# sorted by its `self_ms` field.
+
+set -euo pipefail
+
+FILE="${1:?usage: scripts/trace_report.sh <trace.json> [N]}"
+TOP="${2:-10}"
+
+if ! grep -q '"spans"' "$FILE"; then
+    echo "error: $FILE does not look like a TraceReport export (no \"spans\" key)" >&2
+    exit 1
+fi
+
+echo "top $TOP spans by self-time ($FILE):"
+printf '%12s %12s  %-28s %s\n' "self_ms" "total_ms" "name" "label"
+# One span object per line: grab name/label/dur/self, sort by self desc.
+grep -o '{"id": [0-9]*, "parent": [^,]*, "name": "[^"]*", "label": \(null\|"[^"]*"\), "start_ms": [0-9.]*, "dur_ms": [0-9.]*, "self_ms": [0-9.]*}' "$FILE" \
+    | sed 's/.*"name": "\([^"]*\)", "label": \(null\|"\([^"]*\)"\), "start_ms": [0-9.]*, "dur_ms": \([0-9.]*\), "self_ms": \([0-9.]*\).*/\5 \4 \1 \3/' \
+    | sort -g -r -k1,1 \
+    | head -n "$TOP" \
+    | while read -r self dur name label; do
+        printf '%12.3f %12.3f  %-28s %s\n' "$self" "$dur" "$name" "${label:--}"
+    done
+
+dropped="$(sed -n 's/.*"dropped_events": \([0-9]*\).*/\1/p' "$FILE" | head -n1)"
+if [ -n "${dropped:-}" ] && [ "$dropped" != "0" ]; then
+    echo "note: $dropped span records were dropped (ring buffer full)"
+fi

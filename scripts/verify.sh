@@ -44,6 +44,28 @@ run env ED_PRESOLVE=1 cargo test -q --offline --workspace
 # it off must never change any solver *answer* — only whether it is audited).
 run env ED_CERTIFY=0 cargo test -q --offline --workspace
 run env ED_CERTIFY=1 cargo test -q --offline --workspace
+# ... and with the observability recorder both off and on (ED_TRACE gates
+# spans/counters/timings; default off. Recording must never change an
+# answer, and the parallel-determinism fingerprints must hold either way).
+run env ED_TRACE=0 cargo test -q --offline --workspace
+run env ED_TRACE=1 cargo test -q --offline --workspace
 run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Trace-overhead guard: the committed benchmark artifact records what the
+# instrumentation costs a production (ED_TRACE=0) sweep — the calibrated
+# disabled-path bound must stay under 2%. Regenerate with
+# scripts/bench_attack.sh after touching hot-path instrumentation.
+if [ -f BENCH_attack.json ]; then
+    overhead="$(sed -n 's/.*"disabled_overhead_pct": \([0-9.eE+-]*\).*/\1/p' BENCH_attack.json | head -n1)"
+    if [ -z "$overhead" ]; then
+        echo "FAILED: BENCH_attack.json has no trace.disabled_overhead_pct (rerun scripts/bench_attack.sh)" >&2
+        exit 1
+    fi
+    if ! awk -v o="$overhead" 'BEGIN { exit !(o < 2.0) }'; then
+        echo "FAILED: disabled-trace overhead ${overhead}% >= 2% budget" >&2
+        exit 1
+    fi
+    echo "==> trace overhead guard: ${overhead}% < 2% OK"
+fi
 
 echo "verify: OK"

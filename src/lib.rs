@@ -5,6 +5,9 @@
 //!
 //! - [`linalg`] / [`optim`] — dense linear algebra and the LP/QP/MILP/MPEC
 //!   solvers everything else is built on.
+//! - [`obs`] — zero-dependency observability: hierarchical spans,
+//!   counters, timing histograms, and the machine-readable
+//!   [`TraceReport`](obs::TraceReport) export (`ED_TRACE=1` to enable).
 //! - [`powerflow`] — network model, DC and AC power flow, PTDF/LODF, N−1
 //!   screening.
 //! - [`cases`] — benchmark systems (the paper's 3-bus case, a 6-bus case,
@@ -49,5 +52,6 @@ pub use ed_core as core;
 pub use ed_dlr as dlr;
 pub use ed_ems as ems;
 pub use ed_linalg as linalg;
+pub use ed_obs as obs;
 pub use ed_optim as optim;
 pub use ed_powerflow as powerflow;

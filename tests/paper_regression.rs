@@ -1,0 +1,143 @@
+//! Golden regression pins for the paper's exact sweep results.
+//!
+//! `scripts/bench_attack.sh` reports the 3-bus and 6-bus exact sweeps in
+//! `BENCH_attack.json`'s `exact_cases`; these tests pin the *numbers behind
+//! those reports* — the maximum % capacity violation per (line, direction)
+//! subproblem — as golden values with explicit tolerances, so a solver or
+//! presolve change that silently shifts the attack's reproduced results
+//! fails CI instead of drifting the benchmark artifact.
+//!
+//! The second family pins the *lower-bound invariant*: the corner
+//! heuristic evaluates genuine attack candidates, so the violation it
+//! achieves can never exceed what the exact bilevel solver proves optimal
+//! for the same (line, direction).
+
+use ed_security::cases;
+use ed_security::core::attack::{
+    corner_heuristic, optimal_attack, AttackConfig, AttackResult, BilevelOptions,
+};
+use ed_security::powerflow::LineId;
+
+/// Exact-sweep config for the paper's 3-bus case (same bounds/ratings as
+/// the quickstart and `sweep_scaling`'s exact-case reporting).
+fn three_bus_config() -> AttackConfig {
+    AttackConfig::new(cases::three_bus::dlr_lines())
+        .bounds(100.0, 200.0)
+        .true_ratings(vec![130.0, 120.0])
+        .solver_options(BilevelOptions { use_heuristic: false, ..Default::default() })
+}
+
+/// Exact-sweep config for the 6-bus fixture (mirrors `sweep_scaling`).
+fn six_bus_config(net: &ed_security::powerflow::Network) -> AttackConfig {
+    let dlr = vec![LineId(4), LineId(8)];
+    let u_d: Vec<f64> = dlr.iter().map(|l| 0.9 * net.lines()[l.0].rating_mva).collect();
+    let lo: Vec<f64> = dlr.iter().map(|l| 0.5 * net.lines()[l.0].rating_mva).collect();
+    let hi: Vec<f64> = dlr.iter().map(|l| 2.0 * net.lines()[l.0].rating_mva).collect();
+    AttackConfig::new(dlr)
+        .bounds_per_line(lo, hi)
+        .true_ratings(u_d)
+        .solver_options(BilevelOptions { use_heuristic: false, ..Default::default() })
+}
+
+/// Looks up the violation the sweep proved for one (line, direction).
+fn violation(r: &AttackResult, line: usize, direction: i8) -> f64 {
+    let s = r
+        .subproblems
+        .iter()
+        .find(|s| s.line.0 == line && s.direction == direction)
+        .unwrap_or_else(|| panic!("no subproblem for line {line} direction {direction}"));
+    assert!(
+        s.proved_optimal && s.fault.is_none(),
+        "L{line}{direction:+}: exact sweep must complete ({:?})",
+        s.fault
+    );
+    s.violation
+}
+
+/// Golden values for the 3-bus exact sweep: max % capacity violation per
+/// (line, direction). Absolute tolerance 0.05 percentage points — wide
+/// enough for cross-platform floating-point noise, narrow enough that any
+/// genuine solver regression (these moved by whole points in development)
+/// trips it.
+#[test]
+fn three_bus_exact_sweep_matches_golden_violations() {
+    let net = cases::three_bus();
+    let r = optimal_attack(&net, &three_bus_config()).expect("3-bus exact sweep solves");
+    const GOLDEN: [(usize, i8, f64); 4] = [
+        (1, 1, 53.846153846154),
+        (1, -1, -176.923076923077),
+        (2, 1, 66.666666666667),
+        (2, -1, -183.333333333333),
+    ];
+    for (line, dir, want) in GOLDEN {
+        let got = violation(&r, line, dir);
+        assert!(
+            (got - want).abs() < 0.05,
+            "3-bus L{line}{dir:+}: violation {got:.9}% drifted from golden {want:.9}%"
+        );
+    }
+    assert!((r.ucap_pct - 66.666666666667).abs() < 0.05, "best violation: {}", r.ucap_pct);
+    assert_eq!(r.target, Some((LineId(2), 1)), "target subproblem moved: {:?}", r.target);
+}
+
+/// Golden values for the 6-bus exact sweep, same tolerance rationale.
+#[test]
+fn six_bus_exact_sweep_matches_golden_violations() {
+    let net = cases::six_bus();
+    let r = optimal_attack(&net, &six_bus_config(&net)).expect("6-bus exact sweep solves");
+    const GOLDEN: [(usize, i8, f64); 4] = [
+        (4, 1, -40.823782215644),
+        (4, -1, -155.555555555556),
+        (8, 1, -37.858256828939),
+        (8, -1, -155.555555555556),
+    ];
+    for (line, dir, want) in GOLDEN {
+        let got = violation(&r, line, dir);
+        assert!(
+            (got - want).abs() < 0.05,
+            "6-bus L{line}{dir:+}: violation {got:.9}% drifted from golden {want:.9}%"
+        );
+    }
+    // On this fixture no manipulation produces a true-rating violation —
+    // every subproblem's optimum stays below its capacity, so the sweep
+    // reports no viable target. That *absence* is part of the pin.
+    assert!(r.ucap_pct.abs() < 0.05, "best violation: {}", r.ucap_pct);
+    assert_eq!(r.target, None, "6-bus fixture must stay unattackable: {:?}", r.target);
+}
+
+/// Lower-bound invariant: on every (line, direction) subproblem the corner
+/// heuristic's achieved violation is ≤ the exact optimum (the heuristic
+/// evaluates feasible candidates; the exact solver maximizes over all of
+/// them). A heuristic "beating" the exact solver means one of the two is
+/// wrong.
+#[test]
+fn heuristic_never_exceeds_exact_objective() {
+    let cases: [(&str, ed_security::powerflow::Network, AttackConfig); 2] = {
+        let three = cases::three_bus();
+        let three_cfg = three_bus_config();
+        let six = cases::six_bus();
+        let six_cfg = six_bus_config(&six);
+        [("three_bus", three, three_cfg), ("six_bus", six, six_cfg)]
+    };
+    for (name, net, config) in cases {
+        let exact = optimal_attack(&net, &config).expect("exact sweep solves");
+        let heur = corner_heuristic(&net, &config).expect("corner heuristic runs");
+        for (k, line) in config.dlr_lines.iter().enumerate() {
+            for (d, dir) in [(0usize, 1i8), (1, -1)] {
+                let flow = heur.best_flow[k][d];
+                if !flow.is_finite() {
+                    continue; // no feasible candidate for this direction
+                }
+                // PercentOfTrue metric: 100 · (dir-aligned flow / u_d − 1).
+                let heur_violation = 100.0 * (flow / config.u_d[k] - 1.0);
+                let exact_violation = violation(&exact, line.0, dir);
+                assert!(
+                    heur_violation <= exact_violation + 1e-6,
+                    "{name} L{}{dir:+}: heuristic {heur_violation:.9}% exceeds \
+                     exact {exact_violation:.9}% — lower-bound invariant broken",
+                    line.0
+                );
+            }
+        }
+    }
+}

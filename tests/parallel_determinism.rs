@@ -123,6 +123,44 @@ fn ieee118_sweep_bit_identical_across_thread_counts() {
     assert_thread_invariant(&net, &config, "ieee118_like", &[4]);
 }
 
+/// The attached [`TraceReport`]'s deterministic projection (counters only,
+/// no wall clock) must be **byte-identical** across repeated runs at the
+/// same thread count *and* across thread counts: every tally feeding it is
+/// an exact `u64` merged in the index-ordered reduction, never a
+/// cross-thread race. This is the regression test for the tally-merge
+/// ordering bug class (`certify_ms` and friends summed in completion order
+/// rather than index order).
+///
+/// [`TraceReport`]: ed_security::obs::TraceReport
+#[test]
+fn attached_trace_counters_byte_identical_across_runs_and_threads() {
+    let net = ed_security::cases::three_bus();
+    let mut config = AttackConfig::new(ed_security::cases::three_bus::dlr_lines())
+        .bounds(100.0, 200.0)
+        .true_ratings(vec![130.0, 120.0]);
+    // Forced on (not ED_TRACE-deferred) so the test is self-contained.
+    config.options.trace = Some(true);
+
+    let trace_json = |threads: usize| {
+        let r = optimal_attack_with(&net, &with_threads(&config, threads), true).unwrap();
+        r.trace.expect("trace forced on").deterministic_json()
+    };
+    let reference = trace_json(1);
+    assert!(!reference.is_empty() && reference.contains("sweep.subproblems"));
+    // Repeat at the same thread count: byte-identical.
+    assert_eq!(reference, trace_json(1), "repeat run at 1 thread changed the trace");
+    // Across thread counts: byte-identical.
+    for threads in [2usize, 4] {
+        let repeat = trace_json(threads);
+        assert_eq!(
+            reference, repeat,
+            "trace counters diverged at {threads} threads — a tally escaped \
+             the index-ordered reduction"
+        );
+        assert_eq!(reference, trace_json(threads), "repeat at {threads} threads diverged");
+    }
+}
+
 #[test]
 fn expired_shared_deadline_flags_every_subproblem_as_wall_clock() {
     // A deadline that is already gone when the sweep starts: whichever

@@ -1,0 +1,263 @@
+//! Property-based differential testing of the solver stack.
+//!
+//! Seeded random feasible LPs and QPs (built the same way
+//! [`ed_security::cases`]' synthetic generator builds networks: every byte
+//! of randomness comes from one `StdRng` seed) are pushed through
+//! *independent* solution paths that must agree:
+//!
+//! 1. **presolve on vs off** — solving the presolved model and mapping the
+//!    answer back through [`Postsolve`] must land on the same optimum as
+//!    solving the original model directly;
+//! 2. **simplex vs interior point** (and active set vs interior point for
+//!    QPs) — algorithmically unrelated methods must report the same
+//!    objective;
+//! 3. **certification** — every accepted vertex solution passes
+//!    [`ed_security::optim::certify`] against the model it solved.
+//!
+//! On a property violation the harness *shrinks*: it greedily reduces the
+//! generator's dimensions (drop a row, drop a variable, drop the quadratic
+//! terms) while the failure persists, then panics with the minimal failing
+//! `GenParams` — rerunning that exact case is one `check(params)` call.
+//!
+//! The final test proves the harness has teeth: a deliberately injected
+//! basis-memory fault ([`SimplexOptions::inject_basis_fault`]) must be
+//! caught by the differential comparison alone, with certification playing
+//! no part.
+//!
+//! [`Postsolve`]: ed_security::optim::Postsolve
+//! [`SimplexOptions::inject_basis_fault`]: ed_security::optim::lp::SimplexOptions
+
+use ed_rng::{Rng, SeedableRng, StdRng};
+use ed_security::optim::lp::{Row, SimplexOptions};
+use ed_security::optim::model::presolve;
+use ed_security::optim::{
+    certify, ActiveSetSolver, IpmSolver, Model, SimplexSolver, Solution, SolveBudget,
+    SolveOutcome, Solver, Tolerances,
+};
+
+/// Everything the generator needs to rebuild a model byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GenParams {
+    seed: u64,
+    vars: usize,
+    rows: usize,
+    quadratic: bool,
+}
+
+/// Builds a random *feasible, bounded* model: box-bounded variables, rows
+/// anchored on a random interior point (`a'x* + slack` for `<=`, minus for
+/// `>=`, exact for `=`), so `x*` is feasible by construction and the box
+/// keeps the optimum finite.
+fn random_model(p: GenParams) -> Model {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut m = Model::minimize();
+    let mut ids = Vec::with_capacity(p.vars);
+    for _ in 0..p.vars {
+        let ub = rng.gen_range(1.0..50.0);
+        let c = rng.gen_range(-10.0..10.0);
+        ids.push(m.add_var(0.0, ub, c));
+    }
+    let x_star: Vec<f64> = ids
+        .iter()
+        .map(|&v| {
+            let (lb, ub) = m.bounds(v);
+            lb + rng.gen_range(0.25..0.75) * (ub - lb)
+        })
+        .collect();
+    for _ in 0..p.rows {
+        let k = rng.gen_range(2..p.vars.clamp(2, 4) + 1);
+        let mut picked: Vec<usize> = Vec::with_capacity(k);
+        while picked.len() < k {
+            let j = rng.gen_range(0..p.vars);
+            if !picked.contains(&j) {
+                picked.push(j);
+            }
+        }
+        let coefs: Vec<f64> = picked.iter().map(|_| rng.gen_range(-4.0..4.0)).collect();
+        let activity: f64 = picked.iter().zip(&coefs).map(|(&j, &c)| c * x_star[j]).sum();
+        let slack = rng.gen_range(0.5..5.0);
+        let kind = rng.gen_range(0u32..3);
+        let mut row = match kind {
+            0 => Row::le(activity + slack),
+            1 => Row::ge(activity - slack),
+            _ => Row::eq(activity),
+        };
+        for (&j, &c) in picked.iter().zip(&coefs) {
+            row = row.coef(ids[j], c);
+        }
+        m.add_row(row);
+    }
+    if p.quadratic {
+        for &v in &ids {
+            m.add_quad(v, v, rng.gen_range(0.1..2.0));
+        }
+    }
+    m
+}
+
+fn solved(outcome: SolveOutcome<Solution>) -> Solution {
+    match outcome {
+        SolveOutcome::Solved(s) => s,
+        SolveOutcome::Partial(_) => panic!("an unlimited budget cannot trip"),
+    }
+}
+
+/// Relative-ish objective agreement: scaled by the magnitude of the values.
+fn objectives_agree(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Runs every differential property on one generated model. `Err` carries
+/// a human-readable description of the first violated property.
+fn check(p: GenParams) -> Result<(), String> {
+    let m = random_model(p);
+    let budget = SolveBudget::unlimited();
+    let vertex: Box<dyn Solver> = if p.quadratic {
+        Box::new(ActiveSetSolver::default())
+    } else {
+        Box::new(SimplexSolver::default())
+    };
+
+    // Reference answer: the vertex method on the original model.
+    let base = solved(
+        vertex.solve(&m, &budget).map_err(|e| format!("direct {} failed: {e}", vertex.name()))?,
+    );
+
+    // Property (c): the accepted vertex solution certifies against the
+    // model it claims to solve.
+    let cert = certify(&m, &base, &Tolerances::default());
+    if !cert.passed() {
+        return Err(format!("vertex solution failed certification: {:?}", cert.status));
+    }
+
+    // Property (a): presolve on vs off.
+    let pre = presolve::presolve(&m).map_err(|e| format!("presolve failed: {e}"))?;
+    let red = solved(
+        vertex
+            .solve(&pre.reduced, &budget)
+            .map_err(|e| format!("{} on presolved model failed: {e}", vertex.name()))?,
+    );
+    let x_restored = pre.postsolve.restore_x(&red.x);
+    let infeas = m.infeasibility(&x_restored);
+    if infeas > 1e-6 {
+        return Err(format!("postsolved point violates the original model by {infeas:.3e}"));
+    }
+    let obj_restored = m.objective_value(&x_restored);
+    if !objectives_agree(obj_restored, base.objective, 1e-6) {
+        return Err(format!(
+            "presolve changed the optimum: {obj_restored:.12} (presolved) vs {:.12} (direct)",
+            base.objective
+        ));
+    }
+
+    // Property (b): an algorithmically unrelated method agrees. The
+    // interior-point path shares no code with the simplex or the
+    // active-set beyond the model IR itself.
+    let ipm = solved(
+        IpmSolver::default().solve(&m, &budget).map_err(|e| format!("IPM failed: {e}"))?,
+    );
+    if !objectives_agree(ipm.objective, base.objective, 1e-5) {
+        return Err(format!(
+            "interior point disagrees: {:.12} (IPM) vs {:.12} ({})",
+            ipm.objective,
+            base.objective,
+            vertex.name()
+        ));
+    }
+    Ok(())
+}
+
+/// Greedy shrink: keep applying the first dimension reduction that still
+/// fails, then panic with the minimal failing parameters and its message.
+fn shrink_and_report(p: GenParams, first_error: String) -> ! {
+    let mut best = (p, first_error);
+    loop {
+        let cur = best.0;
+        let mut candidates: Vec<GenParams> = Vec::new();
+        if cur.quadratic {
+            candidates.push(GenParams { quadratic: false, ..cur });
+        }
+        if cur.rows > 1 {
+            candidates.push(GenParams { rows: cur.rows - 1, ..cur });
+        }
+        if cur.vars > 2 {
+            candidates.push(GenParams { vars: cur.vars - 1, ..cur });
+        }
+        let mut improved = false;
+        for cand in candidates {
+            if let Err(e) = check(cand) {
+                best = (cand, e);
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    panic!(
+        "differential property failed; minimal failing case {:?}: {}\n\
+         reproduce with `check({:?})`",
+        best.0, best.1, best.0
+    );
+}
+
+/// ~50 seeded random models (LPs and QPs alternating, sizes cycling
+/// through 2–8 variables and 1–5 rows) through the full differential
+/// battery. Failures shrink to and print the responsible seed.
+#[test]
+fn random_models_agree_across_presolve_methods_and_certification() {
+    for i in 0..50u64 {
+        let p = GenParams {
+            seed: 0xD1FF_0000 + i,
+            vars: 2 + (i as usize % 7),
+            rows: 1 + (i as usize % 5),
+            quadratic: i % 2 == 1,
+        };
+        if let Err(e) = check(p) {
+            shrink_and_report(p, e);
+        }
+    }
+}
+
+/// The harness has teeth: a deliberately injected basis-memory fault
+/// (one primal entry corrupted after the solve, objective left stale) is
+/// caught by the *differential* comparison alone — certification is never
+/// consulted here. Detection = the corrupted point violates the model, or
+/// its true objective value disagrees with the independent interior-point
+/// answer.
+#[test]
+fn injected_basis_fault_is_caught_without_certification() {
+    let budget = SolveBudget::unlimited();
+    for i in 0..8u64 {
+        let p = GenParams {
+            seed: 0xFA17_0000 + i,
+            vars: 3 + (i as usize % 5),
+            rows: 2 + (i as usize % 4),
+            quadratic: false,
+        };
+        let m = random_model(p);
+        let options =
+            SimplexOptions { inject_basis_fault: Some(p.seed), ..SimplexOptions::default() };
+        let faulty = m.solve_with(&options).expect("faulted solve still reports success");
+        let ipm = solved(IpmSolver::default().solve(&m, &budget).expect("IPM solves"));
+
+        let infeasible = m.infeasibility(&faulty.x) > 1e-6;
+        let true_obj_at_point = m.objective_value(&faulty.x);
+        let objective_differs = !objectives_agree(true_obj_at_point, ipm.objective, 1e-5);
+        assert!(
+            infeasible || objective_differs,
+            "seed {:#x}: corrupted solution slipped past the differential harness \
+             (infeasibility {:.3e}, objective at point {:.9} vs IPM {:.9})",
+            p.seed,
+            m.infeasibility(&faulty.x),
+            true_obj_at_point,
+            ipm.objective
+        );
+
+        // Sanity: the same model without the fault sails through.
+        let clean = m.solve().expect("clean solve");
+        assert!(m.infeasibility(&clean.x) <= 1e-6);
+        assert!(objectives_agree(m.objective_value(&clean.x), ipm.objective, 1e-5));
+    }
+}

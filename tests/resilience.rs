@@ -167,8 +167,12 @@ fn deadline_is_honored_on_118_bus_sweep() {
         "budgeted sweep must keep the heuristic floor"
     );
     // 2× the bound, plus the (unbudgeted) heuristic re-run inside
-    // optimal_attack and a little scheduler slack.
-    let allowed = 2 * deadline + heuristic_time + Duration::from_millis(250);
+    // optimal_attack. The heuristic dominates in debug builds (~10 s) and
+    // its run-to-run variance on a loaded single-core box is proportional
+    // to its length, so the slack must scale with the measurement — a
+    // constant 250 ms flaked at roughly 1-in-3 under concurrent load.
+    let slack = Duration::from_millis(250).max(heuristic_time / 4);
+    let allowed = 2 * deadline + heuristic_time + slack;
     assert!(
         elapsed <= allowed,
         "sweep took {elapsed:?}, allowed {allowed:?} (deadline {deadline:?}, heuristic {heuristic_time:?})"
