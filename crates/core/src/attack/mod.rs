@@ -163,22 +163,43 @@ impl AttackConfig {
         if self.dlr_lines.is_empty() {
             return Err(CoreError::InvalidInput { what: "no DLR lines to attack".into() });
         }
+        let mut seen = vec![false; net.num_lines()];
         for l in &self.dlr_lines {
             if l.0 >= net.num_lines() {
                 return Err(CoreError::InvalidInput {
                     what: format!("DLR line {l:?} out of range"),
                 });
             }
+            if std::mem::replace(&mut seen[l.0], true) {
+                return Err(CoreError::InvalidInput {
+                    what: format!("DLR line {l:?} listed twice"),
+                });
+            }
+        }
+        let n = self.dlr_lines.len();
+        if self.u_min.len() != n || self.u_max.len() != n || self.u_d.len() != n {
+            return Err(CoreError::InvalidInput {
+                what: format!(
+                    "bounds/ratings not DLR-line-indexed: {} lines vs {}/{}/{} (u_min/u_max/u_d)",
+                    n,
+                    self.u_min.len(),
+                    self.u_max.len(),
+                    self.u_d.len()
+                ),
+            });
         }
         for ((&lo, &hi), &ud) in self.u_min.iter().zip(&self.u_max).zip(&self.u_d) {
-            if lo > hi || lo <= 0.0 {
+            // The comparisons below are all false for NaN, so finiteness
+            // must be checked explicitly — a NaN bound would otherwise
+            // sail through and poison the subproblem LPs.
+            if !lo.is_finite() || !hi.is_finite() || lo > hi || lo <= 0.0 {
                 return Err(CoreError::InvalidInput {
                     what: format!("bad permissible bounds [{lo}, {hi}]"),
                 });
             }
-            if ud <= 0.0 {
+            if !ud.is_finite() || ud <= 0.0 {
                 return Err(CoreError::InvalidInput {
-                    what: format!("true rating {ud} must be positive"),
+                    what: format!("true rating {ud} must be positive and finite"),
                 });
             }
         }
@@ -186,6 +207,11 @@ impl AttackConfig {
             if d.len() != net.num_buses() {
                 return Err(CoreError::InvalidInput {
                     what: format!("demand vector has {} entries for {} buses", d.len(), net.num_buses()),
+                });
+            }
+            if let Some(bad) = d.iter().find(|v| !v.is_finite()) {
+                return Err(CoreError::InvalidInput {
+                    what: format!("bus demand {bad} must be finite"),
                 });
             }
         }

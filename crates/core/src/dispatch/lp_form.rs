@@ -32,15 +32,28 @@ pub(crate) fn solve_angle(
     }
 }
 
-/// Angle formulation with optional linear-cost override and a cooperative
-/// budget. Partial results carry `x` truncated to the generator block.
-pub(crate) fn solve_angle_budgeted(
+/// An assembled angle-formulation LP plus the handles needed to read a
+/// dispatch back out of its solution: the generator block is `x[..ng]` and
+/// the nodal prices are the duals of `balance_rows` (bus order). Because
+/// `LpProblem` is the shared `Model` IR, the assembled problem can be
+/// passed straight to the certification layer.
+pub(crate) struct AngleModel {
+    /// The assembled LP.
+    pub lp: LpProblem,
+    /// Number of generator variables at the front of the variable block.
+    pub ng: usize,
+    /// Per-bus balance rows, in bus order.
+    pub balance_rows: Vec<ed_optim::model::RowId>,
+}
+
+/// Assembles the angle-formulation LP: variables `(p, θ)`, per-bus balance
+/// equalities (Eq. 5), reference angle, and flow limits (Eq. 13).
+pub(crate) fn build_angle_model(
     net: &Network,
     demand_mw: &[f64],
     ratings_mw: &[f64],
     lin_cost: Option<&[f64]>,
-    budget: &SolveBudget,
-) -> super::BudgetedSolve {
+) -> AngleModel {
     let nb = net.num_buses();
     let ng = net.num_gens();
     let base = net.base_mva();
@@ -85,14 +98,27 @@ pub(crate) fn solve_angle_budgeted(
         lp.add_row(Row::le(ratings_mw[l]).coef(t_vars[f], -w).coef(t_vars[t], w));
     }
 
-    match SimplexSolver::default().solve(&lp, budget)? {
+    AngleModel { lp, ng, balance_rows }
+}
+
+/// Angle formulation with optional linear-cost override and a cooperative
+/// budget. Partial results carry `x` truncated to the generator block.
+pub(crate) fn solve_angle_budgeted(
+    net: &Network,
+    demand_mw: &[f64],
+    ratings_mw: &[f64],
+    lin_cost: Option<&[f64]>,
+    budget: &SolveBudget,
+) -> super::BudgetedSolve {
+    let model = build_angle_model(net, demand_mw, ratings_mw, lin_cost);
+    match SimplexSolver::default().solve(&model.lp, budget)? {
         SolveOutcome::Solved(sol) => {
-            let p_mw = sol.x[..ng].to_vec();
-            let lmp = balance_rows.iter().map(|r| sol.row_duals[r.index()]).collect();
+            let p_mw = sol.x[..model.ng].to_vec();
+            let lmp = model.balance_rows.iter().map(|r| sol.row_duals[r.index()]).collect();
             Ok(SolveOutcome::Solved((p_mw, lmp)))
         }
         SolveOutcome::Partial(mut p) => {
-            p.x = p.x.map(|x| x[..ng].to_vec());
+            p.x = p.x.map(|x| x[..model.ng].to_vec());
             Ok(SolveOutcome::Partial(p))
         }
     }

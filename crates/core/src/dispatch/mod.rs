@@ -8,6 +8,7 @@
 //! provided; they agree to solver tolerance and are cross-checked in tests
 //! and in the `ablation_formulation` bench.
 
+mod certified;
 mod dcopf;
 mod loss;
 mod lp_form;
@@ -15,6 +16,7 @@ mod qp_form;
 mod resilient;
 mod safety;
 
+pub use certified::CertifiedDispatch;
 pub use dcopf::{DcOpf, Dispatch, Formulation};
 pub use loss::loss_adjusted_dispatch;
 pub use resilient::{

@@ -155,6 +155,25 @@ impl ResilientDispatcher {
         ratings_mw: &[f64],
         budget: &SolveBudget,
     ) -> Result<ResilientDispatch, CoreError> {
+        self.dispatch_with_factors(net, demand_mw, ratings_mw, budget, None)
+    }
+
+    /// [`dispatch`](ResilientDispatcher::dispatch) with a pre-built shared
+    /// factorization for the safety-gate audit, skipping the per-interval
+    /// `O(n³)` refactorization — the warm-cache path for services that
+    /// dispatch the same topology across many requests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`dispatch`](ResilientDispatcher::dispatch).
+    pub fn dispatch_with_factors(
+        &mut self,
+        net: &Network,
+        demand_mw: &[f64],
+        ratings_mw: &[f64],
+        budget: &SolveBudget,
+        factors: Option<std::sync::Arc<ed_powerflow::FactorCache>>,
+    ) -> Result<ResilientDispatch, CoreError> {
         let problem = DcOpf::new(net).demand(demand_mw).ratings(ratings_mw);
         let mut degradations = Vec::new();
 
@@ -172,7 +191,10 @@ impl ResilientDispatcher {
         // Every dispatch this call returns is audited by the same gate (one
         // susceptance factorization shared across all rungs).
         let audit = Audit {
-            gate: SafetyGate::new(net).ok(),
+            gate: match factors {
+                Some(f) => Some(SafetyGate::with_factors(net, f)),
+                None => SafetyGate::new(net).ok(),
+            },
             demand: demand_mw,
             ratings: ratings_mw,
         };

@@ -121,7 +121,7 @@ impl SafetyReport {
 /// back-substitution plus `O(gens + lines)` comparisons.
 pub struct SafetyGate<'a> {
     net: &'a Network,
-    cache: FactorCache,
+    cache: std::sync::Arc<FactorCache>,
     /// Check tolerances.
     pub limits: SafetyLimits,
 }
@@ -134,7 +134,19 @@ impl<'a> SafetyGate<'a> {
     /// [`PowerflowError`] if the reduced susceptance matrix is singular —
     /// impossible for a builder-validated connected network.
     pub fn new(net: &'a Network) -> Result<SafetyGate<'a>, PowerflowError> {
-        Ok(SafetyGate { net, cache: FactorCache::build(net)?, limits: SafetyLimits::default() })
+        Ok(SafetyGate {
+            net,
+            cache: std::sync::Arc::new(FactorCache::build(net)?),
+            limits: SafetyLimits::default(),
+        })
+    }
+
+    /// Builds the gate around an existing shared factorization of the same
+    /// network, skipping the `O(n³)` refactorization — the warm-cache path
+    /// for long-running services that audit many dispatches per topology.
+    /// The caller is responsible for the cache matching the network.
+    pub fn with_factors(net: &'a Network, cache: std::sync::Arc<FactorCache>) -> SafetyGate<'a> {
+        SafetyGate { net, cache, limits: SafetyLimits::default() }
     }
 
     /// Replaces the default tolerances.
@@ -148,13 +160,37 @@ impl<'a> SafetyGate<'a> {
     /// (pass the *true* ratings to measure physical safety, or the
     /// operator-visible ratings to measure what the EMS believes).
     ///
-    /// # Panics
-    ///
-    /// Panics if `demand_mw` is not bus-indexed or `ratings_mw` is not
-    /// line-indexed.
+    /// Never panics: a demand vector that is not bus-indexed, a ratings
+    /// vector that is not line-indexed, or a non-finite demand entry makes
+    /// the dispatch unauditable, and an unauditable dispatch fails closed
+    /// with a typed violation. (A request-reachable assert here would let
+    /// a malformed request kill the worker that was auditing it.)
     pub fn check(&self, demand_mw: &[f64], ratings_mw: &[f64], dispatch: &Dispatch) -> SafetyReport {
-        assert_eq!(demand_mw.len(), self.net.num_buses(), "demand must be bus-indexed");
-        assert_eq!(ratings_mw.len(), self.net.num_lines(), "ratings must be line-indexed");
+        let unauditable = |what: String| SafetyReport {
+            violations: vec![SafetyViolation::Unauditable { what }],
+            max_line_loading_pct: f64::NAN,
+            checked_lines: 0,
+        };
+        if demand_mw.len() != self.net.num_buses() {
+            return unauditable(format!(
+                "demand has {} entries for {} buses",
+                demand_mw.len(),
+                self.net.num_buses()
+            ));
+        }
+        if ratings_mw.len() != self.net.num_lines() {
+            return unauditable(format!(
+                "ratings have {} entries for {} lines",
+                ratings_mw.len(),
+                self.net.num_lines()
+            ));
+        }
+        // NaN poisons every downstream comparison into silence (balance,
+        // mismatch, and overload thresholds are all false for NaN), so a
+        // non-finite demand must be rejected here, not waved through.
+        if let Some((i, &d)) = demand_mw.iter().enumerate().find(|(_, d)| !d.is_finite()) {
+            return unauditable(format!("demand[{i}] = {d} is not finite"));
+        }
         let mut violations = Vec::new();
 
         // --- Finiteness: a NaN dispatch fails closed, immediately. ---
@@ -358,6 +394,33 @@ mod tests {
         let report = gate.check(&demand, &ratings, &d);
         assert!(!report.passed());
         assert!(matches!(report.violations[0], SafetyViolation::NonFinite { .. }));
+    }
+
+    #[test]
+    fn wrong_shape_inputs_fail_closed_without_panicking() {
+        let net = net();
+        let d = DcOpf::new(&net).solve().unwrap();
+        let gate = SafetyGate::new(&net).unwrap();
+        // Demand not bus-indexed.
+        let r = gate.check(&[300.0], &true_ratings(&net), &d);
+        assert!(!r.passed());
+        assert!(matches!(r.violations[0], SafetyViolation::Unauditable { .. }), "{r:?}");
+        // Ratings not line-indexed.
+        let r = gate.check(&net.demand_vector_mw(), &[160.0], &d);
+        assert!(!r.passed());
+        assert!(matches!(r.violations[0], SafetyViolation::Unauditable { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn nan_demand_fails_closed() {
+        let net = net();
+        let d = DcOpf::new(&net).solve().unwrap();
+        let gate = SafetyGate::new(&net).unwrap();
+        let mut demand = net.demand_vector_mw();
+        demand[2] = f64::NAN;
+        let r = gate.check(&demand, &true_ratings(&net), &d);
+        assert!(!r.passed());
+        assert!(matches!(r.violations[0], SafetyViolation::Unauditable { .. }), "{r:?}");
     }
 
     #[test]

@@ -103,6 +103,36 @@ impl FaultPlan {
         &self.faults
     }
 
+    /// Applies this plan's memory-level rating faults (NaN, Inf,
+    /// corrupted read) to a ratings vector in place — the request-level
+    /// corruption model the serving chaos harness shares with the EMS
+    /// cycle tests. `CorruptedRead` decodes seeded random bits as the
+    /// `f64` a corrupted in-memory read would yield. Out-of-range line
+    /// indices are ignored. Returns the indices that were overwritten.
+    pub fn corrupt_ratings(&self, ratings_mw: &mut [f64]) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut hit = Vec::new();
+        for f in &self.faults {
+            let value = match f {
+                FaultKind::NanRating { .. } => f64::NAN,
+                FaultKind::InfRating { .. } => f64::INFINITY,
+                FaultKind::CorruptedRead { .. } => f64::from_bits(rng.gen::<u64>()),
+                _ => continue,
+            };
+            let line = match f {
+                FaultKind::NanRating { line }
+                | FaultKind::InfRating { line }
+                | FaultKind::CorruptedRead { line } => *line,
+                _ => unreachable!("filtered above"),
+            };
+            if let Some(slot) = ratings_mw.get_mut(line) {
+                *slot = value;
+                hit.push(line);
+            }
+        }
+        hit
+    }
+
     fn scan_failures(&self) -> u32 {
         self.faults
             .iter()

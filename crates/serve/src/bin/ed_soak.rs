@@ -1,0 +1,158 @@
+//! `ed-soak` — chaos soak harness for `ed-serve`.
+//!
+//! Starts an in-process server with chaos hooks enabled, fires the
+//! seeded hostile request mix at it across increasing concurrency,
+//! checks every fail-closed invariant, and writes `BENCH_serve.json`.
+//! Exits non-zero if any invariant was violated or the server stopped
+//! answering.
+//!
+//! ```text
+//! ed-soak [--seed N] [--requests N] [--deadline-ms N] [--out PATH]
+//! ```
+
+use ed_serve::chaos::{self, PhaseConfig, PhaseOutcome};
+use ed_serve::handlers::ServerConfig;
+use ed_serve::json::num;
+use ed_serve::metrics::metrics;
+use ed_serve::Server;
+use std::net::SocketAddr;
+
+fn main() {
+    let mut seed: u64 = 20_170_626; // DSN'17 paper date
+    let mut requests: usize = 120;
+    let mut deadline_ms: u64 = 2_000;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("ed-soak: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seed" => seed = take("--seed").parse().expect("--seed needs a number"),
+            "--requests" => requests = take("--requests").parse().expect("--requests needs a number"),
+            "--deadline-ms" => {
+                deadline_ms = take("--deadline-ms").parse().expect("--deadline-ms needs a number")
+            }
+            "--out" => out = take("--out"),
+            other => {
+                eprintln!("ed-soak: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Injected panics are part of the storm; keep their logging to one
+    // line so the phase summaries stay readable.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("ed-soak: contained panic: {info}");
+    }));
+
+    // Small queue + few workers on purpose: the soak must actually hit
+    // backpressure and shedding, not just clean solves.
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        default_deadline_ms: deadline_ms,
+        allow_chaos: true,
+    };
+    let server = Server::start(cfg).expect("soak server failed to bind");
+    let addr = server.addr();
+    println!("ed-soak: server up on {addr}, seed {seed}, {requests} requests/phase");
+
+    let mut phases: Vec<PhaseOutcome> = Vec::new();
+    for (i, concurrency) in [1usize, 2, 4].into_iter().enumerate() {
+        let config = PhaseConfig {
+            seed: seed.wrapping_add(i as u64),
+            requests,
+            concurrency,
+            deadline_ms,
+        };
+        let outcome = chaos::run_phase(addr, config);
+        println!(
+            "ed-soak: phase c={concurrency}: p50={:.2}ms p99={:.2}ms rps={:.1} ok={} degraded={} refused={} shed/rejected={} panics={} transport_errors={} violations={}",
+            outcome.percentile_ms(50.0),
+            outcome.percentile_ms(99.0),
+            outcome.throughput_rps(),
+            outcome.tally.ok,
+            outcome.tally.degraded,
+            outcome.tally.refused,
+            outcome.tally.shed_or_rejected,
+            outcome.tally.panics,
+            outcome.tally.transport_errors,
+            outcome.violations.len(),
+        );
+        for v in outcome.violations.iter().take(5) {
+            eprintln!("ed-soak:   violation: {v}");
+        }
+        phases.push(outcome);
+    }
+
+    // The server must still be alive and clean after the storm.
+    let alive = matches!(
+        chaos::exchange(addr, "GET", "/healthz", &[], ""),
+        Ok((200, _))
+    );
+    let metrics_body = chaos::exchange(addr, "GET", "/metrics", &[], "")
+        .map(|(_, b)| b)
+        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+    let drained = server.shutdown();
+    println!("ed-soak: server drained ({drained} queued at shutdown), healthz_after_storm={alive}");
+
+    let violation_count: usize = phases.iter().map(|p| p.violations.len()).sum();
+    write_report(&out, seed, &phases, alive, violation_count, &metrics_body, addr);
+    println!("ed-soak: wrote {out}");
+
+    if !alive || violation_count > 0 {
+        eprintln!(
+            "ed-soak: FAILED (alive={alive}, violations={violation_count}) — see {out}"
+        );
+        std::process::exit(1);
+    }
+    println!("ed-soak: PASS — zero process crashes, zero invariant violations");
+}
+
+fn write_report(
+    path: &str,
+    seed: u64,
+    phases: &[PhaseOutcome],
+    alive: bool,
+    violations: usize,
+    metrics_body: &str,
+    addr: SocketAddr,
+) {
+    let phase_json: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"concurrency\":{},\"requests\":{},\"p50_ms\":{},\"p99_ms\":{},\"throughput_rps\":{},\"ok\":{},\"degraded\":{},\"refused\":{},\"shed_or_rejected\":{},\"panics_typed_500\":{},\"transport_errors\":{},\"violations\":{}}}",
+                p.config.concurrency,
+                p.config.requests,
+                num(round3(p.percentile_ms(50.0))),
+                num(round3(p.percentile_ms(99.0))),
+                num(round3(p.throughput_rps())),
+                p.tally.ok,
+                p.tally.degraded,
+                p.tally.refused,
+                p.tally.shed_or_rejected,
+                p.tally.panics,
+                p.tally.transport_errors,
+                p.violations.len(),
+            )
+        })
+        .collect();
+    let report = format!(
+        "{{\n  \"bench\": \"serve_chaos_soak\",\n  \"seed\": {seed},\n  \"addr\": \"{addr}\",\n  \"mix\": \"50% clean dispatch, 10% corrupted ratings, 10% deadline storm, 5% handler panic, 5% basis fault, 3% worker kill, 7% safety audit, 5% sweep, 3% malformed json, 2% unknown case\",\n  \"phases\": [\n    {}\n  ],\n  \"process_crashes\": {},\n  \"healthz_after_storm\": {alive},\n  \"invariant_violations\": {violations},\n  \"server_metrics\": {metrics_body},\n  \"final_counters\": {}\n}}\n",
+        phase_json.join(",\n    "),
+        u64::from(!alive),
+        metrics().to_json(),
+    );
+    std::fs::write(path, report).expect("writing the soak report");
+}
+
+fn round3(v: f64) -> f64 {
+    if v.is_finite() { (v * 1e3).round() / 1e3 } else { v }
+}

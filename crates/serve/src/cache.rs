@@ -1,0 +1,170 @@
+//! Keyed warm cache: case fingerprint → network + shared factorization +
+//! resilient-dispatcher state (which holds the last-known-good dispatch).
+//!
+//! Entries sit behind `Arc`s so request handlers share them copy-on-write
+//! style: an invalidation swaps the map slot, while in-flight requests
+//! keep their (still-consistent) snapshot until they finish. Invalidation
+//! is *certified*: a `/certify` answer that fails its certificate, or a
+//! sweep with uncertified subproblems, evicts the entry — the next
+//! request rebuilds the factorization from the case definition instead of
+//! trusting possibly-poisoned warm state.
+
+use crate::metrics::{bump, metrics};
+use ed_core::dispatch::ResilientDispatcher;
+use ed_powerflow::{FactorCache, Network};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One warm case entry.
+pub struct CaseEntry {
+    /// Stable fingerprint of the case definition.
+    pub fingerprint: u64,
+    /// The network topology.
+    pub net: Arc<Network>,
+    /// Shared susceptance factorization (safety-gate audits, DC solves).
+    pub factors: Arc<FactorCache>,
+    /// Ladder state: remembers last-known-good across requests. The mutex
+    /// serializes dispatches *per case*, which is also what keeps the LKG
+    /// hand-off race-free.
+    pub dispatcher: Mutex<ResilientDispatcher>,
+}
+
+/// The set of named cases the service will build.
+pub const KNOWN_CASES: &[&str] = &["three_bus", "six_bus", "ieee118"];
+
+fn build_network(case: &str) -> Option<Network> {
+    match case {
+        "three_bus" => Some(ed_cases::three_bus()),
+        "six_bus" => Some(ed_cases::six_bus()),
+        "ieee118" => Some(ed_cases::ieee118_like()),
+        _ => None,
+    }
+}
+
+/// FNV-1a — stable, dependency-free fingerprint for cache keys.
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Keyed warm cache over the known cases.
+#[derive(Default)]
+pub struct WarmCache {
+    entries: Mutex<HashMap<u64, Arc<CaseEntry>>>,
+}
+
+impl WarmCache {
+    /// An empty cache.
+    pub fn new() -> WarmCache {
+        WarmCache::default()
+    }
+
+    /// Looks up (or builds) the entry for a named case.
+    ///
+    /// # Errors
+    ///
+    /// A typed reason string when the case is unknown or its
+    /// factorization fails — the caller turns this into a refusal.
+    pub fn entry(&self, case: &str) -> Result<Arc<CaseEntry>, String> {
+        let key = fingerprint(case.as_bytes());
+        if let Some(e) = self.lock().get(&key) {
+            bump(&metrics().cache_hits);
+            return Ok(Arc::clone(e));
+        }
+        bump(&metrics().cache_misses);
+        let net = build_network(case)
+            .ok_or_else(|| format!("unknown case '{case}' (known: {KNOWN_CASES:?})"))?;
+        let factors = FactorCache::build(&net)
+            .map_err(|e| format!("case '{case}' cannot be factored: {e}"))?;
+        let entry = Arc::new(CaseEntry {
+            fingerprint: key,
+            net: Arc::new(net),
+            factors: Arc::new(factors),
+            dispatcher: Mutex::new(ResilientDispatcher::new()),
+        });
+        // Double-build race on a cold miss is harmless: last writer wins
+        // and the loser's Arc drops when its requests finish.
+        self.lock().insert(key, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Certified invalidation: drops the entry so the next request
+    /// rebuilds from the case definition (losing warm factors *and* the
+    /// last-known-good, which is the point — both derived from state that
+    /// just failed an independent audit).
+    pub fn invalidate(&self, case: &str) -> bool {
+        let key = fingerprint(case.as_bytes());
+        let removed = self.lock().remove(&key).is_some();
+        if removed {
+            bump(&metrics().cache_invalidations);
+        }
+        removed
+    }
+
+    /// Number of warm entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no entry is warm.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, Arc<CaseEntry>>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_reuses_entries() {
+        let cache = WarmCache::new();
+        let a = cache.entry("three_bus").unwrap();
+        let b = cache.entry("three_bus").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn unknown_case_is_typed_not_panicking() {
+        let cache = WarmCache::new();
+        let err = match cache.entry("fourteen_bus") {
+            Err(e) => e,
+            Ok(_) => panic!("unknown case must not build"),
+        };
+        assert!(err.contains("unknown case"), "{err}");
+    }
+
+    #[test]
+    fn invalidation_rebuilds_fresh_state() {
+        let cache = WarmCache::new();
+        let a = cache.entry("three_bus").unwrap();
+        // Prime a last-known-good, then invalidate: the rebuilt entry
+        // must not remember it.
+        let d = ed_core::dispatch::DcOpf::new(&a.net).solve().unwrap();
+        a.dispatcher
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .prime(d);
+        assert!(cache.invalidate("three_bus"));
+        assert!(!cache.invalidate("three_bus"), "second eviction is a no-op");
+        let b = cache.entry("three_bus").unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(b
+            .dispatcher
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .last_known_good()
+            .is_none());
+    }
+}

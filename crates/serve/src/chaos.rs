@@ -1,0 +1,410 @@
+//! Chaos soak harness: a seeded load generator that fires a hostile
+//! request mix at a live server and checks the fail-closed invariants on
+//! every answer.
+//!
+//! The mix covers the failure modes the service claims to survive:
+//! corrupted sensor ratings (via [`ed_ems::fault::FaultPlan`]), injected
+//! simplex basis faults, handler panics and worker kills, deadline
+//! storms, malformed JSON, and unknown cases — interleaved with clean
+//! traffic so latency percentiles mean something. The harness asserts,
+//! per response:
+//!
+//! - every `200` parses as JSON with `status: "ok"`, and every `200`
+//!   `/dispatch` body carries `safety.passed == true`;
+//! - every non-`200` carries a machine-readable `reason`;
+//! - the process stays alive (`/healthz` answers after the storm).
+
+use crate::json::{self, Json};
+use ed_ems::fault::{FaultKind, FaultPlan};
+use ed_rng::{Rng, SeedableRng, StdRng};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One soak phase: `requests` total at `concurrency` client threads.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseConfig {
+    /// Deterministic seed for the request mix.
+    pub seed: u64,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Per-request deadline header, ms (storm requests override to 0).
+    pub deadline_ms: u64,
+}
+
+/// Per-phase tallies by response class.
+#[derive(Debug, Default, Clone)]
+pub struct Tally {
+    /// Clean 200s.
+    pub ok: u64,
+    /// 200s whose body reported `degraded: true`.
+    pub degraded: u64,
+    /// Typed refusals (4xx/422 with a `reason`).
+    pub refused: u64,
+    /// 503 backpressure / shedding answers.
+    pub shed_or_rejected: u64,
+    /// Typed 500s (`worker_panicked`).
+    pub panics: u64,
+    /// Transport-level failures (connect/read errors).
+    pub transport_errors: u64,
+}
+
+/// Outcome of one phase.
+#[derive(Debug)]
+pub struct PhaseOutcome {
+    /// The configuration that produced it.
+    pub config: PhaseConfig,
+    /// Wall-clock for the whole phase.
+    pub elapsed: Duration,
+    /// Per-request latencies, ms (successful transports only).
+    pub latencies_ms: Vec<f64>,
+    /// Response-class tallies.
+    pub tally: Tally,
+    /// Invariant violations — must be empty for the soak to pass.
+    pub violations: Vec<String>,
+}
+
+impl PhaseOutcome {
+    /// Latency percentile (p in [0, 100]); NaN when no samples.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        percentile(&self.latencies_ms, p)
+    }
+
+    /// Requests per second over the phase wall-clock.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::NAN;
+        }
+        self.config.requests as f64 / secs
+    }
+}
+
+/// Sorted-interpolation percentile; NaN on empty input.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (rank - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// A raw HTTP exchange: one connection, one request, full response read.
+///
+/// # Errors
+///
+/// A description of the transport failure.
+pub fn exchange(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, String)],
+    body: &str,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: ed-serve\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unparseable response: {:?}", &text[..text.len().min(120)]))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// The request classes in the soak mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    CleanDispatch,
+    CorruptedRatings,
+    DeadlineStorm,
+    HandlerPanic,
+    BasisFault,
+    KillWorker,
+    SafetyAudit,
+    Sweep,
+    MalformedJson,
+    UnknownCase,
+}
+
+fn pick_mix(roll: f64) -> Mix {
+    // Weighted so the p50/p99 numbers are dominated by real solves while
+    // every chaos class still fires many times in a soak.
+    match roll {
+        r if r < 0.50 => Mix::CleanDispatch,
+        r if r < 0.60 => Mix::CorruptedRatings,
+        r if r < 0.70 => Mix::DeadlineStorm,
+        r if r < 0.75 => Mix::HandlerPanic,
+        r if r < 0.80 => Mix::BasisFault,
+        r if r < 0.83 => Mix::KillWorker,
+        r if r < 0.90 => Mix::SafetyAudit,
+        r if r < 0.95 => Mix::Sweep,
+        r if r < 0.98 => Mix::MalformedJson,
+        _ => Mix::UnknownCase,
+    }
+}
+
+fn fmt_f64s(vals: &[f64]) -> String {
+    json::num_array(vals)
+}
+
+/// Builds one request from the seeded stream: `(path, headers, body, mix)`.
+fn build_request(rng: &mut StdRng, deadline_ms: u64) -> (String, Vec<(&'static str, String)>, String, Mix) {
+    let mix = pick_mix(rng.next_f64());
+    let case = if rng.next_f64() < 0.7 { "three_bus" } else { "six_bus" };
+    let deadline = ("x-deadline-ms", deadline_ms.to_string());
+    match mix {
+        Mix::CleanDispatch => (
+            "/dispatch".into(),
+            vec![deadline],
+            format!("{{\"case\":\"{case}\"}}"),
+            mix,
+        ),
+        Mix::CorruptedRatings => {
+            // Corrupt real ratings with a seeded fault plan — the same
+            // machinery the EMS pipeline tests use.
+            let net = if case == "three_bus" { ed_cases::three_bus() } else { ed_cases::six_bus() };
+            let mut ratings = net.static_ratings_mva();
+            let line = (rng.gen::<u64>() as usize) % ratings.len();
+            let kind = match rng.next_f64() {
+                r if r < 0.4 => FaultKind::NanRating { line },
+                r if r < 0.8 => FaultKind::InfRating { line },
+                _ => FaultKind::CorruptedRead { line },
+            };
+            FaultPlan::new(rng.gen::<u64>()).inject(kind).corrupt_ratings(&mut ratings);
+            (
+                "/dispatch".into(),
+                vec![deadline],
+                format!("{{\"case\":\"{case}\",\"ratings_mw\":{}}}", fmt_f64s(&ratings)),
+                mix,
+            )
+        }
+        Mix::DeadlineStorm => (
+            "/dispatch".into(),
+            vec![("x-deadline-ms", "0".to_string())],
+            format!("{{\"case\":\"{case}\"}}"),
+            mix,
+        ),
+        Mix::HandlerPanic => (
+            "/dispatch".into(),
+            vec![deadline],
+            format!("{{\"case\":\"{case}\",\"chaos\":\"panic\"}}"),
+            mix,
+        ),
+        Mix::BasisFault => (
+            "/certify".into(),
+            vec![deadline],
+            format!(
+                "{{\"case\":\"three_bus\",\"inject_basis_fault\":{}}}",
+                rng.gen::<u64>() % 1000
+            ),
+            mix,
+        ),
+        Mix::KillWorker => (
+            "/dispatch".into(),
+            vec![deadline],
+            format!("{{\"case\":\"{case}\",\"chaos\":\"kill_worker\"}}"),
+            mix,
+        ),
+        Mix::SafetyAudit => {
+            // Half plausible, half deliberately overloaded set-points.
+            let overload = rng.next_f64() < 0.5;
+            let p = if overload { vec![300.0, 0.0] } else { vec![120.0, 180.0] };
+            (
+                "/safety-audit".into(),
+                vec![deadline],
+                format!("{{\"case\":\"three_bus\",\"p_mw\":{}}}", fmt_f64s(&p)),
+                mix,
+            )
+        }
+        Mix::Sweep => (
+            "/sweep".into(),
+            vec![("x-deadline-ms", (deadline_ms * 4).to_string())],
+            "{\"case\":\"three_bus\",\"bounds\":[100,200],\"true_ratings\":[130,120],\"node_limit\":200}"
+                .into(),
+            mix,
+        ),
+        Mix::MalformedJson => (
+            "/dispatch".into(),
+            vec![deadline],
+            "{\"case\": three_bus,,,".into(),
+            mix,
+        ),
+        Mix::UnknownCase => (
+            "/dispatch".into(),
+            vec![deadline],
+            "{\"case\":\"fourteen_bus\"}".into(),
+            mix,
+        ),
+    }
+}
+
+/// Checks the fail-closed invariants on one exchange; returns a
+/// violation description if any is broken.
+fn check_invariants(mix: Mix, path: &str, status: u16, body: &str) -> Option<String> {
+    let parsed = json::parse(body);
+    let v = match parsed {
+        Ok(v) => v,
+        Err(e) => return Some(format!("{path}: status {status} body is not JSON ({e}): {body:?}")),
+    };
+    if status == 200 {
+        if v.get("status").and_then(Json::as_str) != Some("ok") {
+            return Some(format!("{path}: 200 without status=ok: {body}"));
+        }
+        if path == "/dispatch" && v.get("chaos").is_none() {
+            let passed = v
+                .get("safety")
+                .and_then(|s| s.get("passed"))
+                .map(|p| matches!(p, Json::Bool(true)));
+            if passed != Some(true) {
+                return Some(format!("/dispatch 200 without safety.passed=true: {body}"));
+            }
+        }
+        if mix == Mix::HandlerPanic || mix == Mix::MalformedJson || mix == Mix::UnknownCase {
+            return Some(format!("{mix:?} unexpectedly answered 200: {body}"));
+        }
+    } else {
+        // Every non-200 must be typed.
+        if v.get("reason").and_then(Json::as_str).is_none() {
+            return Some(format!("{path}: status {status} without typed reason: {body}"));
+        }
+    }
+    None
+}
+
+fn classify(tally: &mut Tally, status: u16, body: &str) {
+    match status {
+        200 => {
+            if body.contains("\"degraded\":true") {
+                tally.degraded += 1;
+            } else {
+                tally.ok += 1;
+            }
+        }
+        503 => tally.shed_or_rejected += 1,
+        500 => tally.panics += 1,
+        _ => tally.refused += 1,
+    }
+}
+
+/// Runs one phase of the soak against a live server.
+pub fn run_phase(addr: SocketAddr, config: PhaseConfig) -> PhaseOutcome {
+    let started = Instant::now();
+    let per_client = config.requests / config.concurrency.max(1);
+    let mut handles = Vec::new();
+    for client in 0..config.concurrency.max(1) {
+        let seed = config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(client as u64);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut latencies = Vec::with_capacity(per_client);
+            let mut tally = Tally::default();
+            let mut violations = Vec::new();
+            for _ in 0..per_client {
+                let (path, headers, body, mix) = build_request(&mut rng, config.deadline_ms);
+                let t0 = Instant::now();
+                match exchange(addr, "POST", &path, &headers, &body) {
+                    Ok((status, resp_body)) => {
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        classify(&mut tally, status, &resp_body);
+                        if let Some(v) = check_invariants(mix, &path, status, &resp_body) {
+                            violations.push(v);
+                        }
+                    }
+                    Err(e) => {
+                        tally.transport_errors += 1;
+                        violations.push(format!("{path} ({mix:?}): transport failure: {e}"));
+                    }
+                }
+            }
+            (latencies, tally, violations)
+        }));
+    }
+
+    let mut latencies_ms = Vec::new();
+    let mut tally = Tally::default();
+    let mut violations = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok((lat, t, viol)) => {
+                latencies_ms.extend(lat);
+                tally.ok += t.ok;
+                tally.degraded += t.degraded;
+                tally.refused += t.refused;
+                tally.shed_or_rejected += t.shed_or_rejected;
+                tally.panics += t.panics;
+                tally.transport_errors += t.transport_errors;
+                violations.extend(viol);
+            }
+            Err(_) => violations.push("soak client thread panicked".to_string()),
+        }
+    }
+
+    PhaseOutcome {
+        config,
+        elapsed: started.elapsed(),
+        latencies_ms,
+        tally,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn mix_is_deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let ra = build_request(&mut a, 1000);
+            let rb = build_request(&mut b, 1000);
+            assert_eq!(ra.0, rb.0);
+            assert_eq!(ra.2, rb.2);
+            assert_eq!(ra.3, rb.3);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Bounded HTTP/1.1 framing for the serving layer.
+//!
+//! Deliberately minimal: one request per connection (`Connection: close`
+//! semantics), explicit size caps on the head and body, and read timeouts
+//! set by the caller on the socket. Every framing failure is a typed
+//! [`HttpError`] that maps to a typed JSON error response — a malformed
+//! request can cost the server a bounded read, never unbounded memory or
+//! a panic.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Cap on the request body, bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path component only (no query parsing — none of the endpoints use
+    /// queries).
+    pub path: String,
+    /// Headers as received, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (bounded by [`MAX_BODY_BYTES`]).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Typed framing failure.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Head or body exceeded its cap.
+    TooLarge {
+        /// Which part overflowed (`"head"` or `"body"`).
+        what: &'static str,
+    },
+    /// The bytes did not parse as an HTTP/1.1 request.
+    Malformed(String),
+    /// Socket error (including read timeout).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::TooLarge { what } => write!(f, "{what} too large"),
+            HttpError::Malformed(w) => write!(f, "malformed request: {w}"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl HttpError {
+    /// The HTTP status this failure maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::TooLarge { what: "head" } => 431,
+            HttpError::TooLarge { .. } => 413,
+            HttpError::Malformed(_) => 400,
+            HttpError::Io(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                408
+            }
+            HttpError::Io(_) => 400,
+        }
+    }
+}
+
+/// Reads and parses one request off the stream.
+///
+/// # Errors
+///
+/// [`HttpError`] on size-cap overflow, parse failure, or socket error.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    // --- Head: read until CRLFCRLF, capped. ---
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge { what: "head" });
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version '{version}'")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // --- Body: exactly Content-Length bytes, capped. ---
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length '{v}'")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge { what: "body" });
+    }
+    let mut body = buf[head_end..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::Malformed("body longer than content-length".into()));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(HttpError::Malformed("body longer than content-length".into()));
+        }
+    }
+
+    Ok(Request { method, path, headers, body })
+}
+
+/// Writes one JSON response and flushes. Errors are returned so the
+/// caller can count them, but a failed write to a gone client is not a
+/// server fault.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(
+            b"POST /dispatch HTTP/1.1\r\nHost: x\r\nX-Deadline-Ms: 250\r\nContent-Length: 4\r\n\r\n{\"a\"",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/dispatch");
+        assert_eq!(req.header("x-deadline-ms"), Some("250"));
+        assert_eq!(req.header("X-DEADLINE-MS"), Some("250"));
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST /dispatch HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            roundtrip(raw.as_bytes()),
+            Err(HttpError::TooLarge { what: "body" })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_request_line() {
+        assert!(matches!(roundtrip(b"\x00\xff\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            roundtrip(b"GET /x SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let err = roundtrip(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        assert!(matches!(err, Err(HttpError::Malformed(_))), "{err:?}");
+    }
+}

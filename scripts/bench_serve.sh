@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Chaos soak benchmark for the ed-serve attack-assessment service.
+#
+# Usage: scripts/bench_serve.sh [output.json] [requests-per-phase]
+#
+# Starts an in-process ed-serve instance with chaos hooks enabled (2
+# workers, capacity-8 queue — deliberately small so backpressure and
+# shedding actually fire) and drives the seeded hostile request mix at
+# concurrency 1, 2, and 4: clean dispatches interleaved with corrupted
+# ratings, deadline storms, injected handler panics, worker kills,
+# simplex basis faults, sweeps, malformed JSON, and unknown cases.
+#
+# The soak asserts, per response: every 200 carries `status: "ok"` (and
+# for /dispatch a passing independent safety audit); every non-200
+# carries a machine-readable `reason`; and the process survives the
+# whole storm (`healthz_after_storm`). It writes p50/p99 latency,
+# throughput, and the shed/degraded/refused/panic tallies per phase to
+# BENCH_serve.json (or the given path), exiting non-zero on any
+# invariant violation or server death.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_serve.json}"
+REQUESTS="${2:-120}"
+
+cargo run --release --offline -p ed-serve --bin ed-soak -- \
+    --out "$OUT" --requests "$REQUESTS"

@@ -68,4 +68,102 @@ if [ -f BENCH_attack.json ]; then
     echo "==> trace overhead guard: ${overhead}% < 2% OK"
 fi
 
+# ed-serve smoke test: boot the real binary, hit every endpoint (including
+# a fault-injected certify and a contained handler panic), then SIGTERM it
+# with a request still in flight and require a drained, zero-status exit.
+echo "==> ed-serve smoke test"
+SERVE_LOG="$(mktemp)"
+DRAIN_OUT="$(mktemp)"
+./target/release/ed-serve --addr 127.0.0.1:0 --workers 2 --queue 8 --chaos \
+    > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+cleanup_serve() { kill -9 "$SERVE_PID" 2>/dev/null || true; }
+trap cleanup_serve EXIT
+
+PORT=""
+for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_LOG" | head -n1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+if [ -z "$PORT" ]; then
+    echo "FAILED: ed-serve never reported its listen address" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+BASE="http://127.0.0.1:$PORT"
+
+smoke() { # smoke <description> <expected-substring> <curl args...>
+    local desc="$1" want="$2"
+    shift 2
+    local body
+    body="$(curl -s --max-time 30 "$@")"
+    if ! printf '%s' "$body" | grep -q "$want"; then
+        echo "FAILED: smoke '$desc': expected '$want' in: $body" >&2
+        exit 1
+    fi
+}
+
+smoke "healthz" '"status":"ok"' "$BASE/healthz"
+smoke "readyz" '"ready":true' "$BASE/readyz"
+smoke "metrics" '"service"' "$BASE/metrics"
+smoke "clean dispatch passes the gate" '"passed":true' \
+    -XPOST -d '{"case":"three_bus"}' "$BASE/dispatch"
+smoke "fault-injected certify is repaired or refused" '"trust":\|"reason":' \
+    -XPOST -H 'x-deadline-ms: 30000' \
+    -d '{"case":"three_bus","inject_basis_fault":7}' "$BASE/certify"
+smoke "sweep reproduces the paper attack" '"ucap_pct":\|"reason":' \
+    -XPOST -H 'x-deadline-ms: 60000' \
+    -d '{"case":"three_bus","bounds":[100,200],"true_ratings":[130,120]}' "$BASE/sweep"
+smoke "safety-audit flags an overload" '"passed":false' \
+    -XPOST -d '{"case":"three_bus","p_mw":[300,0]}' "$BASE/safety-audit"
+smoke "expired deadline refused at admission" 'deadline_expired_at_admission' \
+    -XPOST -H 'x-deadline-ms: 0' -d '{"case":"three_bus"}' "$BASE/dispatch"
+smoke "malformed JSON is typed" '"reason":"bad_request"' \
+    -XPOST -d '{"case": nope' "$BASE/dispatch"
+smoke "handler panic contained as typed 500" 'worker_panicked' \
+    -XPOST -d '{"case":"three_bus","chaos":"panic"}' "$BASE/dispatch"
+smoke "server alive after panic" '"status":"ok"' "$BASE/healthz"
+
+# SIGTERM with an in-flight (stalled) request: the drain must answer it
+# and the process must exit 0.
+curl -s --max-time 30 -XPOST -d '{"case":"three_bus","chaos":"stall"}' \
+    "$BASE/dispatch" > "$DRAIN_OUT" &
+CURL_PID=$!
+sleep 0.1
+kill -TERM "$SERVE_PID"
+wait "$CURL_PID" || { echo "FAILED: in-flight request dropped during drain" >&2; exit 1; }
+grep -q '"status":"ok"' "$DRAIN_OUT" || {
+    echo "FAILED: drained request did not get its answer: $(cat "$DRAIN_OUT")" >&2
+    exit 1
+}
+SERVE_STATUS=0
+wait "$SERVE_PID" || SERVE_STATUS=$?
+trap - EXIT
+if [ "$SERVE_STATUS" -ne 0 ]; then
+    echo "FAILED: ed-serve exited $SERVE_STATUS on SIGTERM" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+grep -q "shutdown complete" "$SERVE_LOG" || {
+    echo "FAILED: ed-serve did not report a drained shutdown" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+}
+rm -f "$SERVE_LOG" "$DRAIN_OUT"
+echo "==> ed-serve smoke test OK (drained shutdown on SIGTERM)"
+
+# Soak-artifact guard: the committed chaos-soak report must record zero
+# process crashes and zero fail-closed invariant violations. Regenerate
+# with scripts/bench_serve.sh after touching the serving layer.
+if [ -f BENCH_serve.json ]; then
+    for field in '"process_crashes": 0' '"invariant_violations": 0'; do
+        if ! grep -q "$field" BENCH_serve.json; then
+            echo "FAILED: BENCH_serve.json missing '$field' (rerun scripts/bench_serve.sh)" >&2
+            exit 1
+        fi
+    done
+    echo "==> serve soak guard: zero crashes, zero violations OK"
+fi
+
 echo "verify: OK"

@@ -1,0 +1,135 @@
+//! Fail-closed edge coverage across the stack (ISSUE PR 6, satellite 3):
+//! corrupted-sensor values at the gate and monitor, an empty attack set,
+//! and an already-expired deadline at service admission. Every case must
+//! produce a typed "no" — never a panic, never a silently-wrong number.
+
+use ed_core::attack::{optimal_attack, AttackConfig};
+use ed_core::dispatch::{DcOpf, SafetyGate, SafetyViolation};
+use ed_core::mitigation::{DlrFlag, DlrMonitor};
+use ed_core::CoreError;
+
+// --- SafetyGate on corrupted ratings ---------------------------------
+
+fn gate_check_with_rating(bad: f64) -> ed_core::dispatch::SafetyReport {
+    let net = ed_cases::three_bus();
+    let demand = net.demand_vector_mw();
+    let mut ratings = net.static_ratings_mva();
+    ratings[0] = bad;
+    let dispatch = DcOpf::new(&net).solve().expect("clean case solves");
+    let gate = SafetyGate::new(&net).expect("three-bus factors");
+    gate.check(&demand, &ratings, &dispatch)
+}
+
+#[test]
+fn safety_gate_rejects_nan_rating() {
+    let report = gate_check_with_rating(f64::NAN);
+    assert!(!report.passed());
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, SafetyViolation::NonFinite { what } if what.contains("rating"))),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn safety_gate_rejects_infinite_rating() {
+    // +inf would make any flow "within rating" in a naive comparison —
+    // the gate must treat an uncheckable line as a violation instead.
+    let report = gate_check_with_rating(f64::INFINITY);
+    assert!(!report.passed(), "{report:?}");
+}
+
+#[test]
+fn safety_gate_rejects_negative_rating() {
+    let report = gate_check_with_rating(-160.0);
+    assert!(!report.passed(), "{report:?}");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, SafetyViolation::NonFinite { what } if what.contains("rating"))),
+        "{report:?}"
+    );
+}
+
+// --- DlrMonitor on corrupted readings --------------------------------
+
+#[test]
+fn dlr_monitor_flags_nan_and_infinite_readings() {
+    let mut m = DlrMonitor::default();
+    m.prime(&[160.0, 160.0]);
+    let flags = m.observe(&[f64::NAN, f64::INFINITY]);
+    assert_eq!(
+        flags.iter().filter(|f| matches!(f, DlrFlag::NonFinite { .. })).count(),
+        2,
+        "{flags:?}"
+    );
+    // The poisoned reading must not wedge the monitor: a following clean
+    // reading is judged normally (no stale-NaN rate-of-change noise).
+    let flags = m.observe(&[160.0, 160.0]);
+    assert!(flags.is_empty(), "{flags:?}");
+}
+
+#[test]
+fn dlr_monitor_flags_negative_reading_below_envelope() {
+    let mut m = DlrMonitor::default();
+    m.prime(&[160.0]);
+    let flags = m.observe(&[-50.0]);
+    assert!(
+        flags.iter().any(|f| matches!(f, DlrFlag::BelowEnvelope { .. })),
+        "a negative rating is physically impossible and must be flagged: {flags:?}"
+    );
+}
+
+// --- Empty attack set -------------------------------------------------
+
+#[test]
+fn empty_dlr_set_is_typed_invalid_input() {
+    let net = ed_cases::three_bus();
+    let config = AttackConfig::new(Vec::new());
+    match optimal_attack(&net, &config) {
+        Err(CoreError::InvalidInput { what }) => {
+            assert!(what.contains("no DLR lines"), "{what}")
+        }
+        other => panic!("empty E_D must be a typed refusal, got {other:?}"),
+    }
+}
+
+// --- Expired deadline at service admission ---------------------------
+
+#[test]
+fn expired_deadline_is_refused_at_admission_not_solved() {
+    let server = ed_serve::Server::start(ed_serve::handlers::ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 2,
+        default_deadline_ms: 2_000,
+        allow_chaos: false,
+    })
+    .expect("test server");
+    let hdr = [("x-deadline-ms", "0".to_string())];
+    let (status, body) = ed_serve::chaos::exchange(
+        server.addr(),
+        "POST",
+        "/dispatch",
+        &hdr,
+        "{\"case\":\"three_bus\"}",
+    )
+    .expect("transport");
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("deadline_expired_at_admission"), "{body}");
+    // Chaos hooks must be dead on a production-configured server.
+    let (status, body) = ed_serve::chaos::exchange(
+        server.addr(),
+        "POST",
+        "/dispatch",
+        &[],
+        "{\"case\":\"three_bus\",\"chaos\":\"panic\"}",
+    )
+    .expect("transport");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("chaos_disabled"), "{body}");
+    server.shutdown();
+}
