@@ -25,13 +25,14 @@ use std::time::Instant;
 const DLR_LINES: usize = 3;
 /// Per-subproblem branch-and-bound node budget. Node caps are local and
 /// deterministic, unlike wall-clock deadlines, so the determinism check
-/// below is meaningful. Each node re-solves the ~750-row KKT LP from
-/// scratch (seconds per solve in this zero-dependency simplex), so the
-/// budget is deliberately small: the bench measures the parallel sweep
-/// machinery and the shared presolve, not branch-and-bound depth. (The
-/// pre-IR simplex faulted at the root of these degenerate LPs, so earlier
-/// large node budgets were never actually explored.)
-const NODE_LIMIT: usize = 2;
+/// below is meaningful. The budget is real but small: every subproblem
+/// warm-starts its root relaxation from the shared phase-1 seed basis and
+/// dives one node; when the budget runs out, the sweep *promotes* the
+/// heuristic incumbent to a certified answer by reconstructing its
+/// full-space KKT point — so even at one node per subproblem, every
+/// reported value carries an independent certificate and
+/// `heuristic_floor` is 0.
+const NODE_LIMIT: usize = 1;
 /// Timed repetitions per thread count (the **median** wall clock is
 /// reported — a single-run or min-of-two wall on a shared container is
 /// noise, and noise once produced a "certify is 18.77% overhead" claim
@@ -116,6 +117,10 @@ fn main() {
     let mut reference: Option<(f64, _)> = None;
     let mut deterministic = true;
     let mut sweep: Option<ed_core::attack::SweepReport> = None;
+    let mut total_nodes = 0usize;
+    // Per-subproblem (nodes, simplex iterations) of the reference run, for
+    // the per-solve medians in the JSON.
+    let mut per_solve: Vec<(usize, usize)> = Vec::new();
     for &threads in &thread_counts {
         let config = config_for(&net, threads, true);
         let mut walls = Vec::with_capacity(REPS);
@@ -129,6 +134,8 @@ fn main() {
         let median_ms = median(&walls);
         let r = result.expect("at least one repetition ran");
         sweep = Some(r.sweep.clone());
+        total_nodes = r.total_nodes;
+        per_solve = r.subproblems.iter().map(|s| (s.nodes, s.lp_iterations)).collect();
         let fp = fingerprint(&r);
         match &reference {
             None => reference = Some((r.ucap_pct, fp)),
@@ -189,13 +196,36 @@ fn main() {
         if audits_ran { format!("{certify_overhead_pct:+.1}%") } else { "n/a".to_string() }
     );
 
-    // The node-capped 118-bus sweep above can only record its certificate
-    // counters vacuously (every subproblem hits the node budget and keeps
-    // its heuristic floor). The 3- and 6-bus exact sweeps complete every
-    // subproblem, so they pin the substantive invariant: every exact
-    // solve certifies at default tolerances. Unseeded — with the corner
-    // heuristic's incumbent hint the exact solves prune at the root and
-    // there is nothing to certify.
+    // Warm-start payoff: one more timed sweep with the basis hand-off
+    // disabled. A cold sweep recomputes phase 1 from scratch inside every
+    // subproblem instead of reusing the shared seed basis, so a single
+    // repetition is enough to size the gap — it dwarfs container noise.
+    // The answers must agree bit-for-bit: warm starts change pivot paths,
+    // never optima, and at this node budget both runs report the same
+    // certified reconstruction of the heuristic incumbent.
+    let mut cold_cfg = config_for(&net, hardware, true);
+    cold_cfg.options.warm_start = Some(false);
+    let t0 = Instant::now();
+    let cold = optimal_attack(&net, &cold_cfg).expect("cold sweep solves");
+    let cold_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let warm_equals_cold =
+        reference.as_ref().is_some_and(|(_, fp)| *fp == fingerprint(&cold));
+    let warm_speedup = cold_wall_ms / certify_on_ms;
+    eprintln!(
+        "  warm: {certify_on_ms:.1} ms vs cold {cold_wall_ms:.1} ms \
+         ({warm_speedup:.2}x, identical = {warm_equals_cold})"
+    );
+    if !warm_equals_cold {
+        eprintln!("WARM/COLD DIVERGENCE: basis hand-off changed an answer");
+    }
+
+    // The node-capped 118-bus sweep's certificate counters are substantive
+    // since floor promotion: every node-limited subproblem reconstructs
+    // and certifies its heuristic incumbent's KKT point. The 3- and 6-bus
+    // exact sweeps complete every subproblem, so they additionally pin
+    // that every *finished* exact solve certifies at default tolerances.
+    // Unseeded — with the corner heuristic's incumbent hint the exact
+    // solves prune at the root and there is nothing to certify.
     let mut case_objs: Vec<String> = Vec::new();
     let small_cases: [(&str, ed_powerflow::Network, AttackConfig); 2] = {
         let three = ed_cases::three_bus();
@@ -360,6 +390,19 @@ fn main() {
         .iter()
         .map(|(t, ms)| format!("    {{\"threads\": {t}, \"wall_ms\": {ms:.3}}}"))
         .collect();
+    let nodes_median = median(&per_solve.iter().map(|&(n, _)| n as f64).collect::<Vec<_>>());
+    let iters_median = median(&per_solve.iter().map(|&(_, i)| i as f64).collect::<Vec<_>>());
+    let warm_obj = format!(
+        "{{\n    \"warm_wall_ms\": {certify_on_ms:.3},\n    \
+         \"cold_wall_ms\": {cold_wall_ms:.3},\n    \
+         \"speedup\": {warm_speedup:.3},\n    \
+         \"warm_equals_cold\": {warm_equals_cold},\n    \
+         \"warm_starts\": {},\n    \"cold_restarts\": {},\n    \
+         \"warm_fallbacks\": {},\n    \"seed_iterations\": {},\n    \
+         \"nodes_median\": {nodes_median:.1},\n    \
+         \"lp_iterations_median\": {iters_median:.1}\n  }}",
+        sweep.warm_starts, sweep.cold_restarts, sweep.warm_fallbacks, sweep.seed_iterations
+    );
     let presolve_obj = format!(
         "{{\n    \"full_vars\": {},\n    \"full_rows\": {},\n    \"full_nnz\": {},\n    \
          \"reduced_vars\": {},\n    \"reduced_rows\": {},\n    \"reduced_nnz\": {},\n    \
@@ -391,9 +434,10 @@ fn main() {
     let json = format!(
         "{{\n  \"case\": \"ieee118_like\",\n  \"buses\": {},\n  \"lines\": {},\n  \
          \"dlr_lines\": {},\n  \"subproblems\": {},\n  \"node_limit\": {},\n  \
-         \"hardware_threads\": {},\n  \"repetitions\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"hardware_threads\": {},\n  \"repetitions\": {},\n  \"total_nodes\": {},\n  \
+         \"runs\": [\n{}\n  ],\n  \
          \"speedup_4t\": {:.3},\n  \"deterministic\": {},\n  \"presolve\": {},\n  \
-         \"certify\": {},\n  \"trace\": {},\n  \
+         \"certify\": {},\n  \"warm\": {},\n  \"trace\": {},\n  \
          \"mpec_solves\": {},\n  \"milp_solves\": {},\n  \"heuristic_evaluations\": {}\n}}\n",
         net.num_buses(),
         net.num_lines(),
@@ -402,11 +446,13 @@ fn main() {
         NODE_LIMIT,
         hardware,
         REPS,
+        total_nodes,
         run_objs.join(",\n"),
         speedup_4t,
         deterministic,
         presolve_obj,
         certify_obj,
+        warm_obj,
         trace_obj,
         sweep.mpec_solves,
         sweep.milp_solves,

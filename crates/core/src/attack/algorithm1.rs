@@ -75,6 +75,9 @@ pub struct SubproblemOutcome {
     pub proved_optimal: bool,
     /// Branch-and-bound nodes spent.
     pub nodes: usize,
+    /// Simplex iterations the exact solve spent on this subproblem
+    /// (exact integer tally; `0` when no exact solve ran).
+    pub lp_iterations: usize,
     /// Why the exact solve degraded, if it did. `None` means the subproblem
     /// completed normally.
     pub fault: Option<SubproblemFault>,
@@ -91,6 +94,10 @@ pub struct SubproblemOutcome {
     /// alternate-reformulation repair produced the accepted (certified)
     /// solution.
     pub cert_repaired: bool,
+    /// `true` when a warm-started answer failed its certificate and the
+    /// subproblem was re-solved cold (the basis hand-off trust fallback;
+    /// the warm basis is treated as invalidated for this answer).
+    pub warm_fallback: bool,
 }
 
 /// Model-size and solver accounting for one Algorithm 1 sweep: how big the
@@ -136,6 +143,19 @@ pub struct SweepReport {
     /// re-solves it triggered) across the sweep. Timing only — never part
     /// of determinism fingerprints.
     pub certify_ms: f64,
+    /// Node relaxations across the sweep that accepted an offered warm
+    /// basis (the shared phase-1 seed at subproblem roots, parent bases at
+    /// branch-and-bound children).
+    pub warm_starts: usize,
+    /// Node relaxations offered a warm basis that restarted cold instead.
+    pub cold_restarts: usize,
+    /// Warm-started answers whose certificate failed and were re-solved
+    /// cold (trust fallback; see [`SubproblemOutcome::warm_fallback`]).
+    pub warm_fallbacks: usize,
+    /// Simplex iterations spent once, before the fan-out, computing the
+    /// shared phase-1 seed basis (already included in the sweep's total
+    /// `lp_iterations` tally).
+    pub seed_iterations: usize,
 }
 
 impl SweepReport {
@@ -177,6 +197,12 @@ pub struct AttackResult {
     /// across thread counts and repeated runs. Wall-clock content lives
     /// only in `timings`/`dur_ms`, never in the deterministic projection.
     pub trace: Option<ed_obs::TraceReport>,
+    /// The shared phase-1 seed basis the exact sweep used (computed once,
+    /// or injected via [`BilevelOptions::warm_basis`] and validated).
+    /// `None` in heuristic-only mode or with warm starts disabled. The
+    /// serve layer stores this per case fingerprint so repeat sweeps of
+    /// the same case skip phase 1 entirely.
+    pub seed_basis: Option<ed_optim::lp::Basis>,
 }
 
 impl AttackResult {
@@ -214,15 +240,48 @@ pub fn optimal_attack_with(
     config.validate(net)?;
     let trace_on = config.options.trace.unwrap_or_else(ed_obs::enabled);
     let _sweep_span = ed_obs::span("attack.sweep");
-    let heuristic = {
-        let _span = ed_obs::span("attack.heuristic");
-        let _t = ed_obs::timer("attack.heuristic");
-        if config.dlr_lines.len() <= 12 {
-            corner_heuristic(net, config)?
-        } else {
-            greedy_heuristic(net, config)?
-        }
-    };
+    // One cancellable budget shared by every stage and worker: the first
+    // observer of the wall-clock deadline cancels all in-flight siblings
+    // (budget clones share the cancellation flag).
+    let mut options = config.options.clone();
+    options.budget = options.budget.clone().cancellable();
+    let warm_on = options.warm_start.unwrap_or_else(ed_optim::lp::warm_env_enabled);
+    let warm_basis = options.warm_basis.take();
+    let use_presolve = config.options.presolve.unwrap_or_else(presolve::env_enabled);
+    let seed_budget = options.budget.clone();
+    // Model build + presolve + the shared phase-1 seed run on a helper
+    // thread, overlapped with the heuristic stage. The two are fully
+    // independent and each is deterministic on its own — the overlap
+    // changes wall-clock only, never an answer. The seed is computed once,
+    // before the fan-out: siblings differ only in the objective row, so one
+    // phase-1 trajectory serves them all; an injected basis (serve warm
+    // cache) short-circuits even that, and a dimension mismatch falls
+    // through to computing a fresh seed.
+    let (heuristic, prep) = std::thread::scope(|s| {
+        let prep = s.spawn(move || -> Result<(PreparedKkt, usize), CoreError> {
+            let mut prepared = KktModel::build(net, config)?.prepare(use_presolve)?;
+            let mut seed_iters = 0;
+            if exact && warm_on && seed_budget.wall_tripped().is_none() {
+                if let Some(b) = warm_basis {
+                    prepared.set_seed(b);
+                }
+                seed_iters = prepared.compute_seed(&seed_budget);
+            }
+            Ok((prepared, seed_iters))
+        });
+        let heuristic = {
+            let _span = ed_obs::span("attack.heuristic");
+            let _t = ed_obs::timer("attack.heuristic");
+            if config.dlr_lines.len() <= 12 {
+                corner_heuristic(net, config)
+            } else {
+                greedy_heuristic(net, config)
+            }
+        };
+        (heuristic, prep.join().expect("kkt prepare thread panicked"))
+    });
+    let heuristic = heuristic?;
+    let (prepared, seed_iterations) = prep?;
     if heuristic.evaluated == 0 {
         return Err(CoreError::DispatchInfeasible);
     }
@@ -258,13 +317,11 @@ pub fn optimal_attack_with(
     let mut walls: Vec<f64> = Vec::new();
 
     // The invariant KKT blocks (primal/dual feasibility, stationarity,
-    // complementarity pairs) are assembled exactly once and — unless
+    // complementarity pairs) were assembled exactly once and — unless
     // disabled by `options.presolve` / `ED_PRESOLVE=0` — presolved once;
-    // each subproblem is then an objective patch on the shared reduced
-    // model. Heuristic-only runs build it too, so their records carry the
-    // same (presolved) model dimensions.
-    let use_presolve = config.options.presolve.unwrap_or_else(presolve::env_enabled);
-    let prepared = KktModel::build(net, config)?.prepare(use_presolve)?;
+    // each subproblem is an objective patch on the shared reduced model.
+    // Heuristic-only runs build it too, so their records carry the same
+    // (presolved) model dimensions.
     let (full_vars, full_rows, full_nnz) = prepared.full_dims();
     let (reduced_vars, reduced_rows, reduced_nnz) = prepared.reduced_dims();
     let mut sweep = SweepReport {
@@ -280,12 +337,8 @@ pub fn optimal_attack_with(
     };
 
     if exact {
-        // One cancellable budget shared by every worker: the first one to
-        // observe the wall-clock deadline cancels all in-flight siblings,
-        // which then report the trip as `WallClock` exactly like a
-        // sequential sweep would.
-        let mut options = config.options.clone();
-        options.budget = options.budget.clone().cancellable();
+        sweep.seed_iterations = seed_iterations;
+        lp_iterations += seed_iterations;
         let tasks: Vec<(usize, LineId, f64)> = config
             .dlr_lines
             .iter()
@@ -307,6 +360,11 @@ pub fn optimal_attack_with(
         for rec in records {
             total_nodes += rec.outcome.nodes;
             lp_iterations += rec.lp_iterations;
+            sweep.warm_starts += rec.warm_starts;
+            sweep.cold_restarts += rec.cold_restarts;
+            if rec.outcome.warm_fallback {
+                sweep.warm_fallbacks += 1;
+            }
             if trace_on {
                 walls.push(rec.wall_ms);
             }
@@ -350,6 +408,7 @@ pub fn optimal_attack_with(
                     },
                     proved_optimal: false,
                     nodes: 0,
+                    lp_iterations: 0,
                     fault: None,
                     heuristic_missing: (!usable).then_some(SeedlessCause::CandidatesInfeasible {
                         evaluated: heuristic.evaluated,
@@ -357,6 +416,7 @@ pub fn optimal_attack_with(
                     }),
                     certificate: None,
                     cert_repaired: false,
+                    warm_fallback: false,
                 });
             }
         }
@@ -381,6 +441,7 @@ pub fn optimal_attack_with(
     let ucap_pct = if ucap_pct < 1e-9 { 0.0 } else { ucap_pct };
     let trace =
         trace_on.then(|| build_trace(&sweep, &subproblems, total_nodes, lp_iterations, &walls));
+    let seed_basis = if exact { prepared.seed().cloned() } else { None };
     Ok(AttackResult {
         ucap_pct,
         overload_mw: overload,
@@ -391,6 +452,7 @@ pub fn optimal_attack_with(
         total_nodes,
         sweep,
         trace,
+        seed_basis,
     })
 }
 
@@ -417,6 +479,10 @@ fn build_trace(
     t.add_counter("sweep.cert_repaired", sweep.cert_repaired as u64);
     t.add_counter("sweep.uncertified", sweep.uncertified as u64);
     t.add_counter("sweep.heuristic_floor", sweep.heuristic_floor as u64);
+    t.add_counter("sweep.basis_reuse", sweep.warm_starts as u64);
+    t.add_counter("sweep.cold_restarts", sweep.cold_restarts as u64);
+    t.add_counter("sweep.warm_fallbacks", sweep.warm_fallbacks as u64);
+    t.add_counter("sweep.seed_iterations", sweep.seed_iterations as u64);
     t.add_counter("sweep.full_vars", sweep.full_vars as u64);
     t.add_counter("sweep.full_rows", sweep.full_rows as u64);
     t.add_counter("sweep.full_nnz", sweep.full_nnz as u64);
@@ -475,6 +541,10 @@ struct SubproblemRecord {
     /// Simplex iterations the exact solve spent (exact integer tally;
     /// merged in the index-ordered reduction).
     lp_iterations: usize,
+    /// Node relaxations that accepted an offered warm basis.
+    warm_starts: usize,
+    /// Node relaxations offered a warm basis that restarted cold.
+    cold_restarts: usize,
     /// Wall clock of the whole subproblem, milliseconds. Timing only —
     /// measured only when tracing is on, `0.0` otherwise.
     wall_ms: f64,
@@ -503,8 +573,60 @@ fn certify_solution(
         proved_optimal: sol.proved_optimal,
         iterations: 0,
         nodes: sol.nodes,
+        basis: None,
     };
     ed_optim::certify(&audit.lp, &probe, &Tolerances::default())
+}
+
+/// Promotes the heuristic incumbent of a pruned or node-limited subproblem
+/// into a **certified** exact answer without re-solving anything: the
+/// heuristic's winning defender dispatch (captured during candidate
+/// evaluation) is lifted to a full-space KKT point by
+/// [`KktModel::point_from_dispatch`], and the independent certifier judges
+/// the result exactly as it judges solver answers. `None` when no dispatch
+/// was captured, the reconstruction fails, or the certificate fails — an
+/// unverifiable reconstruction never replaces the honest heuristic floor.
+#[allow(clippy::too_many_arguments)]
+fn certify_heuristic_floor(
+    config: &AttackConfig,
+    heuristic: &HeuristicResult,
+    prepared: &PreparedKkt,
+    k: usize,
+    line: LineId,
+    dir: f64,
+    scale: f64,
+    offset: f64,
+) -> Option<(Certificate, Candidate)> {
+    let d = if dir > 0.0 { 0 } else { 1 };
+    let dsp = heuristic.best_dispatch[k][d].as_deref()?;
+    let ua = &heuristic.best_ua[k][d];
+    let x = prepared.base().point_from_dispatch(ua, dsp)?;
+    let flow = prepared.base().flow_at(&x, line);
+    let objective = dir * scale * flow;
+    let sol = SubproblemSolution {
+        objective,
+        ua_mw: ua.clone(),
+        flow_mw: flow,
+        dispatch_mw: dsp.p_mw.clone(),
+        proved_optimal: false,
+        nodes: 0,
+        lp_iterations: 0,
+        x,
+        warm_starts: 0,
+        cold_restarts: 0,
+    };
+    let cert = certify_solution(prepared, line, dir, scale, &sol);
+    if !cert.passed() {
+        return None;
+    }
+    let candidate = (
+        objective + offset,
+        dir * flow - config.u_d[k],
+        sol.ua_mw,
+        sol.dispatch_mw,
+        (line, dir as i8),
+    );
+    Some((cert, candidate))
 }
 
 /// One (line, direction) subproblem of Algorithm 1, runnable from any
@@ -582,15 +704,19 @@ fn run_subproblem_inner(
                 violation: heuristic_violation,
                 proved_optimal: false,
                 nodes: 0,
+                lp_iterations: 0,
                 fault: Some(SubproblemFault::Budget(tripped)),
                 heuristic_missing,
                 certificate: None,
                 cert_repaired: false,
+                warm_fallback: false,
             },
             candidate: None,
             attempted: false,
             certify_ms: 0.0,
             lp_iterations: 0,
+            warm_starts: 0,
+            cold_restarts: 0,
             wall_ms: 0.0,
         };
     }
@@ -598,20 +724,50 @@ fn run_subproblem_inner(
     let hint = if options.use_heuristic {
         // best_flow[k][d] already stores max(dir·f) over the heuristic
         // candidates, i.e. the solver objective value (before scaling)
-        // that candidate achieves.
-        heuristic_flow.is_finite().then_some(scale * heuristic_flow)
+        // that candidate achieves. Back the hint off by a relative epsilon
+        // so an optimum exactly *equal* to the heuristic value still counts
+        // as a strict improvement: the search then returns it as a real,
+        // certifiable incumbent instead of pruning the whole tree down to
+        // an uncertified heuristic floor.
+        heuristic_flow.is_finite().then(|| {
+            let h = scale * heuristic_flow;
+            h - 2e-7 * (1.0 + h.abs())
+        })
     } else {
         None
     };
+    let warm_on = options.warm_start.unwrap_or_else(ed_optim::lp::warm_env_enabled);
     let use_certify = options.certify.unwrap_or_else(ed_optim::certify::env_enabled);
     match solve_subproblem(prepared, line, dir, scale, options, hint) {
         SubproblemAttempt::Solved(mut sol) => {
+            let warm_starts = sol.warm_starts;
+            let cold_restarts = sol.cold_restarts;
             let mut certificate = None;
             let mut cert_repaired = false;
+            let mut warm_fallback = false;
             let mut certify_ms = 0.0;
             if use_certify {
                 let t0 = std::time::Instant::now();
-                let cert = certify_solution(prepared, line, dir, scale, &sol);
+                let mut cert = certify_solution(prepared, line, dir, scale, &sol);
+                if !cert.passed() && warm_on {
+                    // Trust fallback: a warm-started answer never gets the
+                    // benefit of the doubt. Invalidate the basis hand-off
+                    // for this subproblem and re-solve cold with the SAME
+                    // reformulation before trying the alternate one.
+                    let mut cold = options.clone();
+                    cold.warm_start = Some(false);
+                    cold.inject_basis_fault = None;
+                    if let SubproblemAttempt::Solved(cold_sol) =
+                        solve_subproblem(prepared, line, dir, scale, &cold, hint)
+                    {
+                        let cold_cert = certify_solution(prepared, line, dir, scale, &cold_sol);
+                        warm_fallback = true;
+                        if cold_cert.passed() {
+                            sol = cold_sol;
+                            cert = cold_cert;
+                        }
+                    }
+                }
                 if cert.passed() {
                     certificate = Some(cert);
                 } else {
@@ -654,10 +810,12 @@ fn run_subproblem_inner(
                     // An uncertified answer must not claim proof.
                     proved_optimal: sol.proved_optimal && !untrusted,
                     nodes: sol.nodes,
+                    lp_iterations: sol.lp_iterations,
                     fault: None,
                     heuristic_missing,
                     certificate,
                     cert_repaired,
+                    warm_fallback,
                 },
                 candidate: Some((
                     violation,
@@ -669,32 +827,66 @@ fn run_subproblem_inner(
                 attempted: true,
                 certify_ms,
                 lp_iterations: sol.lp_iterations,
+                warm_starts,
+                cold_restarts,
                 wall_ms: 0.0,
             }
         }
-        SubproblemAttempt::Pruned => SubproblemRecord {
+        SubproblemAttempt::Pruned { proven, nodes, lp_iterations, warm_starts, cold_restarts } => {
             // Nothing better than the heuristic incumbent for this
-            // subproblem; record the heuristic value.
-            outcome: SubproblemOutcome {
-                line,
-                direction: dir as i8,
-                violation: heuristic_violation,
-                proved_optimal: true,
-                nodes: 0,
-                fault: None,
-                heuristic_missing,
-                certificate: None,
-                cert_repaired: false,
-            },
-            candidate: None,
-            attempted: true,
-            certify_ms: 0.0,
-            lp_iterations: 0,
-            wall_ms: 0.0,
-        },
+            // subproblem (proved optimal only when the tree was exhausted
+            // rather than node-limited). Instead of settling for an
+            // uncertified heuristic floor, promote the incumbent: rebuild
+            // its full-space KKT point from the captured dispatch and let
+            // the independent certifier decide whether it stands.
+            let t0 = std::time::Instant::now();
+            let promoted = (use_certify && !unusable)
+                .then(|| {
+                    certify_heuristic_floor(
+                        config, heuristic, prepared, k, line, dir, scale, offset,
+                    )
+                })
+                .flatten();
+            let certify_ms = if use_certify && !unusable {
+                t0.elapsed().as_secs_f64() * 1e3
+            } else {
+                0.0
+            };
+            options.budget.record_nodes(nodes);
+            let (certificate, candidate) = match promoted {
+                Some((cert, cand)) => (Some(cert), Some(cand)),
+                None => (None, None),
+            };
+            SubproblemRecord {
+                outcome: SubproblemOutcome {
+                    line,
+                    direction: dir as i8,
+                    violation: candidate
+                        .as_ref()
+                        .map_or(heuristic_violation, |(v, ..)| *v),
+                    proved_optimal: proven,
+                    nodes,
+                    lp_iterations,
+                    fault: None,
+                    heuristic_missing,
+                    certificate,
+                    cert_repaired: false,
+                    warm_fallback: false,
+                },
+                candidate,
+                attempted: true,
+                certify_ms,
+                lp_iterations,
+                warm_starts,
+                cold_restarts,
+                wall_ms: 0.0,
+            }
+        }
         SubproblemAttempt::Budget(tripped, incumbent) => {
             // Budget trip: keep the better of the solver's partial
-            // incumbent and the heuristic floor.
+            // incumbent and the heuristic floor. With no partial incumbent
+            // at all, try promoting the heuristic floor to a certified
+            // answer, exactly as the pruned path does.
             let (violation, nodes, lp_iterations) = match &incumbent {
                 Some(sol) => {
                     ((sol.objective + offset).max(heuristic_violation), sol.nodes, sol.lp_iterations)
@@ -702,30 +894,55 @@ fn run_subproblem_inner(
                 None => (heuristic_violation, 0, 0),
             };
             options.budget.record_nodes(nodes);
+            let t0 = std::time::Instant::now();
+            let promoted = (incumbent.is_none() && use_certify && !unusable)
+                .then(|| {
+                    certify_heuristic_floor(
+                        config, heuristic, prepared, k, line, dir, scale, offset,
+                    )
+                })
+                .flatten();
+            let certify_ms = if incumbent.is_none() && use_certify && !unusable {
+                t0.elapsed().as_secs_f64() * 1e3
+            } else {
+                0.0
+            };
+            let (certificate, promoted_candidate) = match promoted {
+                Some((cert, cand)) => (Some(cert), Some(cand)),
+                None => (None, None),
+            };
             SubproblemRecord {
                 outcome: SubproblemOutcome {
                     line,
                     direction: dir as i8,
-                    violation,
+                    violation: promoted_candidate
+                        .as_ref()
+                        .map_or(violation, |(v, ..)| *v),
                     proved_optimal: false,
                     nodes,
+                    lp_iterations,
                     fault: Some(SubproblemFault::Budget(tripped)),
                     heuristic_missing,
-                    certificate: None,
+                    certificate,
                     cert_repaired: false,
+                    warm_fallback: false,
                 },
-                candidate: incumbent.map(|sol| {
-                    (
-                        sol.objective + offset,
-                        dir * sol.flow_mw - config.u_d[k],
-                        sol.ua_mw,
-                        sol.dispatch_mw,
-                        (line, dir as i8),
-                    )
-                }),
+                candidate: incumbent
+                    .map(|sol| {
+                        (
+                            sol.objective + offset,
+                            dir * sol.flow_mw - config.u_d[k],
+                            sol.ua_mw,
+                            sol.dispatch_mw,
+                            (line, dir as i8),
+                        )
+                    })
+                    .or(promoted_candidate),
                 attempted: true,
-                certify_ms: 0.0,
+                certify_ms,
                 lp_iterations,
+                warm_starts: 0,
+                cold_restarts: 0,
                 wall_ms: 0.0,
             }
         }
@@ -738,15 +955,19 @@ fn run_subproblem_inner(
                 violation: heuristic_violation,
                 proved_optimal: false,
                 nodes: 0,
+                lp_iterations: 0,
                 fault: Some(SubproblemFault::Numerical(e.to_string())),
                 heuristic_missing,
                 certificate: None,
                 cert_repaired: false,
+                warm_fallback: false,
             },
             candidate: None,
             attempted: true,
             certify_ms: 0.0,
             lp_iterations: 0,
+            warm_starts: 0,
+            cold_restarts: 0,
             wall_ms: 0.0,
         },
     }

@@ -3,7 +3,7 @@
 
 use crate::attack::kkt::PreparedKkt;
 use ed_optim::budget::{BudgetTripped, SolveBudget, SolveOutcome};
-use ed_optim::lp::{Row, VarId};
+use ed_optim::lp::{warm_env_enabled, Basis, Row, VarId};
 use ed_optim::milp::{MilpOptions, MilpProblem};
 use ed_optim::mpec::{MpecOptions, MpecProblem};
 use ed_optim::OptimError;
@@ -69,6 +69,25 @@ pub struct BilevelOptions {
     /// runs. `Some(flag)` forces it, `None` defers to the `ED_TRACE`
     /// environment variable (default **off**).
     pub trace: Option<bool>,
+    /// Warm-start the solver stack: compute one shared phase-1 seed basis
+    /// for the sibling subproblems (they differ only in the objective row,
+    /// which phase 1 never reads) and hand each branch-and-bound parent's
+    /// optimal basis to its children for a dual-simplex restart. `Some(flag)`
+    /// forces it, `None` defers to the `ED_WARM` environment variable
+    /// (default **on**). Warm starts never change answers: a warm basis
+    /// that fails to install falls back to a cold solve, and a warm-started
+    /// answer that fails its certificate is re-solved cold.
+    pub warm_start: Option<bool>,
+    /// Seed basis injected from outside the sweep (e.g. the serve layer's
+    /// per-fingerprint warm cache, holding the last certified sweep's
+    /// basis). Validated against the prepared reduced model's dimensions
+    /// and silently dropped on mismatch, so a stale entry is never trusted.
+    pub warm_basis: Option<Basis>,
+    /// Test hook: forwards to `SimplexOptions::inject_basis_fault` on
+    /// **warm-enabled** primary solves only — cold fallback re-solves stay
+    /// clean — so tests can prove that a corrupted warm-started answer is
+    /// caught by certification and recovered by the cold re-solve.
+    pub inject_basis_fault: Option<u64>,
 }
 
 impl Default for BilevelOptions {
@@ -82,6 +101,9 @@ impl Default for BilevelOptions {
             presolve: None,
             certify: None,
             trace: None,
+            warm_start: None,
+            warm_basis: None,
+            inject_basis_fault: None,
         }
     }
 }
@@ -110,6 +132,11 @@ pub struct SubproblemSolution {
     /// model), kept so the sweep can certify the answer against the
     /// original model.
     pub x: Vec<f64>,
+    /// Node relaxations that accepted an offered warm basis (the shared
+    /// phase-1 seed at the root, the parent's optimal basis at children).
+    pub warm_starts: usize,
+    /// Node relaxations that were offered a warm basis but restarted cold.
+    pub cold_restarts: usize,
 }
 
 /// What one subproblem attempt produced. Faults and budget trips are data,
@@ -121,9 +148,24 @@ pub(crate) enum SubproblemAttempt {
     /// incumbent).
     Solved(SubproblemSolution),
     /// Infeasible, or nothing strictly better than the incumbent hint
-    /// exists — the heuristic value stands and is optimal for this
-    /// subproblem.
-    Pruned,
+    /// exists — the heuristic value stands for this subproblem.
+    Pruned {
+        /// `true` when the tree was exhausted (the hint is *proved*
+        /// optimal); `false` when the per-subproblem node limit cut the
+        /// search short with nothing better found.
+        proven: bool,
+        /// Branch-and-bound nodes explored before pruning concluded
+        /// (`0` when the root relaxation already proved infeasibility).
+        nodes: usize,
+        /// Simplex iterations spent across the node relaxations before
+        /// pruning concluded.
+        lp_iterations: usize,
+        /// Node relaxations that accepted an offered warm basis before
+        /// pruning concluded (the hand-off accounting survives pruning).
+        warm_starts: usize,
+        /// Node relaxations offered a warm basis that restarted cold.
+        cold_restarts: usize,
+    },
     /// The shared budget tripped. Carries the best incumbent found before
     /// the trip, if the search had one.
     Budget(BudgetTripped, Option<SubproblemSolution>),
@@ -156,31 +198,47 @@ pub(crate) fn solve_subproblem(
     // The reduced model's objective differs from the original by `offset`;
     // hints and reported objectives convert at this boundary.
     let hint = incumbent_hint.map(|h| h - offset);
-    let package =
-        |x_red: &[f64], objective: f64, proved_optimal: bool, nodes: usize, lp_iterations: usize| {
-            let x = prepared.restore(x_red);
-            SubproblemSolution {
-                objective: objective + offset,
-                ua_mw: prepared.base().ua_at(&x),
-                flow_mw: prepared.base().flow_at(&x, target),
-                dispatch_mw: prepared.base().dispatch_at(&x),
-                proved_optimal,
-                nodes,
-                lp_iterations,
-                x,
-            }
-        };
+    let warm_on = options.warm_start.unwrap_or_else(warm_env_enabled);
+    let package = |x_red: &[f64],
+                   objective: f64,
+                   proved_optimal: bool,
+                   nodes: usize,
+                   lp_iterations: usize,
+                   warm_starts: usize,
+                   cold_restarts: usize| {
+        let x = prepared.restore(x_red);
+        SubproblemSolution {
+            objective: objective + offset,
+            ua_mw: prepared.base().ua_at(&x),
+            flow_mw: prepared.base().flow_at(&x, target),
+            dispatch_mw: prepared.base().dispatch_at(&x),
+            proved_optimal,
+            nodes,
+            lp_iterations,
+            x,
+            warm_starts,
+            cold_restarts,
+        }
+    };
     let outcome = match options.solver {
         BilevelSolver::Mpec => {
             // The reduced model carries its (remapped) complementarity
             // pairs; no separate pair list is needed.
             let mpec = MpecProblem::from_model(lp);
-            let opts = MpecOptions {
+            let mut opts = MpecOptions {
                 max_nodes: options.node_limit,
                 incumbent_hint: hint,
                 presolve: Some(false),
+                warm: warm_on,
                 ..Default::default()
             };
+            if warm_on {
+                // Root restart from the sweep's shared phase-1 seed; the
+                // install path re-verifies feasibility, so a rejected seed
+                // just costs a cold start.
+                opts.simplex.warm = prepared.seed().cloned();
+                opts.simplex.inject_basis_fault = options.inject_basis_fault;
+            }
             mpec.solve_budgeted(&opts, &options.budget).map(|o| match o {
                 SolveOutcome::Solved(sol) => SolveOutcome::Solved(package(
                     &sol.x,
@@ -188,6 +246,8 @@ pub(crate) fn solve_subproblem(
                     sol.proved_optimal,
                     sol.nodes,
                     sol.lp_iterations,
+                    sol.warm_starts,
+                    sol.cold_restarts,
                 )),
                 SolveOutcome::Partial(p) => SolveOutcome::Partial(p),
             })
@@ -204,12 +264,20 @@ pub(crate) fn solve_subproblem(
                 binaries.push(mu);
             }
             let milp = MilpProblem::new(lp, binaries);
-            let opts = MilpOptions {
+            let mut opts = MilpOptions {
                 max_nodes: options.node_limit,
                 incumbent_hint: hint,
                 presolve: Some(false),
+                warm: warm_on,
                 ..Default::default()
             };
+            if warm_on {
+                // The big-M reformulation appends μ columns and indicator
+                // rows, so the reduced-model seed no longer matches its
+                // dimensions and is skipped; parent→child hand-off inside
+                // the tree still applies.
+                opts.simplex.inject_basis_fault = options.inject_basis_fault;
+            }
             milp.solve_budgeted(&opts, &options.budget).map(|o| match o {
                 SolveOutcome::Solved(sol) => SolveOutcome::Solved(package(
                     &sol.x,
@@ -217,6 +285,8 @@ pub(crate) fn solve_subproblem(
                     sol.proved_optimal,
                     sol.nodes,
                     sol.lp_iterations,
+                    sol.warm_starts,
+                    sol.cold_restarts,
                 )),
                 SolveOutcome::Partial(p) => SolveOutcome::Partial(p),
             })
@@ -226,13 +296,21 @@ pub(crate) fn solve_subproblem(
         Ok(SolveOutcome::Solved(sol)) => SubproblemAttempt::Solved(sol),
         Ok(SolveOutcome::Partial(p)) => {
             let incumbent = match (&p.x, p.objective) {
-                (Some(x), Some(obj)) => Some(package(x, obj, false, p.nodes, p.iterations)),
+                (Some(x), Some(obj)) => Some(package(x, obj, false, p.nodes, p.iterations, 0, 0)),
                 _ => None,
             };
             SubproblemAttempt::Budget(p.tripped, incumbent)
         }
-        Err(OptimError::Infeasible) | Err(OptimError::NodeLimit { .. }) => {
-            SubproblemAttempt::Pruned
+        Err(OptimError::Infeasible) => SubproblemAttempt::Pruned {
+            proven: true,
+            nodes: 0,
+            lp_iterations: 0,
+            warm_starts: 0,
+            cold_restarts: 0,
+        },
+        Err(OptimError::NodeLimit { limit, lp_iterations, warm_starts, cold_restarts, .. }) => {
+            // The limit only fires after spending its full node budget.
+            SubproblemAttempt::Pruned { proven: false, nodes: limit, lp_iterations, warm_starts, cold_restarts }
         }
         Err(e) => SubproblemAttempt::Faulted(e),
     }

@@ -9,7 +9,7 @@
 //! search covers larger sets.
 
 use crate::attack::AttackConfig;
-use crate::dispatch::DcOpf;
+use crate::dispatch::{DcOpf, Dispatch};
 use crate::CoreError;
 use ed_powerflow::Network;
 
@@ -25,6 +25,11 @@ pub struct HeuristicResult {
     pub best_flow: Vec<[f64; 2]>,
     /// The `u^a` achieving each `best_flow` entry.
     pub best_ua: Vec<[Vec<f64>; 2]>,
+    /// The defender's full dispatch under each `best_ua` entry (`None`
+    /// where no candidate produced a finite flow). Kept so the exact sweep
+    /// can reconstruct — and independently certify — a full-space KKT point
+    /// for the heuristic incumbent without re-solving any dispatch.
+    pub best_dispatch: Vec<[Option<Box<Dispatch>>; 2]>,
     /// Candidates whose dispatch was evaluated.
     pub evaluated: usize,
     /// Candidates rejected because the defender's dispatch was infeasible
@@ -56,30 +61,29 @@ fn evaluate_candidate(
     config: &AttackConfig,
     demand: &[f64],
     ua: &[f64],
-) -> Result<Option<Vec<f64>>, CoreError> {
+) -> Result<Option<(Vec<f64>, Dispatch)>, CoreError> {
     let ratings = config.ratings_with(net, ua);
     match DcOpf::new(net).demand(demand).ratings(&ratings).solve() {
-        Ok(dispatch) => Ok(Some(
-            config
-                .dlr_lines
-                .iter()
-                .map(|l| dispatch.flows_mw[l.0])
-                .collect(),
-        )),
+        Ok(dispatch) => {
+            let flows = config.dlr_lines.iter().map(|l| dispatch.flows_mw[l.0]).collect();
+            Ok(Some((flows, dispatch)))
+        }
         Err(CoreError::DispatchInfeasible) => Ok(None),
         Err(e) => Err(e),
     }
 }
 
-fn fold_candidate(result: &mut HeuristicResult, ua: &[f64], flows: &[f64]) {
+fn fold_candidate(result: &mut HeuristicResult, ua: &[f64], flows: &[f64], dispatch: &Dispatch) {
     for (k, &f) in flows.iter().enumerate() {
         if f > result.best_flow[k][0] {
             result.best_flow[k][0] = f;
             result.best_ua[k][0] = ua.to_vec();
+            result.best_dispatch[k][0] = Some(Box::new(dispatch.clone()));
         }
         if -f > result.best_flow[k][1] {
             result.best_flow[k][1] = -f;
             result.best_ua[k][1] = ua.to_vec();
+            result.best_dispatch[k][1] = Some(Box::new(dispatch.clone()));
         }
     }
 }
@@ -89,6 +93,7 @@ fn empty_result(n: usize) -> HeuristicResult {
         ua_mw: Vec::new(),
         best_flow: vec![[f64::NEG_INFINITY; 2]; n],
         best_ua: vec![[Vec::new(), Vec::new()]; n],
+        best_dispatch: vec![[None, None]; n],
         evaluated: 0,
         infeasible: 0,
     }
@@ -131,9 +136,9 @@ pub fn corner_heuristic(net: &Network, config: &AttackConfig) -> Result<Heuristi
     .map_err(|e| CoreError::Parallel { what: e.to_string() })?;
     for (ua, evaluation) in candidates.iter().zip(evaluations) {
         match evaluation? {
-            Some(flows) => {
+            Some((flows, dispatch)) => {
                 result.evaluated += 1;
-                fold_candidate(&mut result, ua, &flows);
+                fold_candidate(&mut result, ua, &flows, &dispatch);
             }
             None => result.infeasible += 1,
         }
@@ -160,9 +165,9 @@ pub fn greedy_heuristic(net: &Network, config: &AttackConfig) -> Result<Heuristi
     let mut result = empty_result(n);
     let mut current = config.u_d.clone();
     match evaluate_candidate(net, config, &demand, &current)? {
-        Some(flows) => {
+        Some((flows, dispatch)) => {
             result.evaluated += 1;
-            fold_candidate(&mut result, &current, &flows);
+            fold_candidate(&mut result, &current, &flows, &dispatch);
         }
         None => result.infeasible += 1,
     }
@@ -178,9 +183,9 @@ pub fn greedy_heuristic(net: &Network, config: &AttackConfig) -> Result<Heuristi
                 trial[k] = candidate_value;
                 let before = score(&result);
                 match evaluate_candidate(net, config, &demand, &trial)? {
-                    Some(flows) => {
+                    Some((flows, dispatch)) => {
                         result.evaluated += 1;
-                        fold_candidate(&mut result, &trial, &flows);
+                        fold_candidate(&mut result, &trial, &flows, &dispatch);
                         if score(&result) > before + 1e-9 {
                             current = trial;
                             improved = true;

@@ -20,8 +20,10 @@
 //! model serves every subproblem objective of Algorithm 1.
 
 use crate::attack::AttackConfig;
+use crate::dispatch::Dispatch;
 use crate::CoreError;
-use ed_optim::lp::{LpProblem, Row, Sense, VarId};
+use ed_optim::budget::SolveBudget;
+use ed_optim::lp::{phase1_basis, Basis, LpProblem, Row, Sense, SimplexOptions, VarId};
 use ed_optim::model::presolve;
 use ed_optim::{Model, Postsolve, PresolveStats};
 use ed_powerflow::{LineId, Network};
@@ -43,6 +45,27 @@ pub struct KktModel {
     pub pairs: Vec<(VarId, VarId)>,
     /// Per-line `(from, to, base·β)` for expressing flows in the objective.
     flow_coef: Vec<(usize, usize, f64)>,
+    /// Balance-row multipliers ν (entry `nb` is the reference-row
+    /// multiplier), kept so [`Self::point_from_dispatch`] can place them.
+    nu_vars: Vec<VarId>,
+    /// Network data captured at build time for KKT-point reconstruction.
+    recon: ReconData,
+}
+
+/// The slice of network data [`KktModel::point_from_dispatch`] needs to
+/// turn a solved defender dispatch into a full-space KKT point without
+/// re-borrowing the [`Network`].
+#[derive(Debug, Clone)]
+struct ReconData {
+    /// Per generator: `(pmin, pmax, 2a, b, bus)` — bounds, the Hessian
+    /// diagonal `2a`, the linear cost `b`, and the connection bus.
+    gens: Vec<(f64, f64, f64, f64, usize)>,
+    /// Per line: index into the config's DLR lines, when manipulated.
+    line_dlr: Vec<Option<usize>>,
+    /// Per line: static rating (ignored for DLR lines).
+    static_rating: Vec<f64>,
+    /// Reference (slack) bus index.
+    slack: usize,
 }
 
 impl KktModel {
@@ -204,7 +227,17 @@ impl KktModel {
         for &(lambda, slack) in &pairs {
             lp.add_pair(lambda, slack);
         }
-        Ok(KktModel { lp, ua_vars, p_vars, theta_vars, pairs, flow_coef })
+        let recon = ReconData {
+            gens: net
+                .gens()
+                .iter()
+                .map(|g| (g.pmin_mw, g.pmax_mw, 2.0 * g.cost.a, g.cost.b, g.bus.0))
+                .collect(),
+            line_dlr: (0..net.num_lines()).map(dlr_index).collect(),
+            static_rating: net.lines().iter().map(|l| l.rating_mva).collect(),
+            slack: net.slack().0,
+        };
+        Ok(KktModel { lp, ua_vars, p_vars, theta_vars, pairs, flow_coef, nu_vars, recon })
     }
 
     /// Freezes the model into the sweep-ready form: presolves the invariant
@@ -230,6 +263,8 @@ impl KktModel {
                 postsolve: Some(pre.postsolve),
                 stats: Some(pre.stats),
                 base: self,
+                seed: None,
+                seed_iterations: 0,
             })
         } else {
             Ok(PreparedKkt {
@@ -237,6 +272,8 @@ impl KktModel {
                 postsolve: None,
                 stats: None,
                 base: self,
+                seed: None,
+                seed_iterations: 0,
             })
         }
     }
@@ -284,6 +321,176 @@ impl KktModel {
     pub fn dispatch_at(&self, x: &[f64]) -> Vec<f64> {
         self.p_vars.iter().map(|v| x[v.index()]).collect()
     }
+
+    /// Reconstructs a full-space KKT point for a **fixed** manipulation
+    /// `ua` from the defender's solved dispatch under it — the bridge that
+    /// lets a node-limited subproblem promote its heuristic incumbent into
+    /// an independently certifiable solution without re-solving anything.
+    ///
+    /// The primal block comes straight from the dispatch; the dual block is
+    /// recovered from the LMPs: `ν_i = −LMP_i` on the balance rows,
+    /// generator-bound multipliers from the marginal-cost/LMP gap
+    /// (`λ_min = max(mc − LMP, 0)`, `λ_max = max(LMP − mc, 0)` at active
+    /// bounds), and the active flow-limit multipliers plus the
+    /// reference-row multiplier from a least-squares solve of the
+    /// θ-stationarity rows (a handful of unknowns — only congested lines
+    /// carry a multiplier). Slacks are computed exactly and clamped at
+    /// zero.
+    ///
+    /// Returns `None` on dimension mismatch or a singular active-set
+    /// system. The result is a *candidate*: callers must still run it
+    /// through the independent certifier, which is the sole arbiter of
+    /// whether the reconstruction is a genuine KKT point.
+    pub fn point_from_dispatch(&self, ua: &[f64], dispatch: &Dispatch) -> Option<Vec<f64>> {
+        let nb = self.theta_vars.len();
+        let ng = self.p_vars.len();
+        if ua.len() != self.ua_vars.len()
+            || dispatch.p_mw.len() != ng
+            || dispatch.theta_rad.len() != nb
+            || dispatch.lmp.len() != nb
+        {
+            return None;
+        }
+        let mut x = vec![0.0; self.lp.num_vars()];
+        for (k, &v) in self.ua_vars.iter().enumerate() {
+            x[v.index()] = ua[k];
+        }
+        for (g, &v) in self.p_vars.iter().enumerate() {
+            x[v.index()] = dispatch.p_mw[g];
+        }
+        for (i, &v) in self.theta_vars.iter().enumerate() {
+            x[v.index()] = dispatch.theta_rad[i];
+        }
+        for (i, &v) in self.nu_vars.iter().take(nb).enumerate() {
+            x[v.index()] = -dispatch.lmp[i];
+        }
+
+        // Generator-bound multipliers. With ν = −LMP the p-stationarity row
+        // `2a·p + ν_bus + λ_max − λ_min = −b` is satisfied exactly by
+        // splitting the reduced cost rc = mc − LMP into its sign parts; a
+        // multiplier on a *slack* bound is zeroed instead so
+        // complementarity holds (rc ≈ 0 there at any true optimum).
+        for (g, &(pmin, pmax, two_a, b, bus)) in self.recon.gens.iter().enumerate() {
+            let p = dispatch.p_mw[g];
+            let rc = two_a * p + b - dispatch.lmp[bus];
+            let (l_max, s_max) = self.pairs[2 * g];
+            let (l_min, s_min) = self.pairs[2 * g + 1];
+            let smax = (pmax - p).max(0.0);
+            let smin = (p - pmin).max(0.0);
+            x[s_max.index()] = smax;
+            x[s_min.index()] = smin;
+            let tol = 1e-6 * (1.0 + pmax.abs().max(pmin.abs()));
+            x[l_min.index()] = if smin <= tol { rc.max(0.0) } else { 0.0 };
+            x[l_max.index()] = if smax <= tol { (-rc).max(0.0) } else { 0.0 };
+        }
+
+        // Flow slacks, and the active set that may carry a multiplier.
+        // `cols` indexes the least-squares unknowns: one per active
+        // (line, direction), plus the reference-row multiplier at the end.
+        let mut cols: Vec<(usize, bool)> = Vec::new();
+        for (l, &(f, t, w)) in self.flow_coef.iter().enumerate() {
+            let flow = w * (dispatch.theta_rad[f] - dispatch.theta_rad[t]);
+            let rating = match self.recon.line_dlr[l] {
+                Some(k) => ua[k],
+                None => self.recon.static_rating[l],
+            };
+            let (_, s_fwd) = self.pairs[2 * ng + 2 * l];
+            let (_, s_bwd) = self.pairs[2 * ng + 2 * l + 1];
+            let sf = (rating - flow).max(0.0);
+            let sb = (rating + flow).max(0.0);
+            x[s_fwd.index()] = sf;
+            x[s_bwd.index()] = sb;
+            let tol = 1e-6 * (1.0 + rating.abs());
+            if sf <= tol {
+                cols.push((l, true));
+            }
+            if sb <= tol {
+                cols.push((l, false));
+            }
+        }
+
+        // θ-stationarity for bus i:
+        //   Σ_{l: from=i} w_l·δ_l − Σ_{l: to=i} w_l·δ_l + [i = slack]·ν_ref = 0
+        // with δ_l = ν_t − ν_f + λ_fwd − λ_bwd. The ν part is known from the
+        // LMPs; solve the small least squares for the active λ and ν_ref.
+        let ncols = cols.len() + 1;
+        let mut c = vec![vec![0.0; ncols]; nb];
+        let mut r = vec![0.0; nb];
+        for &(f, t, w) in &self.flow_coef {
+            let known = w * (dispatch.lmp[f] - dispatch.lmp[t]);
+            r[f] += known;
+            r[t] -= known;
+        }
+        for (col, &(l, fwd)) in cols.iter().enumerate() {
+            let (f, t, w) = self.flow_coef[l];
+            let s = if fwd { w } else { -w };
+            c[f][col] += s;
+            c[t][col] -= s;
+        }
+        c[self.recon.slack][ncols - 1] += 1.0;
+        // Normal equations N z = g for min ‖C z + r‖².
+        let mut normal = vec![vec![0.0; ncols]; ncols];
+        let mut g = vec![0.0; ncols];
+        for i in 0..nb {
+            for a in 0..ncols {
+                let ca = c[i][a];
+                if ca == 0.0 {
+                    continue;
+                }
+                g[a] -= ca * r[i];
+                for (nab, &cb) in normal[a].iter_mut().zip(&c[i]) {
+                    *nab += ca * cb;
+                }
+            }
+        }
+        let z = solve_small_spd(&mut normal, &mut g)?;
+        for (col, &(l, fwd)) in cols.iter().enumerate() {
+            let lam = self.pairs[2 * ng + 2 * l + usize::from(!fwd)].0;
+            x[lam.index()] = z[col].max(0.0);
+        }
+        x[self.nu_vars[nb].index()] = z[ncols - 1];
+        Some(x)
+    }
+}
+
+/// Solves the (symmetric positive semi-definite, tiny) normal-equation
+/// system in place via Gaussian elimination with partial pivoting.
+/// `None` on a (numerically) singular pivot — a linearly dependent active
+/// set, which the caller treats as "no reconstruction".
+fn solve_small_spd(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for k in 0..n {
+        let piv = (k..n).max_by(|&i, &j| {
+            a[i][k].abs().partial_cmp(&a[j][k].abs()).expect("finite pivots")
+        })?;
+        if a[piv][k].abs() < 1e-10 {
+            return None;
+        }
+        a.swap(k, piv);
+        b.swap(k, piv);
+        let bk = b[k];
+        let (pivot_rows, rest) = a.split_at_mut(k + 1);
+        let row_k = &pivot_rows[k];
+        for (row_i, bi) in rest.iter_mut().zip(b[k + 1..].iter_mut()) {
+            let f = row_i[k] / row_k[k];
+            if f == 0.0 {
+                continue;
+            }
+            for (aij, akj) in row_i[k..n].iter_mut().zip(row_k[k..n].iter()) {
+                *aij -= f * akj;
+            }
+            *bi -= f * bk;
+        }
+    }
+    let mut z = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut s = b[k];
+        for j in k + 1..n {
+            s -= a[k][j] * z[j];
+        }
+        z[k] = s / a[k][k];
+    }
+    Some(z)
 }
 
 /// A KKT model frozen for the Algorithm 1 sweep: the invariant blocks are
@@ -299,6 +506,14 @@ pub struct PreparedKkt {
     reduced: Model,
     postsolve: Option<Postsolve>,
     stats: Option<PresolveStats>,
+    /// Shared warm-start seed: a primal-feasible basis of the reduced model.
+    /// The subproblems differ only in the objective row, so phase 1 — which
+    /// never looks at the objective — traces the same pivot path in every
+    /// sibling; computing it once and handing the resulting basis to each
+    /// subproblem skips that shared prefix without changing any answer.
+    seed: Option<Basis>,
+    /// Simplex iterations spent computing [`Self::seed`].
+    seed_iterations: usize,
 }
 
 impl PreparedKkt {
@@ -357,6 +572,49 @@ impl PreparedKkt {
                 (m, 0.0)
             }
         }
+    }
+
+    /// Computes the shared phase-1 seed basis for the sibling subproblems,
+    /// returning the simplex iterations it cost (`0` when a seed is already
+    /// present, phase 1 trips the budget, or the system is infeasible — all
+    /// of which simply leave every subproblem starting cold).
+    pub fn compute_seed(&mut self, budget: &SolveBudget) -> usize {
+        if self.seed.is_some() {
+            return 0;
+        }
+        let options = SimplexOptions::default();
+        match phase1_basis(&self.reduced, &options, budget) {
+            Ok(Some((basis, iterations))) => {
+                self.seed = Some(basis);
+                self.seed_iterations = iterations;
+                iterations
+            }
+            _ => 0,
+        }
+    }
+
+    /// Installs an externally stored seed basis (e.g. from a serve-layer
+    /// warm cache). Returns `false` — leaving the prepared model unchanged —
+    /// unless the basis dimensions match the reduced model, so a stale entry
+    /// recorded against a different case or presolve outcome is rejected
+    /// rather than trusted.
+    pub fn set_seed(&mut self, basis: Basis) -> bool {
+        if basis.dims_match(self.reduced.num_vars(), self.reduced.num_rows()) {
+            self.seed = Some(basis);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current seed basis, if one was computed or installed.
+    pub fn seed(&self) -> Option<&Basis> {
+        self.seed.as_ref()
+    }
+
+    /// Simplex iterations spent by [`Self::compute_seed`].
+    pub fn seed_iterations(&self) -> usize {
+        self.seed_iterations
     }
 
     /// Maps a reduced solution vector back to the original variable space

@@ -640,6 +640,7 @@ impl CertifiedSolver {
                         proved_optimal: false,
                         iterations: p.iterations,
                         nodes: p.nodes,
+                        basis: None,
                     };
                     certify(model, &probe, &self.tolerances)
                 });
@@ -783,6 +784,7 @@ mod tests {
             proved_optimal: true,
             iterations: 0,
             nodes: 0,
+            basis: None,
         };
         let cert = certify(&m, &s, &Tolerances::default());
         assert_eq!(cert.status, CertStatus::PrimalInfeasible);
@@ -800,6 +802,7 @@ mod tests {
             proved_optimal: true,
             iterations: 0,
             nodes: 0,
+            basis: None,
         };
         assert_eq!(certify(&m, &s, &Tolerances::default()).status, CertStatus::Malformed);
     }

@@ -28,6 +28,14 @@ pub enum OptimError {
         incumbent: Option<f64>,
         /// Best proven bound at exhaustion.
         bound: f64,
+        /// Simplex iterations spent across the node relaxations before the
+        /// limit hit (so callers can account for work even on this path).
+        lp_iterations: usize,
+        /// Node relaxations that accepted an offered warm basis before the
+        /// limit hit — the limit must not erase the hand-off accounting.
+        warm_starts: usize,
+        /// Node relaxations offered a warm basis that restarted cold.
+        cold_restarts: usize,
     },
     /// A numerical failure (singular basis / KKT system) that persisted
     /// after recovery attempts.
@@ -55,9 +63,10 @@ impl fmt::Display for OptimError {
                 }
                 Ok(())
             }
-            OptimError::NodeLimit { limit, incumbent, bound } => write!(
+            OptimError::NodeLimit { limit, incumbent, bound, lp_iterations, .. } => write!(
                 f,
-                "node limit of {limit} reached (incumbent {incumbent:?}, bound {bound})"
+                "node limit of {limit} reached (incumbent {incumbent:?}, bound {bound}, \
+                 {lp_iterations} LP iterations)"
             ),
             OptimError::Numerical { what } => write!(f, "numerical failure: {what}"),
             OptimError::InvalidModel { what } => write!(f, "invalid model: {what}"),

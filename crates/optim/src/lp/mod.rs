@@ -13,10 +13,13 @@
 //!
 //! See [`LpProblem`] for the entry point.
 
+pub mod basis;
+pub(crate) mod pricing;
 pub(crate) mod simplex;
 
 pub use crate::model::{LpSolution, LpStatus, Row, RowId, RowSense, Sense, VarId};
-pub use simplex::{Pricing, SimplexOptions};
+pub use basis::{warm_env_enabled, Basis, BasisStatus};
+pub use simplex::{phase1_basis, Pricing, SimplexOptions};
 
 /// The LP problem type — an alias of the shared sparse [`crate::model::Model`].
 pub type LpProblem = crate::model::Model;

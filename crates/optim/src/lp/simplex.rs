@@ -23,6 +23,8 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
+use crate::lp::basis::{Basis, BasisStatus};
+use crate::lp::pricing::DevexWeights;
 use crate::model::{LpSolution, LpStatus, Model, RowSense, Sense};
 use crate::OptimError;
 use ed_linalg::{Lu, Matrix};
@@ -33,6 +35,9 @@ pub enum Pricing {
     /// Most negative reduced cost (fast in practice).
     #[default]
     Dantzig,
+    /// Devex reference weights (approximate steepest edge, shared with the
+    /// dual simplex's row pricing via [`crate::lp::pricing`]).
+    Devex,
     /// Smallest eligible index (anti-cycling; slower).
     Bland,
 }
@@ -57,6 +62,13 @@ pub struct SimplexOptions {
     /// certification tests can prove such faults are caught; never set in
     /// production paths.
     pub inject_basis_fault: Option<u64>,
+    /// Warm-start basis to install before solving. A primal-feasible warm
+    /// basis skips phase 1 entirely; a dual-feasible one (parent basis
+    /// after a bound-only change) is repaired by the dual simplex; anything
+    /// inconsistent — wrong dimensions, singular, neither primal nor dual
+    /// feasible — falls back to a cold two-phase solve, so a stale or
+    /// corrupt basis can cost time but never change the answer.
+    pub warm: Option<Basis>,
 }
 
 impl Default for SimplexOptions {
@@ -69,6 +81,7 @@ impl Default for SimplexOptions {
             feas_tol: tol.feas,
             pricing: Pricing::Dantzig,
             inject_basis_fault: None,
+            warm: None,
         }
     }
 }
@@ -349,6 +362,351 @@ impl Tableau {
         self.etas.push((r, w.to_vec()));
     }
 
+    /// `B^{-T} e_r` — the `r`-th row of `B^{-1}`, used for pivot-row
+    /// extraction in the dual ratio test and the devex frame updates.
+    fn btran_unit(&self, r: usize) -> Result<Vec<f64>, OptimError> {
+        if self.m == 0 {
+            return Ok(Vec::new());
+        }
+        let mut c = vec![0.0; self.m];
+        c[r] = 1.0;
+        for (rr, w) in self.etas.iter().rev() {
+            let mut s = 0.0;
+            for k in 0..self.m {
+                if k != *rr {
+                    s += w[k] * c[k];
+                }
+            }
+            c[*rr] = (c[*rr] - s) / w[*rr];
+        }
+        let lu = self.lu.as_ref().expect("basis factored before btran");
+        lu.solve_transpose(&c).map_err(|e| OptimError::Numerical {
+            what: format!("btran failed: {e}"),
+        })
+    }
+
+    /// Reorders the basis columns ascending. Two solves that end at the
+    /// same basis *set* then factor the identical matrix and report
+    /// bit-identical solutions, regardless of the pivot path that reached
+    /// the basis — the property the warm-vs-cold determinism tests pin.
+    /// Invalidates the eta list; callers must `refactor` before the next
+    /// ftran/btran.
+    fn canonicalize_basis(&mut self) {
+        self.basis.sort_unstable();
+        for k in 0..self.basis.len() {
+            let j = self.basis[k];
+            self.state[j] = VarState::Basic(k);
+        }
+    }
+
+    /// Snapshots the current basis as a typed, model-independent [`Basis`].
+    fn snapshot_basis(&self) -> Basis {
+        let nm = self.n_structural + self.m;
+        let statuses = (0..nm)
+            .map(|j| match self.state[j] {
+                VarState::Basic(_) => BasisStatus::Basic,
+                VarState::AtLower => BasisStatus::AtLower,
+                VarState::AtUpper => BasisStatus::AtUpper,
+                VarState::FreeZero => BasisStatus::FreeZero,
+            })
+            .collect();
+        let mut art_rows = Vec::new();
+        for i in 0..self.m {
+            let a = nm + i;
+            if matches!(self.state[a], VarState::Basic(_)) {
+                let sign = match self.cols[a].first() {
+                    Some(&(_, c)) if c < 0.0 => -1,
+                    _ => 1,
+                };
+                art_rows.push((i as u32, sign));
+            }
+        }
+        Basis { statuses, art_rows }
+    }
+
+    /// Installs a recorded basis into a freshly built tableau: statuses are
+    /// replayed, basic artificials recreated for redundant rows, the basis
+    /// factored in canonical (ascending) order, and the basic values
+    /// recomputed from the *current* model data. Any inconsistency is an
+    /// error and the caller falls back to a cold start.
+    fn install_warm(&mut self, warm: &Basis) -> Result<(), OptimError> {
+        let n = self.n_structural;
+        let m = self.m;
+        let reject = |what: &str| OptimError::Numerical {
+            what: format!("warm basis rejected: {what}"),
+        };
+        if warm.statuses.len() != n + m || warm.num_basic() != m {
+            return Err(reject("dimension mismatch"));
+        }
+        // All artificials pinned at [0,0]; redundant-row artificials are
+        // recreated from the snapshot below.
+        for i in 0..m {
+            let a = n + m + i;
+            self.cols[a].clear();
+            self.lb[a] = 0.0;
+            self.ub[a] = 0.0;
+            self.x[a] = 0.0;
+            self.state[a] = VarState::AtLower;
+        }
+        let mut basics: Vec<usize> = Vec::with_capacity(m);
+        for (j, st) in warm.statuses.iter().enumerate() {
+            match st {
+                BasisStatus::Basic => basics.push(j),
+                BasisStatus::AtLower => {
+                    if !self.lb[j].is_finite() {
+                        return Err(reject("AtLower status on an infinite bound"));
+                    }
+                    self.state[j] = VarState::AtLower;
+                    self.x[j] = self.lb[j];
+                }
+                BasisStatus::AtUpper => {
+                    if !self.ub[j].is_finite() {
+                        return Err(reject("AtUpper status on an infinite bound"));
+                    }
+                    self.state[j] = VarState::AtUpper;
+                    self.x[j] = self.ub[j];
+                }
+                BasisStatus::FreeZero => {
+                    self.state[j] = VarState::FreeZero;
+                    self.x[j] = 0.0;
+                }
+            }
+        }
+        for &(row, sign) in &warm.art_rows {
+            let i = row as usize;
+            if i >= m {
+                return Err(reject("artificial row out of range"));
+            }
+            let a = n + m + i;
+            if !self.cols[a].is_empty() {
+                return Err(reject("duplicate artificial row"));
+            }
+            self.cols[a] = vec![(i, f64::from(sign))];
+            basics.push(a);
+        }
+        self.basis = basics;
+        self.canonicalize_basis();
+        // Factor the installed basis and recompute x_B from current data;
+        // a singular basis matrix rejects the warm start here.
+        self.refactor()
+    }
+
+    /// Primal bound infeasibility of the current basic solution.
+    fn primal_infeasibility(&self) -> f64 {
+        let mut infeas = 0.0_f64;
+        for &bi in &self.basis {
+            infeas = infeas
+                .max(self.lb[bi] - self.x[bi])
+                .max(self.x[bi] - self.ub[bi]);
+        }
+        infeas
+    }
+
+    /// `true` when every nonbasic reduced cost has the sign optimality
+    /// requires (the dual-feasibility precondition of the dual simplex).
+    fn is_dual_feasible(&self, cost: &[f64], opt_tol: f64) -> Result<bool, OptimError> {
+        let y = self.duals(cost)?;
+        for j in 0..self.ncols {
+            match self.state[j] {
+                VarState::Basic(_) => continue,
+                _ if self.ub[j] <= self.lb[j] => continue, // fixed
+                _ => {}
+            }
+            let d = self.reduced_cost(j, cost, &y);
+            let ok = match self.state[j] {
+                VarState::AtLower => d >= -opt_tol,
+                VarState::AtUpper => d <= opt_tol,
+                VarState::FreeZero => d.abs() <= opt_tol,
+                VarState::Basic(_) => true,
+            };
+            if !ok {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Dual simplex loop: restores primal feasibility from a dual-feasible
+    /// basis (the warm-start case after bound-only changes: branch-and-bound
+    /// and MPEC children inherit their parent's optimal basis).
+    ///
+    /// Row selection uses the shared devex reference weights; the ratio
+    /// test is the long-step variant with **bound flips**: boxed candidate
+    /// columns whose full flip cannot absorb the remaining violation are
+    /// flipped to their opposite bound instead of entering, which the dual
+    /// step (≥ their ratio) makes dual-consistent.
+    ///
+    /// Returns `Ok(None)` at primal feasibility (hand off to phase 2) and
+    /// `Ok(Some(tripped))` on a budget trip. `Err(Infeasible)` means no
+    /// sign-compatible entering column exists for a violated row — proof of
+    /// primal infeasibility, which the caller re-derives with a cold solve
+    /// so warm trust semantics stay identical to cold.
+    fn optimize_dual(
+        &mut self,
+        cost: &[f64],
+        options: &SimplexOptions,
+        budget: &SolveBudget,
+    ) -> Result<Option<BudgetTripped>, OptimError> {
+        let mut since_refactor = 0usize;
+        let mut weights = DevexWeights::new(self.m);
+        let mut stalled = 0usize;
+        loop {
+            if !budget.is_unlimited() {
+                if let Some(tripped) = budget.iter_tripped(self.iterations) {
+                    return Ok(Some(tripped));
+                }
+            }
+            if self.iterations >= options.max_iterations {
+                return Err(OptimError::IterationLimit {
+                    limit: options.max_iterations,
+                    incumbent: None,
+                });
+            }
+            if since_refactor >= options.refactor_interval {
+                self.refactor()?;
+                since_refactor = 0;
+            }
+
+            // Leaving row: devex-weighted worst bound violation.
+            let mut leave: Option<(usize, f64)> = None; // (position, score)
+            let mut viol = 0.0_f64;
+            for k in 0..self.m {
+                let bi = self.basis[k];
+                let v = if self.x[bi] < self.lb[bi] - options.feas_tol {
+                    self.x[bi] - self.lb[bi]
+                } else if self.x[bi] > self.ub[bi] + options.feas_tol {
+                    self.x[bi] - self.ub[bi]
+                } else {
+                    continue;
+                };
+                let score = weights.score(k, v);
+                if leave.is_none_or(|(_, best)| score > best) {
+                    leave = Some((k, score));
+                    viol = v;
+                }
+            }
+            let Some((r, _)) = leave else {
+                return Ok(None); // primal feasible
+            };
+            let bi = self.basis[r];
+            let s = if viol > 0.0 { 1.0 } else { -1.0 };
+
+            // Pivot row via one btran, then the dual ratio test.
+            let rho = self.btran_unit(r)?;
+            let y = self.duals(cost)?;
+            let mut cands: Vec<(usize, f64, f64)> = Vec::new(); // (col, ratio, alpha)
+            for j in 0..self.ncols {
+                if matches!(self.state[j], VarState::Basic(_)) || self.ub[j] <= self.lb[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(i, c) in &self.cols[j] {
+                    alpha += rho[i] * c;
+                }
+                let eligible = match self.state[j] {
+                    VarState::AtLower => s * alpha > PIVOT_TOL,
+                    VarState::AtUpper => s * alpha < -PIVOT_TOL,
+                    VarState::FreeZero => alpha.abs() > PIVOT_TOL,
+                    VarState::Basic(_) => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.reduced_cost(j, cost, &y);
+                cands.push((j, d.abs() / alpha.abs(), alpha));
+            }
+            if cands.is_empty() {
+                return Err(OptimError::Infeasible); // dual ray: no compatible column
+            }
+            // Long-step walk in ratio order: flip boxed columns the dual
+            // step passes, stop at the first column that must enter.
+            cands.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            let mut remaining = viol.abs();
+            let mut entering = None;
+            let mut flips: Vec<(usize, f64)> = Vec::new(); // (col, signed width)
+            for &(j, _, alpha) in &cands {
+                let width = self.ub[j] - self.lb[j];
+                if width.is_finite() && width * alpha.abs() < remaining - options.feas_tol {
+                    let dir = match self.state[j] {
+                        VarState::AtLower => 1.0,
+                        VarState::AtUpper => -1.0,
+                        _ => 0.0,
+                    };
+                    if dir != 0.0 {
+                        flips.push((j, dir * width));
+                        remaining -= width * alpha.abs();
+                        continue;
+                    }
+                }
+                entering = Some(j);
+                break;
+            }
+            let Some(q) = entering else {
+                // Every compatible column flips away yet violation remains:
+                // the row is unsatisfiable — same infeasibility proof.
+                return Err(OptimError::Infeasible);
+            };
+
+            let w = self.ftran(q)?;
+            let pivot = w[r];
+            if pivot.abs() <= PIVOT_TOL {
+                // Pivot-row / ftran disagreement (stale etas): refactor and
+                // retry once; a repeat is a genuine numerical failure.
+                stalled += 1;
+                if stalled > 2 {
+                    return Err(OptimError::Numerical {
+                        what: "dual simplex pivot vanished after refactorization".to_string(),
+                    });
+                }
+                self.refactor()?;
+                since_refactor = 0;
+                continue;
+            }
+            stalled = 0;
+
+            // Apply the bound flips (each one moves x_B by its column).
+            for &(j, delta) in &flips {
+                let wj = self.ftran(j)?;
+                for k in 0..self.m {
+                    let bk = self.basis[k];
+                    self.x[bk] -= delta * wj[k];
+                }
+                self.state[j] = match self.state[j] {
+                    VarState::AtLower => VarState::AtUpper,
+                    VarState::AtUpper => VarState::AtLower,
+                    other => other,
+                };
+                self.x[j] = match self.state[j] {
+                    VarState::AtLower => self.lb[j],
+                    VarState::AtUpper => self.ub[j],
+                    _ => self.x[j],
+                };
+                self.iterations += 1;
+            }
+
+            // Pivot: drive the leaving variable exactly to its violated bound.
+            let target = if viol > 0.0 { self.ub[bi] } else { self.lb[bi] };
+            let t_step = (self.x[bi] - target) / pivot;
+            self.x[q] += t_step;
+            for k in 0..self.m {
+                let bk = self.basis[k];
+                self.x[bk] -= t_step * w[k];
+            }
+            self.state[bi] = if viol > 0.0 { VarState::AtUpper } else { VarState::AtLower };
+            self.x[bi] = target;
+            self.push_eta(r, &w);
+            self.basis[r] = q;
+            self.state[q] = VarState::Basic(r);
+            since_refactor += 1;
+            weights.pivot_update(
+                r,
+                pivot,
+                w.iter().enumerate().filter(|&(_, &wk)| wk != 0.0).map(|(k, &wk)| (k, wk)),
+            );
+            self.iterations += 1;
+        }
+    }
+
     /// Runs the simplex loop on cost vector `cost` (minimization).
     ///
     /// `allow_unbounded == false` (phase 1) treats an unbounded ray as a
@@ -366,6 +724,8 @@ impl Tableau {
         let mut pricing = options.pricing;
         let mut degenerate_run = 0usize;
         let mut since_refactor = 0usize;
+        // Devex column weights (only consulted under `Pricing::Devex`).
+        let mut weights = DevexWeights::new(self.ncols);
 
         loop {
             if !budget.is_unlimited() {
@@ -434,6 +794,12 @@ impl Tableau {
                         Pricing::Dantzig => {
                             if entering.is_none_or(|(_, best, _)| mag > best) {
                                 entering = Some((j, mag, sig));
+                            }
+                        }
+                        Pricing::Devex => {
+                            let score = weights.score(j, mag);
+                            if entering.is_none_or(|(_, best, _)| score > best) {
+                                entering = Some((j, score, sig));
                             }
                         }
                     }
@@ -519,6 +885,26 @@ impl Tableau {
                 }
                 Some((r, hit)) => {
                     let leaving = self.basis[r];
+                    if pricing == Pricing::Devex && w[r].abs() > PIVOT_TOL {
+                        // Devex frame update over columns needs the pivot
+                        // row: one extra btran, only under devex pricing.
+                        let rho = self.btran_unit(r)?;
+                        let touched: Vec<(usize, f64)> = (0..self.ncols)
+                            .filter(|&j| !matches!(self.state[j], VarState::Basic(_)))
+                            .map(|j| {
+                                let mut a = 0.0;
+                                for &(i, c) in &self.cols[j] {
+                                    a += rho[i] * c;
+                                }
+                                (j, a)
+                            })
+                            .filter(|&(_, a)| a != 0.0)
+                            .collect();
+                        weights.pivot_update(q, w[r], touched.into_iter());
+                        // The entering column's refreshed weight belongs to
+                        // the leaving column, which takes its nonbasic slot.
+                        weights.set_from(leaving, q);
+                    }
                     self.state[leaving] = hit;
                     self.x[leaving] = match hit {
                         VarState::AtLower => self.lb[leaving],
@@ -615,8 +1001,98 @@ pub(crate) fn solve_budgeted(
         };
         ed_obs::counter("optim.simplex.solves", 1);
         ed_obs::counter("optim.simplex.iterations", iterations as u64);
+        if let Ok(SolveOutcome::Solved(s)) = &out {
+            if s.warm_used {
+                ed_obs::counter("optim.simplex.warm_starts", 1);
+            } else if options.warm.is_some() {
+                ed_obs::counter("optim.simplex.cold_restarts", 1);
+            }
+            if s.dual_iterations > 0 {
+                ed_obs::counter("optim.simplex.dual_iterations", s.dual_iterations as u64);
+            }
+        }
     }
     out
+}
+
+/// Runs phase 1 only (the objective row is irrelevant to it) and returns
+/// the canonical basis at its end plus the pivots spent — the shared warm
+/// seed for sibling solves over the same constraint system that differ only
+/// in their objective. A sibling installing this seed starts from exactly
+/// the state a cold solve reaches after phase 1, so its warm answer is
+/// bit-identical to its cold answer by construction.
+///
+/// Returns `Ok(None)` when the budget trips mid-phase-1.
+///
+/// # Errors
+///
+/// [`OptimError::Infeasible`] when the constraint system has no feasible
+/// point; numerical errors propagate.
+pub fn phase1_basis(
+    lp: &Model,
+    options: &SimplexOptions,
+    budget: &SolveBudget,
+) -> Result<Option<(Basis, usize)>, OptimError> {
+    let mut t = Tableau::build(lp);
+    t.install_artificials()?;
+    let mut phase1_cost = vec![0.0; t.ncols];
+    for a in (t.n_structural + t.m)..t.ncols {
+        phase1_cost[a] = 1.0;
+    }
+    let artificial_sum: f64 = ((t.n_structural + t.m)..t.ncols).map(|a| t.x[a]).sum();
+    if artificial_sum > 0.0 {
+        if t.optimize(&phase1_cost, options, false, budget)?.is_some() {
+            return Ok(None);
+        }
+        let infeas: f64 = ((t.n_structural + t.m)..t.ncols).map(|a| t.x[a].max(0.0)).sum();
+        if infeas > options.feas_tol {
+            return Err(OptimError::Infeasible);
+        }
+    }
+    t.drive_out_artificials()?;
+    Ok(Some((t.snapshot_basis(), t.iterations)))
+}
+
+/// How a warm-start attempt resolved.
+enum WarmStart {
+    /// Basis installed and primal feasible (possibly after dual pivots):
+    /// ready for phase 2.
+    Ready { dual_iterations: usize },
+    /// Budget tripped during the dual repair.
+    Tripped(BudgetTripped),
+    /// Unusable (dimension/factorization mismatch, neither primal nor dual
+    /// feasible, dual breakdown, or a dual infeasibility proof that the
+    /// cold path must re-derive): restart cold.
+    Reject,
+}
+
+/// Attempts to install and repair a warm basis on a fresh tableau.
+fn try_warm_start(
+    t: &mut Tableau,
+    warm: &Basis,
+    cost: &[f64],
+    options: &SimplexOptions,
+    budget: &SolveBudget,
+) -> WarmStart {
+    if t.install_warm(warm).is_err() {
+        return WarmStart::Reject;
+    }
+    if t.primal_infeasibility() <= options.feas_tol {
+        return WarmStart::Ready { dual_iterations: 0 };
+    }
+    // Primal infeasible: only a dual-feasible basis is repairable.
+    match t.is_dual_feasible(cost, options.opt_tol) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => return WarmStart::Reject,
+    }
+    let before = t.iterations;
+    match t.optimize_dual(cost, options, budget) {
+        Ok(None) => WarmStart::Ready { dual_iterations: t.iterations - before },
+        Ok(Some(tripped)) => WarmStart::Tripped(tripped),
+        // Includes `Err(Infeasible)`: the dual ray is a valid proof, but the
+        // cold path re-derives it so a warm start can never flip an answer.
+        Err(_) => WarmStart::Reject,
+    }
 }
 
 fn solve_budgeted_inner(
@@ -625,36 +1101,73 @@ fn solve_budgeted_inner(
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<LpSolution>, OptimError> {
     let mut t = Tableau::build(lp);
-    t.install_artificials()?;
+    let cost = t.cost.clone();
+    let mut warm_used = false;
+    let mut dual_iterations = 0usize;
 
-    // Phase 1: minimize the sum of artificials.
-    let mut phase1_cost = vec![0.0; t.ncols];
-    for a in (t.n_structural + t.m)..t.ncols {
-        phase1_cost[a] = 1.0;
-    }
-    // Skip phase 1 entirely when the artificial start is already feasible
-    // (all residuals zero), which happens for problems with zero rows.
-    let artificial_sum: f64 = ((t.n_structural + t.m)..t.ncols).map(|a| t.x[a]).sum();
-    if artificial_sum > 0.0 {
-        if let Some(tripped) = t.optimize(&phase1_cost, options, false, budget)? {
-            return Ok(SolveOutcome::Partial(Partial {
-                tripped,
-                x: None,
-                objective: None,
-                bound: None,
-                iterations: t.iterations,
-                nodes: 0,
-            }));
+    if let Some(warm) = &options.warm {
+        match try_warm_start(&mut t, warm, &cost, options, budget) {
+            WarmStart::Ready { dual_iterations: d } => {
+                warm_used = true;
+                dual_iterations = d;
+            }
+            WarmStart::Tripped(tripped) => {
+                // Mid-repair iterates are not primal feasible — same
+                // semantics as a phase-1 trip.
+                return Ok(SolveOutcome::Partial(Partial {
+                    tripped,
+                    x: None,
+                    objective: None,
+                    bound: None,
+                    iterations: t.iterations,
+                    nodes: 0,
+                }));
+            }
+            WarmStart::Reject => {
+                // Cold restart, keeping the pivots already spent in the
+                // iteration accounting.
+                let carried = t.iterations;
+                t = Tableau::build(lp);
+                t.iterations = carried;
+            }
         }
-        let infeas: f64 = ((t.n_structural + t.m)..t.ncols).map(|a| t.x[a].max(0.0)).sum();
-        if infeas > options.feas_tol {
-            return Err(OptimError::Infeasible);
-        }
     }
-    t.drive_out_artificials()?;
+
+    if !warm_used {
+        t.install_artificials()?;
+
+        // Phase 1: minimize the sum of artificials.
+        let mut phase1_cost = vec![0.0; t.ncols];
+        for a in (t.n_structural + t.m)..t.ncols {
+            phase1_cost[a] = 1.0;
+        }
+        // Skip phase 1 entirely when the artificial start is already feasible
+        // (all residuals zero), which happens for problems with zero rows.
+        let artificial_sum: f64 = ((t.n_structural + t.m)..t.ncols).map(|a| t.x[a]).sum();
+        if artificial_sum > 0.0 {
+            if let Some(tripped) = t.optimize(&phase1_cost, options, false, budget)? {
+                return Ok(SolveOutcome::Partial(Partial {
+                    tripped,
+                    x: None,
+                    objective: None,
+                    bound: None,
+                    iterations: t.iterations,
+                    nodes: 0,
+                }));
+            }
+            let infeas: f64 = ((t.n_structural + t.m)..t.ncols).map(|a| t.x[a].max(0.0)).sum();
+            if infeas > options.feas_tol {
+                return Err(OptimError::Infeasible);
+            }
+        }
+        t.drive_out_artificials()?;
+        // Canonical phase-2 start: the same state a warm sibling reaches by
+        // installing this solve's phase-1 seed basis (see `phase1_basis`).
+        t.canonicalize_basis();
+        t.refactor()?;
+    }
 
     // Phase 2.
-    let cost = t.cost.clone();
     let tripped = t.optimize(&cost, options, true, budget)?;
     if let Some(tripped) = tripped {
         // Clean up the factorization if possible so the incumbent read below
@@ -672,6 +1185,9 @@ fn solve_budgeted_inner(
             nodes: 0,
         }));
     }
+    // Canonical final basis: any pivot path that ends at this basis set
+    // reports bit-identical numbers (warm-vs-cold determinism).
+    t.canonicalize_basis();
     t.refactor()?;
 
     // Assemble the solution.
@@ -703,6 +1219,9 @@ fn solve_budgeted_inner(
         duals,
         reduced_costs: reduced,
         iterations: t.iterations,
+        basis: Some(t.snapshot_basis()),
+        warm_used,
+        dual_iterations,
     }))
 }
 

@@ -7,9 +7,11 @@
 //! simplex solve, and two bound restores. Node relaxations call the simplex
 //! kernel directly, bypassing the per-solve presolve gate.
 
+use std::sync::Arc;
+
 use crate::budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
 use crate::lp::simplex;
-use crate::lp::{Sense, SimplexOptions, VarId};
+use crate::lp::{Basis, Sense, SimplexOptions, VarId};
 use crate::milp::problem::{MilpProblem, MilpSolution};
 use crate::model::presolve::{self, Postsolve};
 use crate::model::Model;
@@ -32,6 +34,11 @@ pub struct MilpOptions {
     /// Presolve the root model before branching: `Some(flag)` forces it,
     /// `None` defers to the `ED_PRESOLVE` environment variable.
     pub presolve: Option<bool>,
+    /// Hand each child node its parent's optimal basis as a warm start
+    /// (dual-feasible after a bound-only change, repaired by the dual
+    /// simplex). The root itself warm-starts from `simplex.warm` when set.
+    /// Disabling this never changes answers — only iteration counts.
+    pub warm: bool,
 }
 
 impl Default for MilpOptions {
@@ -44,6 +51,7 @@ impl Default for MilpOptions {
             simplex: SimplexOptions::default(),
             incumbent_hint: None,
             presolve: None,
+            warm: true,
         }
     }
 }
@@ -55,6 +63,10 @@ struct Node {
     overrides: Vec<Override>,
     /// Parent relaxation bound in *internal* (minimization) units.
     bound: f64,
+    /// Parent relaxation's optimal basis: dual-feasible for this node (only
+    /// bounds changed), so the child relaxation starts from the dual simplex
+    /// instead of a cold two-phase solve. Shared between siblings.
+    basis: Option<Arc<Basis>>,
 }
 
 /// Converts an objective in the problem sense to internal min units.
@@ -93,6 +105,8 @@ pub(crate) fn solve_budgeted(
         let nodes = match &out {
             Ok(SolveOutcome::Solved(s)) => s.nodes,
             Ok(SolveOutcome::Partial(p)) => p.nodes,
+            // The node budget was spent in full before the limit fired.
+            Err(OptimError::NodeLimit { limit, .. }) => *limit,
             Err(_) => 0,
         };
         ed_obs::counter("optim.bb.solves", 1);
@@ -131,8 +145,16 @@ fn solve_budgeted_inner(
         .unwrap_or(f64::INFINITY);
     let mut nodes = 0usize;
     let mut lp_iterations = 0usize;
+    let mut warm_starts = 0usize;
+    let mut cold_restarts = 0usize;
+    let mut incumbent_basis: Option<Basis> = None;
     let mut tripped: Option<BudgetTripped> = None;
-    let mut stack = vec![Node { overrides: Vec::new(), bound: f64::NEG_INFINITY }];
+    // Per-node simplex options: the warm slot is rewritten for every node,
+    // everything else is shared. The root inherits any caller-supplied seed.
+    let mut node_simplex = options.simplex.clone();
+    let root_basis = node_simplex.warm.take().map(Arc::new);
+    let mut stack =
+        vec![Node { overrides: Vec::new(), bound: f64::NEG_INFINITY, basis: root_basis }];
 
     while let Some(node) = stack.pop() {
         // Bound-based pruning against the incumbent (or hint).
@@ -167,7 +189,13 @@ fn solve_budgeted_inner(
         for &(v, l, u) in &node.overrides {
             lp.set_bounds(v, l, u);
         }
-        let result = simplex::solve_budgeted(&lp, &options.simplex, &budget.wall_only());
+        node_simplex.warm = if options.warm {
+            node.basis.as_deref().cloned()
+        } else {
+            None
+        };
+        let warm_offered = node_simplex.warm.is_some();
+        let result = simplex::solve_budgeted(&lp, &node_simplex, &budget.wall_only());
         for &(v, l, u) in &saved {
             lp.set_bounds(v, l, u);
         }
@@ -194,6 +222,13 @@ fn solve_budgeted_inner(
             Err(e) => return Err(e),
         };
         lp_iterations += sol.iterations;
+        if warm_offered {
+            if sol.warm_used {
+                warm_starts += 1;
+            } else {
+                cold_restarts += 1;
+            }
+        }
         let node_obj = to_internal(sense, sol.objective);
         if node_obj >= incumbent_cut - options.gap_abs {
             *pruned += 1;
@@ -213,11 +248,13 @@ fn solve_budgeted_inner(
             }
         }
 
+        let child_basis = sol.basis.map(Arc::new);
         match branch {
             None => {
                 // Integer feasible: new incumbent.
                 incumbent_cut = node_obj;
                 incumbent = Some((sol.x, node_obj));
+                incumbent_basis = child_basis.as_deref().cloned();
             }
             Some((v, val, _)) => {
                 let (l, u) = {
@@ -238,12 +275,12 @@ fn solve_budgeted_inner(
                 let down = (floor >= l).then(|| {
                     let mut o = node.overrides.clone();
                     o.push((v, l, floor));
-                    Node { overrides: o, bound: node_obj }
+                    Node { overrides: o, bound: node_obj, basis: child_basis.clone() }
                 });
                 let up = (ceil <= u).then(|| {
                     let mut o = node.overrides.clone();
                     o.push((v, ceil, u));
-                    Node { overrides: o, bound: node_obj }
+                    Node { overrides: o, bound: node_obj, basis: child_basis.clone() }
                 });
                 // Explore the branch nearest the fractional value first
                 // (pushed last so it pops first).
@@ -293,6 +330,10 @@ fn solve_budgeted_inner(
                 proved_optimal: proved,
                 nodes,
                 lp_iterations,
+                warm_starts,
+                cold_restarts,
+                // A reduced-space basis does not transfer through postsolve.
+                basis: if use_presolve { None } else { incumbent_basis },
             }))
         }
         None => {
@@ -303,6 +344,9 @@ fn solve_budgeted_inner(
                     limit: options.max_nodes,
                     incumbent: None,
                     bound: from_internal(sense, frontier_bound) + offset,
+                    lp_iterations,
+                    warm_starts,
+                    cold_restarts,
                 })
             }
         }

@@ -34,6 +34,15 @@ pub struct MilpSolution {
     pub nodes: usize,
     /// Total simplex iterations across all node relaxations.
     pub lp_iterations: usize,
+    /// Node relaxations that accepted their parent's basis as a warm start.
+    pub warm_starts: usize,
+    /// Node relaxations that were offered a warm basis but fell back to a
+    /// cold two-phase solve.
+    pub cold_restarts: usize,
+    /// Optimal basis of the incumbent's relaxation, for hand-off to sibling
+    /// solves; `None` when presolve was active (reduced-space bases do not
+    /// transfer) or no incumbent basis survived.
+    pub basis: Option<crate::lp::Basis>,
 }
 
 impl MilpSolution {

@@ -165,6 +165,18 @@ pub struct LpSolution {
     pub reduced_costs: Vec<f64>,
     /// Total simplex iterations across both phases.
     pub iterations: usize,
+    /// The optimal basis, reusable as a warm start for a sibling model
+    /// (same constraints, patched objective) or a child model (same
+    /// objective, patched bounds). `None` when the solution was mapped
+    /// through postsolve — a reduced-space basis does not transfer to the
+    /// full space.
+    pub basis: Option<crate::lp::basis::Basis>,
+    /// Whether a warm-start basis was actually installed for this solve
+    /// (`false` also when one was supplied but rejected — a cold restart).
+    pub warm_used: bool,
+    /// Dual simplex pivots spent restoring primal feasibility after a
+    /// warm start (0 on cold or primal-feasible-warm solves).
+    pub dual_iterations: usize,
 }
 
 /// The unified sparse optimization model: bounded variables, sparse
@@ -552,6 +564,7 @@ impl Model {
             proved_optimal: true,
             iterations: s.iterations,
             nodes: 0,
+            basis: None,
         };
         if crate::certify::certify(self, &as_solution(&restored), &tol).passed() {
             return restored;

@@ -773,6 +773,11 @@ impl Postsolve {
             duals,
             reduced_costs: rc,
             iterations: sol.iterations,
+            // A basis recorded in the reduced space does not transfer to the
+            // full space, so postsolved solutions carry none.
+            basis: None,
+            warm_used: sol.warm_used,
+            dual_iterations: sol.dual_iterations,
         }
     }
 }

@@ -17,7 +17,7 @@
 
 use crate::budget::{Partial, SolveBudget, SolveOutcome};
 use crate::certify::Tolerances;
-use crate::lp::SimplexOptions;
+use crate::lp::{Basis, BasisStatus, SimplexOptions};
 use crate::milp::{MilpOptions, MilpProblem};
 use crate::model::Model;
 use crate::mpec::{MpecOptions, MpecProblem};
@@ -45,6 +45,11 @@ pub struct Solution {
     pub iterations: usize,
     /// Branch-and-bound nodes explored (0 for continuous solvers).
     pub nodes: usize,
+    /// Optimal simplex basis when the solving family produces one (pure
+    /// simplex, or the incumbent relaxation of a branch-and-bound tree);
+    /// `None` for interior methods and postsolved solutions. Callers hand
+    /// this to [`Solver::solve_warm`] of a sibling solve.
+    pub basis: Option<Basis>,
 }
 
 /// A solver family that consumes the shared [`Model`] IR.
@@ -64,6 +69,26 @@ pub trait Solver {
         model: &Model,
         budget: &SolveBudget,
     ) -> Result<SolveOutcome<Solution>, OptimError>;
+
+    /// Solves `model` with a basis from a previous (sibling or parent)
+    /// solve offered as a warm start. The default ignores the basis —
+    /// families that can exploit one override this. Implementations must
+    /// treat the basis as a *hint only*: a stale or corrupt basis may cost
+    /// iterations but never changes the returned answer (fail-safe install
+    /// falls back to the cold path).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Solver::solve`].
+    fn solve_warm(
+        &self,
+        model: &Model,
+        budget: &SolveBudget,
+        warm: Option<&Basis>,
+    ) -> Result<SolveOutcome<Solution>, OptimError> {
+        let _ = warm;
+        self.solve(model, budget)
+    }
 
     /// A copy of this solver with its numerical tolerances retargeted to
     /// `tol` (mapping each family's option fields from the unified
@@ -119,7 +144,20 @@ impl Solver for SimplexSolver {
             proved_optimal: true,
             iterations: s.iterations,
             nodes: 0,
+            basis: s.basis,
         }))
+    }
+
+    fn solve_warm(
+        &self,
+        model: &Model,
+        budget: &SolveBudget,
+        warm: Option<&Basis>,
+    ) -> Result<SolveOutcome<Solution>, OptimError> {
+        let Some(warm) = warm else { return self.solve(model, budget) };
+        let mut warmed = self.clone();
+        warmed.options.warm = Some(warm.clone());
+        warmed.solve(model, budget)
     }
 
     fn with_tolerances(&self, tol: &Tolerances) -> Box<dyn Solver> {
@@ -161,7 +199,31 @@ fn qp_to_solution(model: &Model, dense: &DenseQp, s: QpSolution) -> Solution {
         proved_optimal: true,
         iterations: s.iterations,
         nodes: 0,
+        basis: None,
     }
+}
+
+/// Maps an LP [`Basis`] onto the dense QP view's inequality indices: the
+/// rows and bounds the basis held tight become the warm working-set hint.
+/// Returns `None` when the basis was recorded against different dimensions.
+fn qp_warm_hint(model: &Model, dense: &DenseQp, warm: &Basis) -> Option<Vec<usize>> {
+    if !warm.dims_match(model.num_vars(), model.num_rows()) {
+        return None;
+    }
+    let n = model.num_vars();
+    let mut hint = Vec::new();
+    for (k, src) in dense.ineq_src.iter().enumerate() {
+        let tight = match *src {
+            // A nonbasic slack means the row held with equality.
+            IneqSrc::Row { row, .. } => !matches!(warm.statuses[n + row], BasisStatus::Basic),
+            IneqSrc::Lower(j) => matches!(warm.statuses[j], BasisStatus::AtLower),
+            IneqSrc::Upper(j) => matches!(warm.statuses[j], BasisStatus::AtUpper),
+        };
+        if tight {
+            hint.push(k);
+        }
+    }
+    Some(hint)
 }
 
 /// Re-expresses a QP kernel partial (minimization form) in the model's
@@ -198,6 +260,27 @@ impl Solver for ActiveSetSolver {
         model.validate()?;
         let dense = DenseQp::from_model(model);
         match active_set::solve_budgeted(&dense, &self.options, budget)? {
+            SolveOutcome::Solved(s) => {
+                Ok(SolveOutcome::Solved(qp_to_solution(model, &dense, s)))
+            }
+            SolveOutcome::Partial(p) => {
+                Ok(SolveOutcome::Partial(qp_reprice_partial(model, dense.sign, p)))
+            }
+        }
+    }
+
+    fn solve_warm(
+        &self,
+        model: &Model,
+        budget: &SolveBudget,
+        warm: Option<&Basis>,
+    ) -> Result<SolveOutcome<Solution>, OptimError> {
+        let Some(warm) = warm else { return self.solve(model, budget) };
+        model.validate()?;
+        let dense = DenseQp::from_model(model);
+        let mut options = self.options.clone();
+        options.warm_active = qp_warm_hint(model, &dense, warm);
+        match active_set::solve_budgeted(&dense, &options, budget)? {
             SolveOutcome::Solved(s) => {
                 Ok(SolveOutcome::Solved(qp_to_solution(model, &dense, s)))
             }
@@ -341,7 +424,20 @@ impl Solver for BranchBoundSolver {
             proved_optimal: s.proved_optimal,
             iterations: s.lp_iterations,
             nodes: s.nodes,
+            basis: s.basis,
         }))
+    }
+
+    fn solve_warm(
+        &self,
+        model: &Model,
+        budget: &SolveBudget,
+        warm: Option<&Basis>,
+    ) -> Result<SolveOutcome<Solution>, OptimError> {
+        let Some(warm) = warm else { return self.solve(model, budget) };
+        let mut warmed = self.clone();
+        warmed.options.simplex.warm = Some(warm.clone());
+        warmed.solve(model, budget)
     }
 
     fn with_tolerances(&self, tol: &Tolerances) -> Box<dyn Solver> {
@@ -385,7 +481,20 @@ impl Solver for MpecSolver {
             proved_optimal: s.proved_optimal,
             iterations: s.lp_iterations,
             nodes: s.nodes,
+            basis: s.basis,
         }))
+    }
+
+    fn solve_warm(
+        &self,
+        model: &Model,
+        budget: &SolveBudget,
+        warm: Option<&Basis>,
+    ) -> Result<SolveOutcome<Solution>, OptimError> {
+        let Some(warm) = warm else { return self.solve(model, budget) };
+        let mut warmed = self.clone();
+        warmed.options.simplex.warm = Some(warm.clone());
+        warmed.solve(model, budget)
     }
 
     fn with_tolerances(&self, tol: &Tolerances) -> Box<dyn Solver> {

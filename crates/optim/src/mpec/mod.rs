@@ -35,9 +35,11 @@
 //! # }
 //! ```
 
+use std::sync::Arc;
+
 use crate::budget::{BudgetTripped, Partial, SolveBudget, SolveOutcome};
 use crate::lp::simplex;
-use crate::lp::{LpProblem, Sense, SimplexOptions, VarId};
+use crate::lp::{Basis, LpProblem, Sense, SimplexOptions, VarId};
 use crate::model::presolve::{self, Postsolve};
 use crate::model::Model;
 use crate::OptimError;
@@ -59,6 +61,11 @@ pub struct MpecOptions {
     /// Presolve the root model before branching: `Some(flag)` forces it,
     /// `None` defers to the `ED_PRESOLVE` environment variable.
     pub presolve: Option<bool>,
+    /// Hand each child node its parent's optimal basis as a warm start
+    /// (dual-feasible after a bound-only change, repaired by the dual
+    /// simplex). The root itself warm-starts from `simplex.warm` when set.
+    /// Disabling this never changes answers — only iteration counts.
+    pub warm: bool,
 }
 
 impl Default for MpecOptions {
@@ -73,6 +80,7 @@ impl Default for MpecOptions {
             simplex: SimplexOptions::default(),
             incumbent_hint: None,
             presolve: None,
+            warm: true,
         }
     }
 }
@@ -92,6 +100,15 @@ pub struct MpecSolution {
     pub nodes: usize,
     /// Total simplex iterations.
     pub lp_iterations: usize,
+    /// Node relaxations that accepted their parent's basis as a warm start.
+    pub warm_starts: usize,
+    /// Node relaxations that were offered a warm basis but fell back to a
+    /// cold two-phase solve.
+    pub cold_restarts: usize,
+    /// Optimal basis of the incumbent's relaxation, for hand-off to sibling
+    /// solves; `None` when presolve was active (reduced-space bases do not
+    /// transfer) or no incumbent basis survived.
+    pub basis: Option<Basis>,
 }
 
 impl MpecSolution {
@@ -208,6 +225,8 @@ impl MpecProblem {
             let nodes = match &out {
                 Ok(SolveOutcome::Solved(s)) => s.nodes,
                 Ok(SolveOutcome::Partial(p)) => p.nodes,
+                // The node budget was spent in full before the limit fired.
+                Err(OptimError::NodeLimit { limit, .. }) => *limit,
                 Err(_) => 0,
             };
             ed_obs::counter("optim.bb.solves", 1);
@@ -244,6 +263,9 @@ impl MpecProblem {
             /// Variables forced to zero (their ub is set to 0).
             fixed: Vec<VarId>,
             bound: f64,
+            /// Parent relaxation's optimal basis (dual-feasible after the
+            /// bound-only fix), shared between siblings.
+            basis: Option<Arc<Basis>>,
         }
 
         let mut incumbent: Option<(Vec<f64>, f64)> = None; // (reduced x, internal obj)
@@ -253,8 +275,15 @@ impl MpecProblem {
             .unwrap_or(f64::INFINITY);
         let mut nodes = 0usize;
         let mut lp_iterations = 0usize;
+        let mut warm_starts = 0usize;
+        let mut cold_restarts = 0usize;
+        let mut incumbent_basis: Option<Basis> = None;
         let mut tripped: Option<BudgetTripped> = None;
-        let mut stack = vec![Node { fixed: Vec::new(), bound: f64::NEG_INFINITY }];
+        // Per-node simplex options: only the warm slot changes node to node.
+        let mut node_simplex = options.simplex.clone();
+        let root_basis = node_simplex.warm.take().map(Arc::new);
+        let mut stack =
+            vec![Node { fixed: Vec::new(), bound: f64::NEG_INFINITY, basis: root_basis }];
 
         while let Some(node) = stack.pop() {
             if node.bound >= incumbent_cut - options.gap_abs {
@@ -297,7 +326,13 @@ impl MpecProblem {
             for &v in &node.fixed {
                 lp.set_bounds(v, 0.0, 0.0);
             }
-            let result = simplex::solve_budgeted(&lp, &options.simplex, &budget.wall_only());
+            node_simplex.warm = if options.warm {
+                node.basis.as_deref().cloned()
+            } else {
+                None
+            };
+            let warm_offered = node_simplex.warm.is_some();
+            let result = simplex::solve_budgeted(&lp, &node_simplex, &budget.wall_only());
             for &(v, l, u) in &saved {
                 lp.set_bounds(v, l, u);
             }
@@ -320,12 +355,20 @@ impl MpecProblem {
                 Err(e) => return Err(e),
             };
             lp_iterations += sol.iterations;
+            if warm_offered {
+                if sol.warm_used {
+                    warm_starts += 1;
+                } else {
+                    cold_restarts += 1;
+                }
+            }
             let node_obj = to_internal(sense, sol.objective);
             if node_obj >= incumbent_cut - options.gap_abs {
                 *pruned += 1;
                 continue;
             }
 
+            let child_basis = sol.basis.map(Arc::new);
             match violation(&pairs, &sol.x, 1.0) {
                 Some((pair, viol)) if viol > options.comp_tol => {
                     let (a, b) = pairs[pair];
@@ -335,17 +378,23 @@ impl MpecProblem {
                     fix_a.push(a);
                     let mut fix_b = node.fixed.clone();
                     fix_b.push(b);
+                    let mk = |fixed: Vec<VarId>| Node {
+                        fixed,
+                        bound: node_obj,
+                        basis: child_basis.clone(),
+                    };
                     if sol.x[a.index()] <= sol.x[b.index()] {
-                        stack.push(Node { fixed: fix_b, bound: node_obj });
-                        stack.push(Node { fixed: fix_a, bound: node_obj });
+                        stack.push(mk(fix_b));
+                        stack.push(mk(fix_a));
                     } else {
-                        stack.push(Node { fixed: fix_a, bound: node_obj });
-                        stack.push(Node { fixed: fix_b, bound: node_obj });
+                        stack.push(mk(fix_a));
+                        stack.push(mk(fix_b));
                     }
                 }
                 _ => {
                     incumbent_cut = node_obj;
                     incumbent = Some((sol.x, node_obj));
+                    incumbent_basis = child_basis.as_deref().cloned();
                 }
             }
         }
@@ -381,6 +430,10 @@ impl MpecProblem {
                     proved_optimal: proved,
                     nodes,
                     lp_iterations,
+                    warm_starts,
+                    cold_restarts,
+                    // Reduced-space bases do not transfer through postsolve.
+                    basis: if use_presolve { None } else { incumbent_basis },
                 }))
             }
             None => {
@@ -391,6 +444,9 @@ impl MpecProblem {
                         limit: options.max_nodes,
                         incumbent: None,
                         bound: to_internal(sense, frontier_bound) + offset,
+                        lp_iterations,
+                        warm_starts,
+                        cold_restarts,
                     })
                 }
             }

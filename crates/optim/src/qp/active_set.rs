@@ -2,7 +2,7 @@
 
 use crate::budget::{Partial, SolveBudget, SolveOutcome};
 use crate::lp::{LpProblem, Row};
-use crate::qp::problem::{DenseQp, QpSolution};
+use crate::qp::problem::{DenseQp, IneqSrc, QpSolution};
 use crate::OptimError;
 use ed_linalg::{dot, Lu, Matrix};
 
@@ -22,6 +22,11 @@ pub struct QpOptions {
     pub kkt_regularization: f64,
     /// Interior-point fallback options.
     pub ipm: crate::qp::IpmOptions,
+    /// Preferred inequality indices (dense-view order) to seed the working
+    /// set with — e.g. the rows a warm LP basis held tight. Hinted indices
+    /// not actually active at the phase-1 start are ignored, so a stale
+    /// hint can cost iterations but never changes the answer.
+    pub warm_active: Option<Vec<usize>>,
 }
 
 impl Default for QpOptions {
@@ -34,6 +39,7 @@ impl Default for QpOptions {
             step_tol: tol.opt,
             kkt_regularization: 1e-12,
             ipm: crate::qp::IpmOptions::default(),
+            warm_active: None,
         }
     }
 }
@@ -45,16 +51,30 @@ impl Default for QpOptions {
 /// in, which keeps the subsequent active-set path short (a zero-objective
 /// start can land at an arbitrary far-away vertex and force thousands of
 /// zigzag steps across a congested polytope).
+///
+/// Bound-derived inequality rows are folded back into *variable bounds*:
+/// the bounded-variable simplex treats a box with ratio-test bound flips,
+/// whereas the same box written as `2n` singleton rows costs hundreds of
+/// extra pivots (and a basis of twice the size) on dispatch-shaped QPs.
 fn feasible_start(qp: &DenseQp) -> Result<Vec<f64>, OptimError> {
     let mut lp = LpProblem::minimize();
-    let vars: Vec<_> = (0..qp.n)
-        .map(|j| lp.add_var(f64::NEG_INFINITY, f64::INFINITY, qp.c[j]))
-        .collect();
+    let mut lb = vec![f64::NEG_INFINITY; qp.n];
+    let mut ub = vec![f64::INFINITY; qp.n];
+    for (k, src) in qp.ineq_src.iter().enumerate() {
+        match *src {
+            IneqSrc::Lower(j) => lb[j] = -qp.b_in[k],
+            IneqSrc::Upper(j) => ub[j] = qp.b_in[k],
+            IneqSrc::Row { .. } => {}
+        }
+    }
+    let vars: Vec<_> = (0..qp.n).map(|j| lp.add_var(lb[j], ub[j], qp.c[j])).collect();
     for (a, &b) in qp.a_eq.iter().zip(&qp.b_eq) {
         lp.add_row(Row::eq(b).coefs(vars.iter().zip(a).map(|(&v, &c)| (v, c))));
     }
-    for (a, &b) in qp.a_in.iter().zip(&qp.b_in) {
-        lp.add_row(Row::le(b).coefs(vars.iter().zip(a).map(|(&v, &c)| (v, c))));
+    for ((a, &b), src) in qp.a_in.iter().zip(&qp.b_in).zip(&qp.ineq_src) {
+        if matches!(src, IneqSrc::Row { .. }) {
+            lp.add_row(Row::le(b).coefs(vars.iter().zip(a).map(|(&v, &c)| (v, c))));
+        }
     }
     match lp.solve() {
         Ok(sol) => Ok(sol.x),
@@ -236,11 +256,21 @@ fn solve_once(
 
     // Working set: start from the inequality constraints active at the
     // phase-1 vertex, added greedily (dependent rows are tolerated thanks to
-    // KKT regularization, but we cap the working set at n - me rows).
+    // KKT regularization, but we cap the working set at n - me rows). A warm
+    // hint reorders the greedy pass so the rows a previous basis held tight
+    // claim their working-set slots first.
     let me = qp.a_eq.len();
     let mut w: Vec<usize> = Vec::new();
-    for (i, (a, &b)) in qp.a_in.iter().zip(&qp.b_in).enumerate() {
-        if (dot(a, &x) - b).abs() <= options.feas_tol && w.len() + me < n {
+    let active = |i: usize| (dot(&qp.a_in[i], &x) - qp.b_in[i]).abs() <= options.feas_tol;
+    if let Some(hint) = &options.warm_active {
+        for &i in hint {
+            if i < qp.a_in.len() && active(i) && !w.contains(&i) && w.len() + me < n {
+                w.push(i);
+            }
+        }
+    }
+    for i in 0..qp.a_in.len() {
+        if active(i) && !w.contains(&i) && w.len() + me < n {
             w.push(i);
         }
     }

@@ -11,6 +11,7 @@
 
 use crate::metrics::{bump, metrics};
 use ed_core::dispatch::ResilientDispatcher;
+use ed_optim::lp::Basis;
 use ed_powerflow::{FactorCache, Network};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -27,6 +28,34 @@ pub struct CaseEntry {
     /// serializes dispatches *per case*, which is also what keeps the LKG
     /// hand-off race-free.
     pub dispatcher: Mutex<ResilientDispatcher>,
+    /// Last fully-certified sweep's shared seed basis, keyed by a
+    /// fingerprint of the sweep parameters (DLR lines, bounds, true
+    /// ratings, demand): a repeat `/sweep` of the same case skips the
+    /// shared phase-1 solve entirely. One slot per case bounds memory;
+    /// the attack layer re-validates dimensions before trusting it, and
+    /// certified invalidation drops it with the rest of the entry.
+    pub sweep_basis: Mutex<Option<(u64, Basis)>>,
+}
+
+impl CaseEntry {
+    /// The stored sweep seed basis, if one was recorded under `key`.
+    pub fn sweep_basis_for(&self, key: u64) -> Option<Basis> {
+        let slot = self
+            .sweep_basis
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        slot.as_ref().filter(|(k, _)| *k == key).map(|(_, b)| b.clone())
+    }
+
+    /// Records `basis` as the warm seed for sweeps keyed by `key`. Callers
+    /// must only store bases from **fully certified** sweeps.
+    pub fn store_sweep_basis(&self, key: u64, basis: Basis) {
+        let mut slot = self
+            .sweep_basis
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = Some((key, basis));
+    }
 }
 
 /// The set of named cases the service will build.
@@ -85,6 +114,7 @@ impl WarmCache {
             net: Arc::new(net),
             factors: Arc::new(factors),
             dispatcher: Mutex::new(ResilientDispatcher::new()),
+            sweep_basis: Mutex::new(None),
         });
         // Double-build race on a cold miss is harmless: last writer wins
         // and the loser's Arc drops when its requests finish.
@@ -143,6 +173,28 @@ mod tests {
             Ok(_) => panic!("unknown case must not build"),
         };
         assert!(err.contains("unknown case"), "{err}");
+    }
+
+    #[test]
+    fn sweep_basis_is_keyed_and_dropped_on_invalidation() {
+        use ed_optim::lp::BasisStatus;
+        let cache = WarmCache::new();
+        let entry = cache.entry("three_bus").unwrap();
+        let basis = Basis {
+            statuses: vec![BasisStatus::Basic, BasisStatus::AtLower],
+            art_rows: Vec::new(),
+        };
+        assert!(entry.sweep_basis_for(7).is_none(), "cold slot must miss");
+        entry.store_sweep_basis(7, basis.clone());
+        assert_eq!(entry.sweep_basis_for(7), Some(basis.clone()));
+        assert!(entry.sweep_basis_for(8).is_none(), "wrong key must miss");
+        // A newer sweep under different parameters displaces the slot.
+        entry.store_sweep_basis(9, basis);
+        assert!(entry.sweep_basis_for(7).is_none());
+        // Certified invalidation rebuilds a cold entry — no basis survives.
+        assert!(cache.invalidate("three_bus"));
+        let fresh = cache.entry("three_bus").unwrap();
+        assert!(fresh.sweep_basis_for(9).is_none());
     }
 
     #[test]

@@ -428,6 +428,30 @@ fn sweep(state: &AppState, body: &Json, deadline: Instant) -> Response {
         config.options.node_limit = (nodes as usize).clamp(1, 1_000_000);
     }
 
+    // Warm-start a repeat sweep from the last fully-certified run's seed
+    // basis, keyed by the sweep parameters. The attack layer re-validates
+    // dimensions and certifies every answer, so a stale entry can cost
+    // iterations but never change a result.
+    let sweep_key = {
+        let mut bytes = case.as_bytes().to_vec();
+        for l in &config.dlr_lines {
+            bytes.extend_from_slice(&(l.0 as u64).to_le_bytes());
+        }
+        for v in config.u_min.iter().chain(&config.u_max).chain(&config.u_d) {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        if let Some(demand) = &config.demand_mw {
+            for v in demand {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        crate::cache::fingerprint(&bytes)
+    };
+    config.options.warm_basis = entry.sweep_basis_for(sweep_key);
+    if config.options.warm_basis.is_some() {
+        bump(&metrics().sweep_basis_hits);
+    }
+
     let res = match optimal_attack(&entry.net, &config) {
         Ok(r) => r,
         Err(e) => return core_error_refusal(&e),
@@ -446,13 +470,22 @@ fn sweep(state: &AppState, body: &Json, deadline: Instant) -> Response {
         );
     }
 
+    // Only a fully-certified sweep may donate its seed basis to future
+    // requests — an uncertified one already refused above, and a sweep
+    // with no certificates (certify off) is not trusted warm state.
+    if let Some(basis) = res.seed_basis.clone() {
+        if res.sweep.certified + res.sweep.cert_repaired == res.subproblems.len() {
+            entry.store_sweep_basis(sweep_key, basis);
+        }
+    }
+
     let target = match res.target {
         Some((line, dir)) => format!("{{\"line\":{},\"direction\":{}}}", line.0, dir),
         None => "null".to_string(),
     };
     bump(&metrics().served_ok);
     Response::ok(format!(
-        "{{\"status\":\"ok\",\"ucap_pct\":{},\"overload_mw\":{},\"ua_mw\":{},\"target\":{},\"subproblems\":{},\"sweep\":{{\"certified\":{},\"cert_repaired\":{},\"uncertified\":{},\"heuristic_floor\":{},\"total_nodes\":{}}}}}",
+        "{{\"status\":\"ok\",\"ucap_pct\":{},\"overload_mw\":{},\"ua_mw\":{},\"target\":{},\"subproblems\":{},\"sweep\":{{\"certified\":{},\"cert_repaired\":{},\"uncertified\":{},\"heuristic_floor\":{},\"basis_reuse\":{},\"warm_fallbacks\":{},\"total_nodes\":{}}}}}",
         num(res.ucap_pct),
         num(res.overload_mw),
         num_array(&res.ua_mw),
@@ -462,6 +495,8 @@ fn sweep(state: &AppState, body: &Json, deadline: Instant) -> Response {
         res.sweep.cert_repaired,
         res.sweep.uncertified,
         res.sweep.heuristic_floor,
+        res.sweep.warm_starts,
+        res.sweep.warm_fallbacks,
         res.total_nodes,
     ))
 }

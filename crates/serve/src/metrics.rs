@@ -62,6 +62,8 @@ service_metrics! {
     cache_misses,
     /// Cache entries evicted by certified invalidation.
     cache_invalidations,
+    /// `/sweep` requests that started from a stored certified seed basis.
+    sweep_basis_hits,
     /// Responses the server failed to write (client gone).
     write_failures,
 }
@@ -81,6 +83,7 @@ static METRICS: Metrics = Metrics {
     cache_hits: AtomicU64::new(0),
     cache_misses: AtomicU64::new(0),
     cache_invalidations: AtomicU64::new(0),
+    sweep_basis_hits: AtomicU64::new(0),
     write_failures: AtomicU64::new(0),
 };
 
@@ -117,6 +120,7 @@ mod tests {
             "cache_hits",
             "cache_misses",
             "cache_invalidations",
+            "sweep_basis_hits",
             "write_failures",
         ] {
             assert!(j.contains(&format!("\"{key}\":")), "{j}");

@@ -18,6 +18,13 @@
 # certificate counters (`certified` / `cert_repaired` / `uncertified` /
 # `heuristic_floor`) of the certify-on run.
 #
+# The `warm` object tracks the basis hand-off payoff: wall clocks of the
+# widest sweep with warm starts on vs off (`speedup`), whether the two
+# answers were bit-identical (`warm_equals_cold`), the warm-start
+# acceptance counters (`warm_starts` / `cold_restarts` /
+# `warm_fallbacks`), the shared phase-1 seed cost (`seed_iterations`),
+# and the per-subproblem node / simplex-iteration medians.
+#
 # The `trace` object tracks the cost and content of observability (ed-obs):
 # wall clocks of the sweep with ED_TRACE off vs on, a calibrated bound on
 # what the *disabled* instrumentation costs a production sweep

@@ -66,6 +66,24 @@ if [ -f BENCH_attack.json ]; then
         exit 1
     fi
     echo "==> trace overhead guard: ${overhead}% < 2% OK"
+
+    # Certified-floor guard: the committed 118-bus sweep must run with a
+    # real node budget (nodes explored > 0) and still report no bare
+    # heuristic floors — every node-limited subproblem promotes its
+    # incumbent to an independently certified KKT point. The first
+    # "heuristic_floor" in the file is the 118-bus sweep's (the
+    # exact_cases entries come later).
+    floor="$(sed -n 's/.*"heuristic_floor": \([0-9]*\).*/\1/p' BENCH_attack.json | head -n1)"
+    nodes="$(sed -n 's/.*"total_nodes": \([0-9]*\).*/\1/p' BENCH_attack.json | head -n1)"
+    if [ -z "$floor" ] || [ -z "$nodes" ]; then
+        echo "FAILED: BENCH_attack.json lacks heuristic_floor/total_nodes (rerun scripts/bench_attack.sh)" >&2
+        exit 1
+    fi
+    if [ "$floor" -ne 0 ] || [ "$nodes" -eq 0 ]; then
+        echo "FAILED: 118-bus sweep must certify every floor with real node budgets (heuristic_floor=$floor, total_nodes=$nodes)" >&2
+        exit 1
+    fi
+    echo "==> certified floor guard: heuristic_floor=0, total_nodes=$nodes OK"
 fi
 
 # ed-serve smoke test: boot the real binary, hit every endpoint (including

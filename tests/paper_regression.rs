@@ -39,6 +39,35 @@ fn six_bus_config(net: &ed_security::powerflow::Network) -> AttackConfig {
         .solver_options(BilevelOptions { use_heuristic: false, ..Default::default() })
 }
 
+/// Exact-sweep config for the 118-bus-class network: the three most-loaded
+/// lines under a proportional dispatch get DLR (mirrors
+/// `ed_bench::congested_dlr_lines` and `sweep_scaling`'s widest case),
+/// bounds `[0.8, 1.6] ×` static rating, true rating = static rating. Node
+/// limit 1: each subproblem solves its root relaxation, then promotes the
+/// corner-heuristic incumbent to an independently *certified* KKT point —
+/// the configuration `BENCH_attack.json`'s 118-bus numbers come from.
+fn ieee118_config(net: &ed_security::powerflow::Network) -> AttackConfig {
+    let cap: f64 = net.total_pmax_mw();
+    let d = net.total_demand_mw();
+    let prop: Vec<f64> = net.gens().iter().map(|g| g.pmax_mw / cap * d).collect();
+    let flows = ed_security::powerflow::dc::solve(net, &net.injections_mw(&prop))
+        .expect("proportional dispatch is balanced")
+        .flow_mw;
+    let mut loading: Vec<(usize, f64)> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (i, f.abs() / net.lines()[i].rating_mva))
+        .collect();
+    loading.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let dlr: Vec<LineId> = loading.iter().take(3).map(|&(i, _)| LineId(i)).collect();
+    let u_d: Vec<f64> = dlr.iter().map(|l| net.lines()[l.0].rating_mva).collect();
+    let lo: Vec<f64> = u_d.iter().map(|u| 0.8 * u).collect();
+    let hi: Vec<f64> = u_d.iter().map(|u| 1.6 * u).collect();
+    AttackConfig::new(dlr).bounds_per_line(lo, hi).true_ratings(u_d).solver_options(
+        BilevelOptions { node_limit: 1, certify: Some(true), ..Default::default() },
+    )
+}
+
 /// Looks up the violation the sweep proved for one (line, direction).
 fn violation(r: &AttackResult, line: usize, direction: i8) -> f64 {
     let s = r
@@ -103,6 +132,49 @@ fn six_bus_exact_sweep_matches_golden_violations() {
     // reports no viable target. That *absence* is part of the pin.
     assert!(r.ucap_pct.abs() < 0.05, "best violation: {}", r.ucap_pct);
     assert_eq!(r.target, None, "6-bus fixture must stay unattackable: {:?}", r.target);
+}
+
+/// Golden values for the 118-bus node-capped sweep, same ±0.05 pp
+/// tolerance. Unlike the small cases these are not proved optimal (node
+/// limit 1); what the pin demands instead is that every reported value is
+/// an independently **certified** KKT point — the basis hand-off, floor
+/// promotion, and certification pipeline reproducing exactly these
+/// numbers, with no bare heuristic floor anywhere.
+#[test]
+fn ieee118_node_capped_sweep_matches_certified_golden_violations() {
+    let net = cases::ieee118_like();
+    let r = optimal_attack(&net, &ieee118_config(&net)).expect("118-bus sweep solves");
+    const GOLDEN: [(usize, i8, f64); 6] = [
+        (159, 1, -180.0),
+        (159, -1, 6.258321246073),
+        (137, 1, -6.929692691053),
+        (137, -1, -180.0),
+        (32, 1, -8.848797640011),
+        (32, -1, -180.0),
+    ];
+    for (line, dir, want) in GOLDEN {
+        let s = r
+            .subproblems
+            .iter()
+            .find(|s| s.line.0 == line && s.direction == dir)
+            .unwrap_or_else(|| panic!("no subproblem for line {line} direction {dir}"));
+        assert!(s.fault.is_none(), "L{line}{dir:+}: sweep degraded ({:?})", s.fault);
+        let cert = s
+            .certificate
+            .as_ref()
+            .unwrap_or_else(|| panic!("L{line}{dir:+}: value carries no certificate"));
+        assert!(cert.passed(), "L{line}{dir:+}: certificate failed");
+        assert!(
+            (s.violation - want).abs() < 0.05,
+            "118-bus L{line}{dir:+}: violation {:.9}% drifted from golden {want:.9}%",
+            s.violation
+        );
+    }
+    assert_eq!(r.sweep.heuristic_floor, 0, "a bare heuristic floor survived");
+    assert_eq!(r.sweep.certified, 6, "not every subproblem certified first-try");
+    assert!((r.ucap_pct - 6.258321246073).abs() < 0.05, "best violation: {}", r.ucap_pct);
+    assert!((r.overload_mw - 4.247408450386).abs() < 0.05, "overload: {}", r.overload_mw);
+    assert_eq!(r.target, Some((LineId(159), -1)), "target subproblem moved: {:?}", r.target);
 }
 
 /// Lower-bound invariant: on every (line, direction) subproblem the corner

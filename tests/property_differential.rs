@@ -28,7 +28,7 @@
 //! [`SimplexOptions::inject_basis_fault`]: ed_security::optim::lp::SimplexOptions
 
 use ed_rng::{Rng, SeedableRng, StdRng};
-use ed_security::optim::lp::{Row, SimplexOptions};
+use ed_security::optim::lp::{Basis, BasisStatus, Row, SimplexOptions};
 use ed_security::optim::model::presolve;
 use ed_security::optim::{
     certify, ActiveSetSolver, IpmSolver, Model, SimplexSolver, Solution, SolveBudget,
@@ -216,6 +216,143 @@ fn random_models_agree_across_presolve_methods_and_certification() {
         };
         if let Err(e) = check(p) {
             shrink_and_report(p, e);
+        }
+    }
+}
+
+/// Warm-vs-cold differential battery over 50 seeded models (LPs and QPs
+/// alternating): a warm start — the solver's own optimal basis, a *stale*
+/// basis recorded against a different model of the same shape, a
+/// *corrupted* basis, or one with outright wrong dimensions — may change
+/// pivot counts but never the answer. LPs replay the full [`Basis`]
+/// hand-off through [`SimplexOptions::warm`]; QPs map an LP vertex basis
+/// onto the active-set working-set hint via [`Solver::solve_warm`]. The
+/// invalid offers must be rejected fail-safe: a cold restart whose answer
+/// is bit-identical (wrong dims) or optimum-identical (stale/corrupt but
+/// installable) to the never-warmed solve.
+#[test]
+fn warm_started_resolves_agree_with_cold_across_seeded_models() {
+    let budget = SolveBudget::unlimited();
+    // Under ED_PRESOLVE=1 every model-level solve maps back through
+    // postsolve, which by design drops the reduced-space basis — the
+    // hand-off battery needs the direct path. The presolve-on behavior
+    // (basis absent, warm offer skipped) is itself asserted below.
+    let presolve_on = presolve::env_enabled();
+    for i in 0..50u64 {
+        let p = GenParams {
+            seed: 0xBA51_5000 + i,
+            vars: 2 + (i as usize % 7),
+            rows: 1 + (i as usize % 5),
+            quadratic: i % 2 == 1,
+        };
+        let m = random_model(p);
+        if !p.quadratic {
+            let cold = m.solve().expect("cold LP solves");
+            if presolve_on {
+                assert!(
+                    cold.basis.is_none(),
+                    "seed {:#x}: a postsolved solution must not leak a reduced-space basis",
+                    p.seed
+                );
+                continue;
+            }
+            let basis = cold.basis.clone().expect("direct simplex reports its basis");
+            let warm_solve = |warm: Basis| {
+                m.solve_with(&SimplexOptions { warm: Some(warm), ..SimplexOptions::default() })
+                    .expect("warm LP solves")
+            };
+            let same_bits = |s: &ed_security::optim::lp::LpSolution, label: &str| {
+                assert_eq!(
+                    s.objective.to_bits(),
+                    cold.objective.to_bits(),
+                    "seed {:#x}: {label} changed the objective: {:.15} vs {:.15}",
+                    p.seed,
+                    s.objective,
+                    cold.objective
+                );
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&s.x), bits(&cold.x), "seed {:#x}: {label} moved x", p.seed);
+            };
+            let same_optimum = |s: &ed_security::optim::lp::LpSolution, label: &str| {
+                assert!(
+                    m.infeasibility(&s.x) <= 1e-6,
+                    "seed {:#x}: {label} returned an infeasible point",
+                    p.seed
+                );
+                assert!(
+                    objectives_agree(s.objective, cold.objective, 1e-9),
+                    "seed {:#x}: {label} changed the optimum: {:.15} vs {:.15}",
+                    p.seed,
+                    s.objective,
+                    cold.objective
+                );
+            };
+
+            // (1) Its own optimal basis: accepted, and the canonicalized
+            // final basis makes the whole solution bit-identical.
+            let own = warm_solve(basis.clone());
+            assert!(own.warm_used, "seed {:#x}: optimal basis rejected", p.seed);
+            same_bits(&own, "warm restart from own optimal basis");
+
+            // (2) A stale basis — recorded against a *different* model of
+            // the same shape. Installation may succeed (the dual simplex
+            // then repairs it) or be rejected; either way the optimum
+            // stands.
+            let stale_src = random_model(GenParams { seed: p.seed ^ 0x57A1_E000, ..p });
+            let stale =
+                stale_src.solve().expect("stale-source LP solves").basis.expect("direct basis");
+            same_optimum(&warm_solve(stale), "stale sibling basis");
+
+            // (3) A corrupted basis: rotate the recorded statuses so they
+            // no longer describe the vertex they came from.
+            let mut corrupt = basis.clone();
+            corrupt.statuses.rotate_left(1);
+            same_optimum(&warm_solve(corrupt), "corrupted basis");
+
+            // (4) Wrong dimensions: must be rejected outright, and the
+            // cold restart is the cold solve, bit for bit.
+            let bad = Basis { statuses: vec![BasisStatus::Basic], art_rows: Vec::new() };
+            let rejected = warm_solve(bad);
+            assert!(!rejected.warm_used, "seed {:#x}: wrong-dims basis installed", p.seed);
+            same_bits(&rejected, "wrong-dimensioned basis");
+        } else {
+            // QP: the twin LP (same seed, quadratic terms dropped — the
+            // generator draws them last, so bounds/rows are identical)
+            // donates a vertex basis that becomes the active-set warm
+            // hint. The QP is strictly convex (positive diagonal H), so
+            // the minimizer is unique and warm-vs-cold must agree on it.
+            let qp = ActiveSetSolver::default();
+            let cold = solved(qp.solve(&m, &budget).expect("cold QP solves"));
+            let twin = random_model(GenParams { quadratic: false, ..p });
+            let twin_basis = twin.solve().expect("twin LP solves").basis;
+            if presolve_on {
+                assert!(twin_basis.is_none());
+                continue;
+            }
+            let check = |warm: Option<&Basis>, label: &str| {
+                let w = solved(qp.solve_warm(&m, &budget, warm).expect("warm QP solves"));
+                assert!(
+                    objectives_agree(w.objective, cold.objective, 1e-8),
+                    "seed {:#x}: {label} changed the QP optimum: {:.15} vs {:.15}",
+                    p.seed,
+                    w.objective,
+                    cold.objective
+                );
+                for (a, b) in w.x.iter().zip(&cold.x) {
+                    assert!(
+                        (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                        "seed {:#x}: {label} moved the unique QP minimizer",
+                        p.seed
+                    );
+                }
+            };
+            let basis = twin_basis.expect("direct twin basis");
+            check(Some(&basis), "LP-vertex warm hint");
+            let mut corrupt = basis.clone();
+            corrupt.statuses.rotate_left(1);
+            check(Some(&corrupt), "corrupted warm hint");
+            let bad = Basis { statuses: vec![BasisStatus::Basic], art_rows: Vec::new() };
+            check(Some(&bad), "wrong-dimensioned warm hint");
         }
     }
 }
